@@ -1,0 +1,65 @@
+"""Ablation A2 (DESIGN.md): variable-ordering heuristics vs BDD size.
+
+The paper cites Bouissou's RAMS'96 heuristic for building FT BDDs
+(Sec. V-A notes size can grow "at worst exponentially, depending on
+variable's ordering").  This ablation builds the COVID-19 BDD — and a
+larger random tree's BDD — under every heuristic and a random order, and
+reports build time; node counts are printed alongside.
+"""
+
+import pytest
+
+from repro.bdd import BDDManager, HEURISTICS, random_order, sift
+from repro.casestudy import build_covid_tree
+from repro.ft import RandomTreeConfig, random_tree, tree_to_bdd
+
+_LARGE = random_tree(
+    7, RandomTreeConfig(n_basic_events=18, max_children=4, p_share=0.3, max_depth=5)
+)
+
+_SIZES = {}
+
+
+def _build(tree, order):
+    manager = BDDManager(order)
+    return manager, tree_to_bdd(tree, manager)
+
+
+@pytest.mark.parametrize("heuristic", sorted(HEURISTICS))
+def bench_covid_ordering(benchmark, heuristic):
+    tree = build_covid_tree()
+    order = HEURISTICS[heuristic](tree, tree.basic_events)
+
+    _, root = benchmark(_build, tree, order)
+
+    _SIZES[("covid", heuristic)] = root.count_nodes()
+    print(f"[ordering] covid/{heuristic}: {root.count_nodes()} nodes")
+
+
+def bench_covid_ordering_random_control(benchmark):
+    tree = build_covid_tree()
+    order = random_order(tree, tree.basic_events, seed=99)
+    _, root = benchmark(_build, tree, order)
+    print(f"[ordering] covid/random: {root.count_nodes()} nodes")
+
+
+@pytest.mark.parametrize("heuristic", sorted(HEURISTICS))
+def bench_large_tree_ordering(benchmark, heuristic):
+    order = HEURISTICS[heuristic](_LARGE, _LARGE.basic_events)
+    _, root = benchmark(_build, _LARGE, order)
+    print(f"[ordering] large/{heuristic}: {root.count_nodes()} nodes")
+
+
+def bench_sifting_search(benchmark):
+    """Sifting on the COVID tree starting from the declaration order."""
+    tree = build_covid_tree()
+
+    def run():
+        return sift(
+            lambda order: _build(tree, order), list(tree.basic_events), max_rounds=1
+        )
+
+    best_order, best_size = benchmark(run)
+    base_size = _build(tree, tree.basic_events)[1].count_nodes()
+    print(f"[ordering] covid/sifted: {best_size} nodes (from {base_size})")
+    assert best_size <= base_size

@@ -1,0 +1,81 @@
+"""Ablation A4 (extension): BDD Shannon probability vs 2^n enumeration.
+
+The quantitative extension (repro.prob, the paper's future work #1)
+computes P(top) in one linear pass over the BDD; the reference enumerates
+all status vectors.  The COVID-19 tree (n = 13) plus a size sweep show the
+usual exponential separation, and each run asserts the two agree.
+"""
+
+import math
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.casestudy import build_covid_tree
+from repro.ft import RandomTreeConfig, random_tree, tree_to_bdd
+from repro.prob import bdd_probability, enumeration_probability
+
+UNIFORM = 0.05
+ENUM_SIZES = [8, 12, 16]
+BDD_SIZES = [8, 12, 16, 24, 32]
+
+
+def _tree(n):
+    return random_tree(
+        seed=4321 + n,
+        config=RandomTreeConfig(n_basic_events=n, max_children=4, p_share=0.2),
+    )
+
+
+def bench_covid_probability_bdd(benchmark):
+    tree = build_covid_tree()
+    overrides = {name: UNIFORM for name in tree.basic_events}
+
+    def run():
+        manager = BDDManager(tree.basic_events)
+        root = tree_to_bdd(tree, manager)
+        return bdd_probability(manager, root, overrides)
+
+    value = benchmark(run)
+    assert math.isclose(
+        value,
+        enumeration_probability(tree, overrides=overrides),
+        rel_tol=1e-9,
+    )
+
+
+def bench_covid_probability_enumeration(benchmark):
+    tree = build_covid_tree()
+    overrides = {name: UNIFORM for name in tree.basic_events}
+    value = benchmark.pedantic(
+        lambda: enumeration_probability(tree, overrides=overrides),
+        rounds=3,
+        iterations=1,
+    )
+    assert 0.0 < value < 1.0
+
+
+@pytest.mark.parametrize("n", BDD_SIZES)
+def bench_probability_bdd_sweep(benchmark, n):
+    tree = _tree(n)
+    overrides = {name: UNIFORM for name in tree.basic_events}
+
+    def run():
+        manager = BDDManager(tree.basic_events)
+        root = tree_to_bdd(tree, manager)
+        return bdd_probability(manager, root, overrides)
+
+    value = benchmark(run)
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.parametrize("n", ENUM_SIZES)
+def bench_probability_enumeration_sweep(benchmark, n):
+    tree = _tree(n)
+    overrides = {name: UNIFORM for name in tree.basic_events}
+    value = benchmark.pedantic(
+        lambda: enumeration_probability(tree, overrides=overrides),
+        rounds=2,
+        iterations=1,
+    )
+    assert 0.0 <= value <= 1.0

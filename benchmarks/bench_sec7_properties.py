@@ -1,0 +1,37 @@
+"""Sec. VII: the nine COVID-19 case-study properties.
+
+One benchmark per property; each run re-evaluates the property on a fresh
+model checker (so the timing includes Algorithm-1 translation) and asserts
+every claim matches the paper's reported outcome.
+"""
+
+import pytest
+
+from repro.casestudy import PROPERTIES, build_covid_tree
+from repro.checker import ModelChecker
+
+
+@pytest.mark.parametrize("spec", PROPERTIES, ids=[s.pid for s in PROPERTIES])
+def bench_property(benchmark, spec):
+    tree = build_covid_tree()
+
+    def run():
+        checker = ModelChecker(tree)
+        return spec.run(checker)
+
+    outcome = benchmark(run)
+    mismatches = [r for r in outcome.records if not r.matches]
+    assert mismatches == [], f"{spec.pid}: {mismatches}"
+
+
+def bench_all_properties_shared_cache(benchmark):
+    """The Sec. VII analysis as the paper runs it: one tool session, all
+    nine properties, Algorithm-1 caches shared between queries."""
+    tree = build_covid_tree()
+
+    def run():
+        checker = ModelChecker(tree)
+        return [spec.run(checker) for spec in PROPERTIES]
+
+    outcomes = benchmark(run)
+    assert all(outcome.all_match for outcome in outcomes)

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates a table or figure of the paper (or an ablation
+DESIGN.md calls for) and *asserts the paper-reported shape* before timing,
+so `pytest benchmarks/ --benchmark-only` doubles as a reproduction check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy import build_covid_tree
+from repro.checker import ModelChecker
+
+
+@pytest.fixture(scope="session")
+def covid_tree():
+    return build_covid_tree()
+
+
+@pytest.fixture(scope="session")
+def covid_checker(covid_tree):
+    return ModelChecker(covid_tree)

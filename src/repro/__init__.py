@@ -1,0 +1,47 @@
+"""repro — a from-scratch reproduction of *BFL: a Logic to Reason about
+Fault Trees* (Nicoletti, Hahn, Stoelinga; DSN 2022).
+
+The package bundles:
+
+* :mod:`repro.bdd` — a from-scratch ROBDD engine (Apply/Restrict/Rename,
+  quantification, AllSat, minimal/maximal vectors, ordering heuristics);
+* :mod:`repro.ft` — the fault-tree formalism of Def. 1 (AND/OR/VOT),
+  structure function, MCS/MPS analysis, Galileo I/O, generators;
+* :mod:`repro.logic` — BFL syntax, a textual DSL, syntactic sugar and the
+  enumerative reference semantics;
+* :mod:`repro.checker` — the model-checking algorithms (1-4), IDP/SUP,
+  counterexample patterns and fault-tree synthesis;
+* :mod:`repro.casestudy` — the COVID-19 fault tree of Fig. 2 and the nine
+  Sec. VII properties;
+* :mod:`repro.viz` — failure-propagation and DOT rendering;
+* :mod:`repro.cli` — the ``bfl`` command-line tool.
+
+Quickstart::
+
+    from repro.casestudy import build_covid_tree
+    from repro.checker import ModelChecker
+
+    checker = ModelChecker(build_covid_tree())
+    assert not checker.check("forall (IS => MoT)")
+    print(checker.satisfaction_set("MCS(MoT) & IS").describe())
+"""
+
+from .casestudy import build_covid_tree
+from .checker import ModelChecker
+from .errors import ReproError
+from .ft import FaultTree, FaultTreeBuilder
+from .logic import MinimalityScope, atom, parse
+
+__all__ = [
+    "FaultTree",
+    "FaultTreeBuilder",
+    "MinimalityScope",
+    "ModelChecker",
+    "ReproError",
+    "atom",
+    "build_covid_tree",
+    "parse",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,61 @@
+"""From-scratch ROBDD engine (the paper's Sec. V substrate).
+
+Public surface:
+
+* :class:`BDDManager` / :class:`Node` — hash-consed reduced ordered BDDs
+  with Apply, Restrict, Compose, Rename and inspection helpers;
+* :mod:`quantify <repro.bdd.quantify>` — existential/universal quantification
+  (textbook and one-pass variants);
+* :mod:`allsat <repro.bdd.allsat>` — cube and total-model enumeration
+  (Algorithm 3);
+* :mod:`minimal <repro.bdd.minimal>` — minimal/maximal satisfying vectors
+  (the MCS/MPS machinery of Algorithm 1);
+* :mod:`ordering <repro.bdd.ordering>` / :mod:`reorder <repro.bdd.reorder>` —
+  static variable-ordering heuristics and sifting-style search;
+* :mod:`dot <repro.bdd.dot>` — Graphviz export.
+"""
+
+from .allsat import all_models, any_model, count_cubes, iter_cubes, iter_models
+from .dot import to_dot
+from .manager import BDDManager
+from .minimal import (
+    is_monotone,
+    maximal_assignments,
+    maximal_assignments_monotone,
+    minimal_assignments,
+    minimal_assignments_monotone,
+    prime_name,
+)
+from .node import Node
+from .ordering import HEURISTICS, bfs_order, dfs_order, random_order, weight_order
+from .quantify import exists, exists_textbook, forall, is_satisfiable, is_tautology
+from .reorder import sift, transfer
+
+__all__ = [
+    "BDDManager",
+    "Node",
+    "all_models",
+    "any_model",
+    "count_cubes",
+    "iter_cubes",
+    "iter_models",
+    "to_dot",
+    "is_monotone",
+    "maximal_assignments",
+    "maximal_assignments_monotone",
+    "minimal_assignments",
+    "minimal_assignments_monotone",
+    "prime_name",
+    "HEURISTICS",
+    "bfs_order",
+    "dfs_order",
+    "random_order",
+    "weight_order",
+    "exists",
+    "exists_textbook",
+    "forall",
+    "is_satisfiable",
+    "is_tautology",
+    "sift",
+    "transfer",
+]

@@ -1,0 +1,105 @@
+"""AllSat: enumerate satisfying assignments of a BDD (paper Algorithm 3).
+
+The paper's Algorithm 3 collects "every path that leads to the terminal 1".
+A path assigns values only to the variables it branches on; the remaining
+variables are *don't-cares*.  We expose both views:
+
+* :func:`iter_cubes` — one partial assignment (cube) per 1-path, exactly the
+  paper's "collect every path" reading;
+* :func:`iter_models` — total assignments over an explicit variable scope,
+  i.e. the satisfying status vectors ``[[b]]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from .manager import BDDManager
+from .node import Node
+
+#: A cube maps variable names to booleans; absent variables are don't-cares.
+Cube = Dict[str, bool]
+
+
+def iter_cubes(manager: BDDManager, u: Node) -> Iterator[Cube]:
+    """Yield one cube per root-to-``1`` path (depth-first, low edge first).
+
+    The generator is lazy, so callers may stop after the first witness.
+    """
+    if u is manager.false:
+        return
+    if u is manager.true:
+        yield {}
+        return
+    # Iterative DFS carrying the partial assignment built so far.
+    stack: List[tuple] = [(u, {})]
+    while stack:
+        node, partial = stack.pop()
+        if node.is_terminal:
+            if node.value:
+                yield dict(partial)
+            continue
+        name = manager.name_of(node.level)
+        # Push high first so low-edge paths (smaller vectors) come out first.
+        stack.append((node.high, {**partial, name: True}))
+        stack.append((node.low, {**partial, name: False}))
+
+
+def count_cubes(manager: BDDManager, u: Node) -> int:
+    """Number of distinct root-to-``1`` paths."""
+    return sum(1 for _ in iter_cubes(manager, u))
+
+
+def iter_models(
+    manager: BDDManager,
+    u: Node,
+    over: Sequence[str],
+    fixed: Optional[Mapping[str, bool]] = None,
+) -> Iterator[Dict[str, bool]]:
+    """Yield total satisfying assignments over the variables ``over``.
+
+    Don't-care variables of each cube are expanded to both values, so the
+    output is exactly the set of status vectors satisfying the BDD.
+
+    Args:
+        manager: Owning manager.
+        u: Root of the BDD.
+        over: Variables each model must assign (superset of the support).
+        fixed: Optional pre-set values for some variables; cubes that
+            contradict them are skipped and matching models inherit them.
+    """
+    scope = list(over)
+    fixed = dict(fixed or {})
+    for cube in iter_cubes(manager, u):
+        if any(name in cube and cube[name] != value for name, value in fixed.items()):
+            continue
+        merged = {**fixed, **cube}
+        free = [name for name in scope if name not in merged]
+        yield from _expand(merged, free, scope)
+
+
+def _expand(
+    partial: Mapping[str, bool], free: Sequence[str], scope: Sequence[str]
+) -> Iterator[Dict[str, bool]]:
+    if not free:
+        yield {name: partial[name] for name in scope}
+        return
+    head, rest = free[0], free[1:]
+    for value in (False, True):
+        yield from _expand({**partial, head: value}, rest, scope)
+
+
+def all_models(
+    manager: BDDManager, u: Node, over: Sequence[str]
+) -> List[Dict[str, bool]]:
+    """Eager version of :func:`iter_models` (handy in tests)."""
+    return list(iter_models(manager, u, over))
+
+
+def any_model(
+    manager: BDDManager, u: Node, over: Sequence[str]
+) -> Optional[Dict[str, bool]]:
+    """One satisfying total assignment, or ``None`` if unsatisfiable."""
+    for model in iter_models(manager, u, over):
+        return model
+    return None

@@ -1,0 +1,497 @@
+"""Hash-consed ROBDD manager: unique table, Apply, Restrict, Compose, Rename.
+
+This is the computational substrate of the whole library (paper Sec. V-A).
+The manager owns a totally ordered set of named variables (Def. 5 requires
+``Vars`` to carry a total order ``<``) and guarantees the three ROBDD
+invariants:
+
+* *ordered* — on every root-to-terminal path variables appear in strictly
+  increasing level order (``mk`` enforces ``level < child levels``);
+* *reduced* — no node has identical children (``mk`` short-circuits) and no
+  two distinct nodes share ``(level, low, high)`` (the unique table);
+* exactly two terminals ``0`` and ``1``.
+
+Because reduction is maintained incrementally by ``mk``, the textbook
+``Apply``+``Reduce`` pipeline referenced by the paper (Ben-Ari Algs. 5.15 and
+5.3) collapses into the single memoised :meth:`BDDManager.apply`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import ManagerMismatchError, VariableError
+from .node import TERMINAL_LEVEL, Node
+
+#: Binary Boolean connectives supported by :meth:`BDDManager.apply`.
+_OPS: Dict[str, Callable[[bool, bool], bool]] = {
+    "and": lambda a, b: a and b,
+    "or": lambda a, b: a or b,
+    "xor": lambda a, b: a != b,
+    "xnor": lambda a, b: a == b,
+    "nand": lambda a, b: not (a and b),
+    "nor": lambda a, b: not (a or b),
+    "implies": lambda a, b: (not a) or b,
+}
+
+#: Connectives for which ``apply(op, u, v) == apply(op, v, u)``; their cache
+#: keys are normalised so both argument orders hit the same entry.
+_COMMUTATIVE = frozenset({"and", "or", "xor", "xnor", "nand", "nor"})
+
+_manager_counter = itertools.count()
+
+
+class BDDManager:
+    """Factory and owner of ROBDD nodes over a named, totally ordered
+    variable set.
+
+    Args:
+        variables: Initial variable names, in order (level 0 first).
+
+    Example:
+        >>> m = BDDManager(["a", "b"])
+        >>> f = m.or_(m.var("a"), m.var("b"))
+        >>> m.evaluate(f, {"a": False, "b": True})
+        True
+    """
+
+    def __init__(self, variables: Iterable[str] = ()) -> None:
+        self._id = next(_manager_counter)
+        self._order: List[str] = []
+        self._levels: Dict[str, int] = {}
+        self._uid_counter = itertools.count()
+        self.false = self._make_terminal(False)
+        self.true = self._make_terminal(True)
+        # Unique table: (level, low uid, high uid) -> Node.
+        self._unique: Dict[Tuple[int, int, int], Node] = {}
+        # Memo tables.  They are kept per-operation so clearing one kind of
+        # cache (e.g. after reordering) does not touch the others.
+        self._apply_cache: Dict[Tuple[str, int, int], Node] = {}
+        self._negate_cache: Dict[int, Node] = {}
+        self._restrict_cache: Dict[Tuple[int, int, bool], Node] = {}
+        self._exists_cache: Dict[Tuple[int, frozenset], Node] = {}
+        self._support_cache: Dict[int, frozenset] = {}
+        for name in variables:
+            self.declare(name)
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    def declare(self, *names: str) -> None:
+        """Append ``names`` (in the given order) to the variable order.
+
+        Raises:
+            VariableError: If a name is already declared or empty.
+        """
+        for name in names:
+            if not name:
+                raise VariableError("variable names must be non-empty")
+            if name in self._levels:
+                raise VariableError(f"variable {name!r} already declared")
+            self._levels[name] = len(self._order)
+            self._order.append(name)
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """The current variable order, level 0 first."""
+        return tuple(self._order)
+
+    def level_of(self, name: str) -> int:
+        """Level (order position) of variable ``name``."""
+        try:
+            return self._levels[name]
+        except KeyError:
+            raise VariableError(f"unknown variable {name!r}") from None
+
+    def name_of(self, level: int) -> str:
+        """Variable name at ``level``."""
+        try:
+            return self._order[level]
+        except IndexError:
+            raise VariableError(f"no variable at level {level}") from None
+
+    def var(self, name: str) -> Node:
+        """Elementary BDD ``B(v)`` with ``Low = 0`` and ``High = 1``
+        (the building block of Def. 6)."""
+        return self.mk(self.level_of(name), self.false, self.true)
+
+    def nvar(self, name: str) -> Node:
+        """Elementary negated BDD for ``not name``."""
+        return self.mk(self.level_of(name), self.true, self.false)
+
+    def constant(self, value: bool) -> Node:
+        """The ``0`` or ``1`` terminal."""
+        return self.true if value else self.false
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def _make_terminal(self, value: bool) -> Node:
+        return Node(
+            uid=next(self._uid_counter),
+            level=TERMINAL_LEVEL,
+            low=None,
+            high=None,
+            value=value,
+            manager_id=self._id,
+        )
+
+    def mk(self, level: int, low: Node, high: Node) -> Node:
+        """Return the unique reduced node ``(level, low, high)``.
+
+        Applies both reduction rules: identical children collapse to the
+        child, and structurally equal nodes are shared via the unique table.
+
+        Raises:
+            VariableError: If the node would violate the variable order.
+        """
+        if low is high:
+            return low
+        if not level < low.level or not level < high.level:
+            raise VariableError(
+                f"node at level {level} must precede its children "
+                f"(levels {low.level}, {high.level})"
+            )
+        key = (level, low.uid, high.uid)
+        node = self._unique.get(key)
+        if node is None:
+            node = Node(
+                uid=next(self._uid_counter),
+                level=level,
+                low=low,
+                high=high,
+                value=None,
+                manager_id=self._id,
+            )
+            self._unique[key] = node
+        return node
+
+    def _check_owned(self, *nodes: Node) -> None:
+        for node in nodes:
+            if node.manager_id != self._id:
+                raise ManagerMismatchError(
+                    "combining nodes that belong to different BDD managers"
+                )
+
+    # ------------------------------------------------------------------
+    # Boolean combinators (Apply + implicit Reduce)
+    # ------------------------------------------------------------------
+
+    def apply(self, op: str, u: Node, v: Node) -> Node:
+        """Ben-Ari's ``Apply`` with memoisation; result is reduced by
+        construction.
+
+        Args:
+            op: One of ``and or xor xnor nand nor implies``.
+            u: Left operand.
+            v: Right operand.
+        """
+        try:
+            fn = _OPS[op]
+        except KeyError:
+            raise ValueError(f"unknown BDD operator {op!r}") from None
+        self._check_owned(u, v)
+        return self._apply(op, fn, u, v)
+
+    def _apply(self, op: str, fn: Callable[[bool, bool], bool], u: Node, v: Node) -> Node:
+        # Terminal short-cuts keep the recursion (and the cache) small.
+        if u.is_terminal and v.is_terminal:
+            return self.constant(fn(u.value, v.value))
+        if op == "and":
+            if u is self.false or v is self.false:
+                return self.false
+            if u is self.true:
+                return v
+            if v is self.true:
+                return u
+            if u is v:
+                return u
+        elif op == "or":
+            if u is self.true or v is self.true:
+                return self.true
+            if u is self.false:
+                return v
+            if v is self.false:
+                return u
+            if u is v:
+                return u
+        elif op == "xor":
+            if u is self.false:
+                return v
+            if v is self.false:
+                return u
+            if u is v:
+                return self.false
+        elif op == "implies":
+            if u is self.false or v is self.true:
+                return self.true
+            if u is self.true:
+                return v
+
+        if op in _COMMUTATIVE and u.uid > v.uid:
+            u, v = v, u
+        key = (op, u.uid, v.uid)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+
+        top = min(u.level, v.level)
+        u_low, u_high = (u.low, u.high) if u.level == top else (u, u)
+        v_low, v_high = (v.low, v.high) if v.level == top else (v, v)
+        result = self.mk(
+            top,
+            self._apply(op, fn, u_low, v_low),
+            self._apply(op, fn, u_high, v_high),
+        )
+        self._apply_cache[key] = result
+        return result
+
+    def and_(self, u: Node, v: Node) -> Node:
+        """Conjunction of two BDDs."""
+        return self.apply("and", u, v)
+
+    def or_(self, u: Node, v: Node) -> Node:
+        """Disjunction of two BDDs."""
+        return self.apply("or", u, v)
+
+    def xor(self, u: Node, v: Node) -> Node:
+        """Exclusive or of two BDDs."""
+        return self.apply("xor", u, v)
+
+    def implies(self, u: Node, v: Node) -> Node:
+        """Implication ``u => v``."""
+        return self.apply("implies", u, v)
+
+    def equiv(self, u: Node, v: Node) -> Node:
+        """Bi-implication ``u <=> v``."""
+        return self.apply("xnor", u, v)
+
+    def conjoin(self, nodes: Iterable[Node]) -> Node:
+        """AND of arbitrarily many BDDs (empty conjunction is ``1``)."""
+        result = self.true
+        for node in nodes:
+            result = self.and_(result, node)
+        return result
+
+    def disjoin(self, nodes: Iterable[Node]) -> Node:
+        """OR of arbitrarily many BDDs (empty disjunction is ``0``)."""
+        result = self.false
+        for node in nodes:
+            result = self.or_(result, node)
+        return result
+
+    def negate(self, u: Node) -> Node:
+        """Complement a BDD (swap its terminals)."""
+        self._check_owned(u)
+        if u.is_terminal:
+            return self.constant(not u.value)
+        cached = self._negate_cache.get(u.uid)
+        if cached is not None:
+            return cached
+        result = self.mk(u.level, self.negate(u.low), self.negate(u.high))
+        self._negate_cache[u.uid] = result
+        # Negation is an involution; prime the cache both ways.
+        self._negate_cache[result.uid] = u
+        return result
+
+    def ite(self, cond: Node, then: Node, other: Node) -> Node:
+        """If-then-else: ``(cond and then) or (not cond and other)``."""
+        return self.or_(
+            self.and_(cond, then), self.and_(self.negate(cond), other)
+        )
+
+    def threshold(self, operands: Sequence[Node], k: int) -> Node:
+        """BDD for "at least ``k`` of ``operands`` hold".
+
+        Implements the VOT(k/N) semantics of Def. 2 / Def. 6 by dynamic
+        programming over partial counts instead of the exponential
+        disjunction-of-subsets expansion, which it is equivalent to.
+        """
+        n = len(operands)
+        if k <= 0:
+            return self.true
+        if k > n:
+            return self.false
+        # rows[j] = BDD for "at least j of the operands seen so far hold",
+        # folded right-to-left.
+        rows: List[Node] = [self.true] + [self.false] * k
+        for operand in reversed(operands):
+            new_rows = [self.true]
+            for j in range(1, k + 1):
+                new_rows.append(self.ite(operand, rows[j - 1], rows[j]))
+            rows = new_rows
+        return rows[k]
+
+    # ------------------------------------------------------------------
+    # Restrict / Compose / Rename
+    # ------------------------------------------------------------------
+
+    def restrict(self, u: Node, name: str, value: bool) -> Node:
+        """Ben-Ari's ``Restrict``: fix variable ``name`` to ``value``.
+
+        This implements the BFL evidence operator ``phi[e -> value]``
+        (Algorithm 1).
+        """
+        self._check_owned(u)
+        return self._restrict(u, self.level_of(name), value)
+
+    def _restrict(self, u: Node, level: int, value: bool) -> Node:
+        if u.level > level:
+            # Terminals and nodes below `level` cannot mention the variable.
+            return u
+        key = (u.uid, level, value)
+        cached = self._restrict_cache.get(key)
+        if cached is not None:
+            return cached
+        if u.level == level:
+            result = u.high if value else u.low
+        else:
+            result = self.mk(
+                u.level,
+                self._restrict(u.low, level, value),
+                self._restrict(u.high, level, value),
+            )
+        self._restrict_cache[key] = result
+        return result
+
+    def restrict_many(self, u: Node, assignment: Mapping[str, bool]) -> Node:
+        """Restrict several variables at once."""
+        result = u
+        for name, value in assignment.items():
+            result = self.restrict(result, name, value)
+        return result
+
+    def compose(self, u: Node, name: str, g: Node) -> Node:
+        """Substitute BDD ``g`` for variable ``name`` in ``u``
+        (Shannon expansion: ``ite(g, u[name:=1], u[name:=0])``)."""
+        self._check_owned(u, g)
+        return self.ite(
+            g, self.restrict(u, name, True), self.restrict(u, name, False)
+        )
+
+    def rename(self, u: Node, mapping: Mapping[str, str]) -> Node:
+        """Rename variables (the paper's ``B[V -> V']`` primed copy).
+
+        The mapping must be *monotone*: if ``a`` is ordered before ``b`` then
+        ``mapping[a]`` must be ordered before ``mapping[b]``.  Monotone
+        renaming preserves the BDD shape, so it is a linear-time rebuild.
+        Use :meth:`compose` repeatedly for non-monotone substitutions.
+
+        Raises:
+            VariableError: If the mapping is not monotone.
+        """
+        self._check_owned(u)
+        level_map: Dict[int, int] = {
+            self.level_of(src): self.level_of(dst) for src, dst in mapping.items()
+        }
+        pairs = sorted(level_map.items())
+        for (_, prev_dst), (_, next_dst) in zip(pairs, pairs[1:]):
+            if prev_dst >= next_dst:
+                raise VariableError(
+                    "rename mapping must preserve the variable order"
+                )
+        cache: Dict[int, Node] = {}
+        return self._rename(u, level_map, cache)
+
+    def _rename(self, u: Node, level_map: Dict[int, int], cache: Dict[int, Node]) -> Node:
+        if u.is_terminal:
+            return u
+        cached = cache.get(u.uid)
+        if cached is not None:
+            return cached
+        new_level = level_map.get(u.level, u.level)
+        result = self.mk(
+            new_level,
+            self._rename(u.low, level_map, cache),
+            self._rename(u.high, level_map, cache),
+        )
+        cache[u.uid] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def support(self, u: Node) -> Set[str]:
+        """``VarB``: the set of variables occurring in the BDD.
+
+        On a reduced BDD this is exactly the set of variables the function
+        *depends on*, which is why Algorithm 1 may implement ``IDP`` via
+        support intersection.
+        """
+        self._check_owned(u)
+        return {self.name_of(level) for level in self._support_levels(u)}
+
+    def _support_levels(self, u: Node) -> frozenset:
+        if u.is_terminal:
+            return frozenset()
+        cached = self._support_cache.get(u.uid)
+        if cached is not None:
+            return cached
+        result = (
+            frozenset({u.level})
+            | self._support_levels(u.low)
+            | self._support_levels(u.high)
+        )
+        self._support_cache[u.uid] = result
+        return result
+
+    def evaluate(self, u: Node, assignment: Mapping[str, bool]) -> bool:
+        """Walk from the root following ``assignment`` (Algorithm 2's loop).
+
+        Variables missing from ``assignment`` may only be skipped if the BDD
+        does not branch on them.
+
+        Raises:
+            KeyError: If the walk reaches a variable not in ``assignment``.
+        """
+        self._check_owned(u)
+        node = u
+        while not node.is_terminal:
+            name = self.name_of(node.level)
+            node = node.high if assignment[name] else node.low
+        return bool(node.value)
+
+    def sat_count(self, u: Node, over: Optional[Sequence[str]] = None) -> int:
+        """Number of satisfying assignments over the variables ``over``
+        (default: the manager's full variable set)."""
+        self._check_owned(u)
+        names = list(over) if over is not None else list(self._order)
+        levels = sorted(self.level_of(name) for name in names)
+        position = {level: i for i, level in enumerate(levels)}
+        n = len(levels)
+        cache: Dict[int, int] = {}
+
+        def count(node: Node, from_pos: int) -> int:
+            # Number of assignments to levels[from_pos:] under `node`.
+            if node.is_terminal:
+                return (2 ** (n - from_pos)) if node.value else 0
+            if node.level not in position:
+                raise VariableError(
+                    f"BDD mentions {self.name_of(node.level)!r}, "
+                    "which is outside the counting scope"
+                )
+            pos = position[node.level]
+            key = node.uid
+            cached = cache.get(key)
+            if cached is None:
+                cached = count(node.low, pos + 1) + count(node.high, pos + 1)
+                cache[key] = cached
+            return cached * 2 ** (pos - from_pos)
+
+        return count(u, 0)
+
+    def node_count(self) -> int:
+        """Total number of live nodes in the unique table (plus terminals)."""
+        return len(self._unique) + 2
+
+    def clear_caches(self) -> None:
+        """Drop all operation memo tables (the unique table is kept)."""
+        self._apply_cache.clear()
+        self._negate_cache.clear()
+        self._restrict_cache.clear()
+        self._exists_cache.clear()
+        self._support_cache.clear()

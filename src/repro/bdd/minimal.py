@@ -1,0 +1,165 @@
+"""Minimal / maximal satisfying assignments of a BDD.
+
+This module implements the heart of the paper's ``MCS``/``MPS`` operators
+(Algorithm 1, last recursion rule)::
+
+    BT(MCS(phi)) : BT(phi) and not exists V'. (V' < V  and  BT(phi)[V -> V'])
+
+where ``V' < V  ==  (AND_k v'_k => v_k) and (OR_k v'_k != v_k)`` compares
+status vectors by strict inclusion of their *failed* sets.
+
+Two constructions are provided:
+
+* the paper's **primed-relation** construction (general: works for any
+  formula BDD), :func:`minimal_assignments` / :func:`maximal_assignments`;
+* a **restriction-based** construction valid for monotone functions only
+  (fault-tree structure functions are monotone), in the spirit of Rauzy's
+  direct minimal-solution algorithms — one conjunction per variable, no
+  primed copies: :func:`minimal_assignments_monotone` /
+  :func:`maximal_assignments_monotone`.
+
+Benchmark ``bench_mcs_algorithms`` compares the two; the test suite proves
+them equivalent on monotone inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .manager import BDDManager
+from .node import Node
+from .quantify import exists
+
+#: Suffix used to derive the primed copy of a variable name.
+PRIME_SUFFIX = "__prime"
+
+
+def prime_name(name: str) -> str:
+    """Name of the primed copy of ``name`` (``V -> V'`` in the paper)."""
+    return name + PRIME_SUFFIX
+
+
+def ensure_primed(manager: BDDManager, scope: Sequence[str]) -> Dict[str, str]:
+    """Declare (if needed) primed copies for ``scope``; return the mapping.
+
+    Primed variables are appended to the end of the order in the same
+    relative order as their originals, which keeps :meth:`BDDManager.rename`
+    monotone.
+    """
+    declared = set(manager.variables)
+    mapping: Dict[str, str] = {}
+    for name in scope:
+        primed = prime_name(name)
+        if primed not in declared:
+            manager.declare(primed)
+            declared.add(primed)
+        mapping[name] = primed
+    return mapping
+
+
+def strict_subset_relation(
+    manager: BDDManager, scope: Sequence[str], mapping: Dict[str, str]
+) -> Node:
+    """BDD for ``V' subset-of V`` over ``scope``:
+    ``(AND v' => v) and (OR v' != v)``."""
+    all_below = manager.conjoin(
+        manager.implies(manager.var(mapping[name]), manager.var(name))
+        for name in scope
+    )
+    some_differ = manager.disjoin(
+        manager.xor(manager.var(mapping[name]), manager.var(name))
+        for name in scope
+    )
+    return manager.and_(all_below, some_differ)
+
+
+def strict_superset_relation(
+    manager: BDDManager, scope: Sequence[str], mapping: Dict[str, str]
+) -> Node:
+    """BDD for ``V' superset-of V`` over ``scope`` (the MPS dual)."""
+    all_above = manager.conjoin(
+        manager.implies(manager.var(name), manager.var(mapping[name]))
+        for name in scope
+    )
+    some_differ = manager.disjoin(
+        manager.xor(manager.var(mapping[name]), manager.var(name))
+        for name in scope
+    )
+    return manager.and_(all_above, some_differ)
+
+
+def _relational_extreme(
+    manager: BDDManager, u: Node, scope: Sequence[str], superset: bool
+) -> Node:
+    if not scope:
+        return u
+    mapping = ensure_primed(manager, scope)
+    if superset:
+        relation = strict_superset_relation(manager, scope, mapping)
+    else:
+        relation = strict_subset_relation(manager, scope, mapping)
+    shifted = manager.rename(u, mapping)
+    witness = exists(
+        manager,
+        manager.and_(relation, shifted),
+        [mapping[name] for name in scope],
+    )
+    return manager.and_(u, manager.negate(witness))
+
+
+def minimal_assignments(manager: BDDManager, u: Node, scope: Sequence[str]) -> Node:
+    """Paper construction: satisfying vectors with no strictly smaller
+    satisfying vector (comparison over ``scope``; other variables are
+    untouched don't-cares)."""
+    return _relational_extreme(manager, u, scope, superset=False)
+
+
+def maximal_assignments(manager: BDDManager, u: Node, scope: Sequence[str]) -> Node:
+    """Satisfying vectors with no strictly larger satisfying vector; this is
+    the MPS-side construction (see DESIGN.md deviation 1)."""
+    return _relational_extreme(manager, u, scope, superset=True)
+
+
+def minimal_assignments_monotone(
+    manager: BDDManager, u: Node, scope: Sequence[str]
+) -> Node:
+    """Monotone fast path: ``u and AND_x (not x or not u[x:=0])``.
+
+    For a monotone ``u`` a vector is globally minimal iff no *single* failed
+    bit can be cleared, which is what each conjunct states.
+    """
+    result = u
+    for name in scope:
+        off = manager.restrict(u, name, False)
+        result = manager.and_(
+            result, manager.or_(manager.nvar(name), manager.negate(off))
+        )
+    return result
+
+
+def maximal_assignments_monotone(
+    manager: BDDManager, u: Node, scope: Sequence[str]
+) -> Node:
+    """Monotone fast path for maximality: ``u and AND_x (x or not u[x:=1])``."""
+    result = u
+    for name in scope:
+        on = manager.restrict(u, name, True)
+        result = manager.and_(
+            result, manager.or_(manager.var(name), manager.negate(on))
+        )
+    return result
+
+
+def is_monotone(manager: BDDManager, u: Node, scope: Iterable[str] = ()) -> bool:
+    """True iff ``u`` is monotone (non-decreasing) in every scope variable.
+
+    With an empty ``scope`` the BDD's own support is checked, which decides
+    monotonicity of the represented function.
+    """
+    names: List[str] = list(scope) or sorted(manager.support(u))
+    for name in names:
+        off = manager.restrict(u, name, False)
+        on = manager.restrict(u, name, True)
+        if manager.implies(off, on) is not manager.true:
+            return False
+    return True

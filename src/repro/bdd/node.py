@@ -1,0 +1,94 @@
+"""BDD node representation (Def. 5 of the paper).
+
+A :class:`Node` is an immutable vertex of a reduced ordered binary decision
+diagram.  Terminal nodes carry a Boolean label; non-terminal nodes carry a
+variable *level* (an index into the owning manager's variable order) and two
+distinct children ``low`` / ``high`` (the Shannon cofactors for the variable
+set to 0 / 1 respectively).
+
+Nodes are hash-consed by :class:`repro.bdd.manager.BDDManager`: structural
+equality coincides with object identity, so nodes compare and hash by their
+unique integer ``uid``.  Users never build nodes directly; they obtain them
+from a manager.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+#: Level assigned to terminal nodes.  It orders *after* every real variable
+#: level so that the usual "smaller level is closer to the root" invariant
+#: holds uniformly.
+TERMINAL_LEVEL = 2**31
+
+
+class Node:
+    """A single (hash-consed) ROBDD node.
+
+    Attributes:
+        uid: Manager-unique integer identity; stable for the manager's life.
+        level: Variable level (position in the manager order), or
+            :data:`TERMINAL_LEVEL` for terminals.
+        low: Child for "variable = 0" (``None`` for terminals).
+        high: Child for "variable = 1" (``None`` for terminals).
+        value: Boolean label of a terminal node (``None`` for non-terminals).
+    """
+
+    __slots__ = ("uid", "level", "low", "high", "value", "manager_id")
+
+    def __init__(
+        self,
+        uid: int,
+        level: int,
+        low: Optional["Node"],
+        high: Optional["Node"],
+        value: Optional[bool],
+        manager_id: int,
+    ) -> None:
+        self.uid = uid
+        self.level = level
+        self.low = low
+        self.high = high
+        self.value = value
+        self.manager_id = manager_id
+
+    @property
+    def is_terminal(self) -> bool:
+        """True for the ``0``/``1`` leaves."""
+        return self.value is not None
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_terminal:
+            return f"<Terminal {int(bool(self.value))}>"
+        return (
+            f"<Node uid={self.uid} level={self.level} "
+            f"low={self.low.uid} high={self.high.uid}>"
+        )
+
+    def iter_nodes(self) -> Iterator["Node"]:
+        """Yield every node reachable from this one exactly once.
+
+        Iterative depth-first traversal (BDDs for wide fault trees can be
+        deeper than Python's default recursion limit allows).
+        """
+        seen = {self.uid}
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.is_terminal:
+                continue
+            for child in (node.low, node.high):
+                if child.uid not in seen:
+                    seen.add(child.uid)
+                    stack.append(child)
+
+    def count_nodes(self) -> int:
+        """Number of distinct nodes in the DAG rooted here (terminals incl.)."""
+        return sum(1 for _ in self.iter_nodes())

@@ -1,0 +1,86 @@
+"""Static reordering utilities: transfer between managers and sifting search.
+
+The library's managers hash-cons immutable nodes, so instead of in-place
+level swaps we *rebuild*: :func:`transfer` re-expresses a BDD inside another
+manager (with any variable order) and :func:`sift` hill-climbs over orders by
+rebuilding and measuring, in the spirit of Rudell's sifting.  Rebuilding is
+quadratic in the worst case but entirely adequate at fault-tree scale, and
+it keeps the core engine simple and immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .manager import BDDManager
+from .node import Node
+
+#: A builder takes a variable order and returns (manager, root) built in it.
+Builder = Callable[[Sequence[str]], Tuple[BDDManager, Node]]
+
+
+def transfer(source: BDDManager, u: Node, target: BDDManager) -> Node:
+    """Rebuild ``u`` (owned by ``source``) inside ``target``.
+
+    Works for any pair of variable orders because it re-applies the Shannon
+    expansion in the target manager: ``ite(x, transfer(high), transfer(low))``.
+    All variables in the support of ``u`` must be declared in ``target``.
+    """
+    cache: Dict[int, Node] = {}
+
+    def walk(node: Node) -> Node:
+        if node.is_terminal:
+            return target.constant(bool(node.value))
+        cached = cache.get(node.uid)
+        if cached is not None:
+            return cached
+        name = source.name_of(node.level)
+        result = target.ite(target.var(name), walk(node.high), walk(node.low))
+        cache[node.uid] = result
+        return result
+
+    return walk(u)
+
+
+def build_size(builder: Builder, order: Sequence[str]) -> int:
+    """Node count of the BDD produced by ``builder`` under ``order``."""
+    _, root = builder(order)
+    return root.count_nodes()
+
+
+def sift(
+    builder: Builder,
+    order: Sequence[str],
+    max_rounds: int = 2,
+) -> Tuple[List[str], int]:
+    """Sifting-style search for a small BDD.
+
+    One round moves each variable in turn to its best position (measuring by
+    rebuilding); rounds repeat until no improvement or ``max_rounds``.
+
+    Returns:
+        ``(best_order, best_size)``.
+    """
+    current = list(order)
+    best_size = build_size(builder, current)
+    for _ in range(max_rounds):
+        improved = False
+        for name in list(current):
+            base = [v for v in current if v != name]
+            candidate_best = current
+            candidate_size = best_size
+            for position in range(len(base) + 1):
+                candidate = base[:position] + [name] + base[position:]
+                if candidate == current:
+                    continue
+                size = build_size(builder, candidate)
+                if size < candidate_size:
+                    candidate_best = candidate
+                    candidate_size = size
+            if candidate_size < best_size:
+                current = list(candidate_best)
+                best_size = candidate_size
+                improved = True
+        if not improved:
+            break
+    return current, best_size

@@ -1,0 +1,31 @@
+"""COVID-19 case study (paper Secs. IV and VII)."""
+
+from .covid import (
+    BASIC_EVENT_DESCRIPTIONS,
+    GATE_DESCRIPTIONS,
+    HUMAN_ERRORS,
+    build_covid_tree,
+)
+from .properties import (
+    PROPERTIES,
+    ClaimRecord,
+    PropertyOutcome,
+    PropertySpec,
+    run_all,
+)
+from .report import CaseStudyReport, build_report, render_report
+
+__all__ = [
+    "BASIC_EVENT_DESCRIPTIONS",
+    "CaseStudyReport",
+    "ClaimRecord",
+    "GATE_DESCRIPTIONS",
+    "HUMAN_ERRORS",
+    "PROPERTIES",
+    "PropertyOutcome",
+    "PropertySpec",
+    "build_covid_tree",
+    "build_report",
+    "render_report",
+    "run_all",
+]

@@ -1,0 +1,108 @@
+"""The COVID-19 fault tree of the paper's Fig. 2.
+
+The tree models COVID-19 infection risk on construction sites (after
+Bakeli & Hafidi 2020, modified by the paper).  The paper prints Fig. 2
+only graphically; the structure below was reverse-engineered from *all*
+quantitative results of Secs. IV and VII and reproduces every one of them
+verbatim — see DESIGN.md Sec. 2 for the derivation and
+``tests/test_covid_properties.py`` for the golden checks.
+
+Structure (13 basic events, 15 gates)::
+
+    IWoS = AND(CP/R, MoT, SH)            COVID-19 infected worker on site
+    CP/R = OR(CP, CR)                    pathogens / reservoir exist
+      CP = AND(IW, H3)                   pathogens:  infected worker + detection error
+      CR = AND(IT, H2)                   reservoir:  infected object + disinfection error
+    MoT  = OR(CT, DT, AT, CVT)           mode of transmission
+      CT  = OR(CIW, CIO, CIS)            contact transmission
+        CIW = AND(IW, PP, H1)            contact with infected worker
+        CIO = AND(IT, MH1), MH1 = AND(H1, H4)   contact with infected object
+        CIS = AND(IS, MH2), MH2 = AND(H1, H5)   contact with infected surface
+      DT  = AND(IW, PP)                  droplet transmission
+      AT  = AND(IW, AM),  AM = OR(AB, MV)  airborne transmission
+      CVT = OR(UT)                       vehicle transmission
+    SH   = AND(VW, H1)                   susceptible host
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ft.builder import FaultTreeBuilder
+from ..ft.tree import FaultTree
+
+#: Human-readable glossary for the basic events (paper Secs. I, IV, VII).
+BASIC_EVENT_DESCRIPTIONS: Dict[str, str] = {
+    "IW": "Infected worker joining the team",
+    "IT": "Infected object used by the team",
+    "IS": "Infected surface",
+    "PP": "Physical proximity",
+    "VW": "Vulnerable worker on site",
+    "UT": "Use of common transport",
+    "AB": "Air blowing between workers",
+    "MV": "Mechanical ventilation",
+    "H1": "Non-respect of outbreak procedures",
+    "H2": "General disinfection error",
+    "H3": "Detection error",
+    "H4": "Object disinfection error",
+    "H5": "Surface disinfection error",
+}
+
+#: Human-readable glossary for the gates.
+GATE_DESCRIPTIONS: Dict[str, str] = {
+    "IWoS": "COVID-19 infected worker on site (top level event)",
+    "CP/R": "Existence of COVID-19 pathogens/reservoir",
+    "CP": "Existence of COVID-19 pathogens",
+    "CR": "Existence of COVID-19 reservoir",
+    "MoT": "Mode of transmission",
+    "CT": "Contact transmission",
+    "CIW": "Contact with infected worker",
+    "CIO": "Contact with infected object",
+    "CIS": "Contact with infected surface",
+    "MH1": "Object hygiene errors (procedures + object disinfection)",
+    "MH2": "Surface hygiene errors (procedures + surface disinfection)",
+    "DT": "Droplet transmission",
+    "AT": "Airborne transmission",
+    "AM": "Air movement between workers",
+    "CVT": "Vehicle transmission",
+    "SH": "Susceptible host",
+}
+
+#: The five human errors of the case study (used by Properties 2, 4, 6).
+HUMAN_ERRORS: Tuple[str, ...] = ("H1", "H2", "H3", "H4", "H5")
+
+
+def build_covid_tree() -> FaultTree:
+    """Construct the COVID-19 fault tree of Fig. 2.
+
+    Basic events are declared in a stable order (pathogen branch first,
+    then transmission, then host) that doubles as the default BDD variable
+    order.
+    """
+    builder = FaultTreeBuilder()
+    for name in ("IW", "H3", "IT", "H2", "PP", "H1", "H4", "IS", "H5", "AB", "MV", "UT", "VW"):
+        builder.basic_event(name, BASIC_EVENT_DESCRIPTIONS[name])
+    return (
+        builder
+        # Pathogens / reservoir (Fig. 1 is this subtree).
+        .and_gate("CP", "IW", "H3", description=GATE_DESCRIPTIONS["CP"])
+        .and_gate("CR", "IT", "H2", description=GATE_DESCRIPTIONS["CR"])
+        .or_gate("CP/R", "CP", "CR", description=GATE_DESCRIPTIONS["CP/R"])
+        # Contact transmission.
+        .and_gate("CIW", "IW", "PP", "H1", description=GATE_DESCRIPTIONS["CIW"])
+        .and_gate("MH1", "H1", "H4", description=GATE_DESCRIPTIONS["MH1"])
+        .and_gate("CIO", "IT", "MH1", description=GATE_DESCRIPTIONS["CIO"])
+        .and_gate("MH2", "H1", "H5", description=GATE_DESCRIPTIONS["MH2"])
+        .and_gate("CIS", "IS", "MH2", description=GATE_DESCRIPTIONS["CIS"])
+        .or_gate("CT", "CIW", "CIO", "CIS", description=GATE_DESCRIPTIONS["CT"])
+        # Droplet / airborne / vehicle transmission.
+        .and_gate("DT", "IW", "PP", description=GATE_DESCRIPTIONS["DT"])
+        .or_gate("AM", "AB", "MV", description=GATE_DESCRIPTIONS["AM"])
+        .and_gate("AT", "IW", "AM", description=GATE_DESCRIPTIONS["AT"])
+        .or_gate("CVT", "UT", description=GATE_DESCRIPTIONS["CVT"])
+        .or_gate("MoT", "CT", "DT", "AT", "CVT", description=GATE_DESCRIPTIONS["MoT"])
+        # Susceptible host and the top level event.
+        .and_gate("SH", "VW", "H1", description=GATE_DESCRIPTIONS["SH"])
+        .and_gate("IWoS", "CP/R", "MoT", "SH", description=GATE_DESCRIPTIONS["IWoS"])
+        .build("IWoS")
+    )

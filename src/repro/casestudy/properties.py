@@ -1,0 +1,278 @@
+"""The nine properties of the COVID-19 case study (paper Secs. IV and VII).
+
+Each :class:`PropertySpec` carries the natural-language question, the BFL
+text (in our DSL), and the result the paper reports.  Evaluating a spec
+returns a :class:`PropertyOutcome` with one record per claim, so the report
+generator and the golden tests share a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..checker.engine import ModelChecker
+from .covid import HUMAN_ERRORS
+
+
+@dataclass(frozen=True)
+class ClaimRecord:
+    """One verified claim: what was computed, what the paper says."""
+
+    description: str
+    expected: object
+    actual: object
+
+    @property
+    def matches(self) -> bool:
+        return self.expected == self.actual
+
+
+@dataclass(frozen=True)
+class PropertyOutcome:
+    """All claim records for one property."""
+
+    pid: str
+    question: str
+    formula_text: str
+    records: Tuple[ClaimRecord, ...]
+
+    @property
+    def all_match(self) -> bool:
+        return all(record.matches for record in self.records)
+
+
+@dataclass(frozen=True)
+class PropertySpec:
+    """A case-study property with its evaluator."""
+
+    pid: str
+    question: str
+    formula_text: str
+    evaluate: Callable[[ModelChecker], Tuple[ClaimRecord, ...]]
+
+    def run(self, checker: ModelChecker) -> PropertyOutcome:
+        return PropertyOutcome(
+            pid=self.pid,
+            question=self.question,
+            formula_text=self.formula_text,
+            records=self.evaluate(checker),
+        )
+
+
+def _sets(items: Sequence[Sequence[str]]) -> List[FrozenSet[str]]:
+    return sorted(
+        (frozenset(item) for item in items), key=lambda s: (len(s), sorted(s))
+    )
+
+
+# ----------------------------------------------------------------------
+# Expected results, straight from the paper's Sec. VII
+# ----------------------------------------------------------------------
+
+#: Property 1 follow-up: the single MCS of MoT containing IS.
+P1_MCS = _sets([("IS", "H1", "H5")])
+
+#: Property 5: all MCSs of the TLE that include H4.
+P5_MCS = _sets(
+    [
+        ("IW", "H3", "IT", "H1", "H4", "VW"),
+        ("IT", "H2", "H1", "H4", "VW"),
+    ]
+)
+
+#: Property 6: the two counterexample MPSs the paper constructs.
+P6_MPS = _sets([("H1",), ("H2", "H3")])
+
+#: Property 7: all twelve minimal path sets of the TLE.
+P7_MPS = _sets(
+    [
+        ("IW", "IT"),
+        ("IW", "H2"),
+        ("IW", "H4", "IS", "UT"),
+        ("IW", "H4", "H5", "UT"),
+        ("H3", "IT"),
+        ("H3", "H2"),
+        ("IT", "PP", "IS", "AB", "MV", "UT"),
+        ("IT", "PP", "H5", "AB", "MV", "UT"),
+        ("PP", "H4", "IS", "AB", "MV", "UT"),
+        ("PP", "H4", "H5", "AB", "MV", "UT"),
+        ("H1",),
+        ("VW",),
+    ]
+)
+
+_HUMAN_ERROR_DISJUNCTION = " | ".join(HUMAN_ERRORS)
+_P4_MCS_QUERY = " | ".join(f"(MCS(IWoS) & {h})" for h in HUMAN_ERRORS)
+
+
+def _p6_formula(checker: ModelChecker) -> str:
+    """``MPS(IWoS)[H1..H5 -> 0, every other BE -> 1]`` wrapped in exists."""
+    tree = checker.tree
+    zeroed = ", ".join(f"{h} := 0" for h in HUMAN_ERRORS)
+    oned = ", ".join(
+        f"{name} := 1"
+        for name in tree.basic_events
+        if name not in HUMAN_ERRORS
+    )
+    return f"exists (MPS(IWoS)[{zeroed}, {oned}])"
+
+
+# ----------------------------------------------------------------------
+# Evaluators
+# ----------------------------------------------------------------------
+
+
+def _p1(checker: ModelChecker) -> Tuple[ClaimRecord, ...]:
+    verdict = checker.check("forall (IS => MoT)")
+    mcs = checker.satisfaction_set("MCS(MoT) & IS").failed_sets()
+    return (
+        ClaimRecord("forall (IS => MoT) holds", False, verdict),
+        ClaimRecord("[[MCS(MoT) & IS]] cut sets", P1_MCS, mcs),
+    )
+
+
+def _p2(checker: ModelChecker) -> Tuple[ClaimRecord, ...]:
+    verdict = checker.check(f"forall (MoT => ({_HUMAN_ERROR_DISJUNCTION}))")
+    # The paper's explanation: droplet/airborne transmission can occur
+    # without human error.
+    dt_witness = checker.check(
+        f"exists (DT & !({_HUMAN_ERROR_DISJUNCTION}) & MoT)"
+    )
+    return (
+        ClaimRecord("forall (MoT => H1|..|H5) holds", False, verdict),
+        ClaimRecord("MoT can occur without human error (e.g. DT)", True, dt_witness),
+    )
+
+
+def _p3(checker: ModelChecker) -> Tuple[ClaimRecord, ...]:
+    return (
+        ClaimRecord(
+            "forall (H4 => IWoS) holds",
+            False,
+            checker.check("forall (H4 => IWoS)"),
+        ),
+    )
+
+
+def _p4(checker: ModelChecker) -> Tuple[ClaimRecord, ...]:
+    verdict = checker.check(
+        f"forall (VOT(>= 2; {', '.join(HUMAN_ERRORS)}) => IWoS)"
+    )
+    n_mcs = len(checker.satisfaction_set(_P4_MCS_QUERY).failed_sets())
+    return (
+        ClaimRecord("forall (Vot>=2(H1..H5) => IWoS) holds", False, verdict),
+        ClaimRecord("number of MCSs involving a human error", 12, n_mcs),
+    )
+
+
+def _p5(checker: ModelChecker) -> Tuple[ClaimRecord, ...]:
+    mcs = checker.satisfaction_set("MCS(IWoS) & H4").failed_sets()
+    return (ClaimRecord("[[MCS(IWoS) & H4]] cut sets", P5_MCS, mcs),)
+
+
+def _p6(checker: ModelChecker) -> Tuple[ClaimRecord, ...]:
+    verdict = checker.check(_p6_formula(checker))
+    # Pattern-2 counterexamples: MPS vectors whose operational set only
+    # involves human errors (the repair must stay within H1..H5).
+    human = set(HUMAN_ERRORS)
+    witnesses = [
+        ops
+        for ops in checker.satisfaction_set("MPS(IWoS)").operational_sets()
+        if ops <= human
+    ]
+    return (
+        ClaimRecord("the all-human-errors path set is minimal", False, verdict),
+        ClaimRecord(
+            "pattern-2 counterexample MPSs", P6_MPS, _sets(witnesses)
+        ),
+    )
+
+
+def _p7(checker: ModelChecker) -> Tuple[ClaimRecord, ...]:
+    mps = checker.minimal_path_sets()
+    return (ClaimRecord("[[MPS(IWoS)]] path sets", P7_MPS, mps),)
+
+
+def _p8(checker: ModelChecker) -> Tuple[ClaimRecord, ...]:
+    result = checker.independence("CIO", "CIS")
+    return (
+        ClaimRecord("IDP(CIO, CIS) holds", False, result.independent),
+        ClaimRecord(
+            "shared influencing basic events", frozenset({"H1"}), result.shared
+        ),
+    )
+
+
+def _p9(checker: ModelChecker) -> Tuple[ClaimRecord, ...]:
+    return (
+        ClaimRecord("SUP(PP) holds", False, checker.check("SUP(PP)")),
+    )
+
+
+#: The nine properties in paper order.
+PROPERTIES: Tuple[PropertySpec, ...] = (
+    PropertySpec(
+        "P1",
+        "Is an infected surface sufficient for the transmission of COVID?",
+        "forall (IS => MoT)",
+        _p1,
+    ),
+    PropertySpec(
+        "P2",
+        "Does the occurrence of Mode of Transmission require human errors?",
+        f"forall (MoT => ({_HUMAN_ERROR_DISJUNCTION}))",
+        _p2,
+    ),
+    PropertySpec(
+        "P3",
+        "Is an object disinfection error sufficient for the occurrence of the TLE?",
+        "forall (H4 => IWoS)",
+        _p3,
+    ),
+    PropertySpec(
+        "P4",
+        "Are at least 2 human errors sufficient for the occurrence of the TLE?",
+        f"forall (VOT(>= 2; {', '.join(HUMAN_ERRORS)}) => IWoS)",
+        _p4,
+    ),
+    PropertySpec(
+        "P5",
+        "What are all the MCSs for the TLE that include errors in disinfecting objects?",
+        "[[ MCS(IWoS) & H4 ]]",
+        _p5,
+    ),
+    PropertySpec(
+        "P6",
+        "Is not committing any human error sufficient to prevent the TLE?",
+        "exists (MPS(IWoS)[H1 := 0, H2 := 0, H3 := 0, H4 := 0, H5 := 0, rest := 1])",
+        _p6,
+    ),
+    PropertySpec(
+        "P7",
+        "What are the minimal ways to prevent the TLE?",
+        "[[ MPS(IWoS) ]]",
+        _p7,
+    ),
+    PropertySpec(
+        "P8",
+        "Are contact with an infected object and contact with an infected surface independent?",
+        "IDP(CIO, CIS)",
+        _p8,
+    ),
+    PropertySpec(
+        "P9",
+        "Is physical proximity superfluous for the occurrence of the TLE?",
+        "SUP(PP)",
+        _p9,
+    ),
+)
+
+
+def run_all(checker: Optional[ModelChecker] = None) -> List[PropertyOutcome]:
+    """Evaluate all nine properties (building the COVID checker if needed)."""
+    if checker is None:
+        from .covid import build_covid_tree
+
+        checker = ModelChecker(build_covid_tree())
+    return [spec.run(checker) for spec in PROPERTIES]

@@ -1,0 +1,86 @@
+"""Sec. VII end-to-end analysis report for the COVID-19 case study.
+
+``python -m repro.cli covid-report`` (or :func:`render_report`) regenerates
+the complete analysis of the paper's evaluation section: every property's
+verdict, the MCS/MPS lists, the independence explanations, and a
+paper-vs-computed scoreboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..checker.engine import ModelChecker
+from .covid import build_covid_tree
+from .properties import PROPERTIES, PropertyOutcome
+
+
+@dataclass(frozen=True)
+class CaseStudyReport:
+    """Evaluated case study: outcomes plus tree statistics."""
+
+    outcomes: Tuple[PropertyOutcome, ...]
+    tree_stats: Tuple[Tuple[str, int], ...]
+    mcs_count: int
+    mps_count: int
+
+    @property
+    def all_match(self) -> bool:
+        return all(outcome.all_match for outcome in self.outcomes)
+
+
+def build_report(checker: ModelChecker = None) -> CaseStudyReport:
+    """Run the full Sec. VII analysis."""
+    if checker is None:
+        checker = ModelChecker(build_covid_tree())
+    outcomes = tuple(spec.run(checker) for spec in PROPERTIES)
+    return CaseStudyReport(
+        outcomes=outcomes,
+        tree_stats=tuple(sorted(checker.tree.stats().items())),
+        mcs_count=len(checker.minimal_cut_sets()),
+        mps_count=len(checker.minimal_path_sets()),
+    )
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "holds" if value else "does NOT hold"
+    if isinstance(value, (list, tuple)) and value and isinstance(
+        next(iter(value)), frozenset
+    ):
+        return "; ".join("{" + ", ".join(sorted(s)) + "}" for s in value)
+    if isinstance(value, frozenset):
+        return "{" + ", ".join(sorted(value)) + "}"
+    return str(value)
+
+
+def render_report(report: CaseStudyReport = None) -> str:
+    """Human-readable text report (used by the CLI and the benchmarks)."""
+    if report is None:
+        report = build_report()
+    lines: List[str] = []
+    lines.append("COVID-19 case study (paper Fig. 2, Sec. VII)")
+    lines.append("=" * 60)
+    stats = ", ".join(f"{key}={value}" for key, value in report.tree_stats)
+    lines.append(f"tree: {stats}")
+    lines.append(
+        f"TLE minimal cut sets: {report.mcs_count}; "
+        f"minimal path sets: {report.mps_count}"
+    )
+    lines.append("")
+    for outcome in report.outcomes:
+        lines.append(f"{outcome.pid}: {outcome.question}")
+        lines.append(f"    BFL: {outcome.formula_text}")
+        for record in outcome.records:
+            status = "OK " if record.matches else "MISMATCH"
+            lines.append(f"    [{status}] {record.description}")
+            lines.append(f"          computed: {_format_value(record.actual)}")
+            if not record.matches:
+                lines.append(
+                    f"          paper:    {_format_value(record.expected)}"
+                )
+        lines.append("")
+    verdict = "ALL MATCH" if report.all_match else "MISMATCHES PRESENT"
+    lines.append(f"paper-vs-computed: {verdict}")
+    return "\n".join(lines)

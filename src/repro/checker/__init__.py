@@ -1,0 +1,86 @@
+"""BFL model checking (paper Secs. V and VI): Algorithms 1-4, IDP/SUP,
+counterexample patterns, and fault-tree synthesis."""
+
+from .counterexample import (
+    Counterexample,
+    algorithm4,
+    closest_counterexample,
+    exhaustive_counterexamples,
+    verify_def7,
+)
+from .engine import ModelChecker
+from .evaluate import check, walk
+from .independence import (
+    independent,
+    influencing_basic_events,
+    shared_influencers,
+    superfluous,
+)
+from .patterns import (
+    PATTERN_1,
+    PATTERN_2,
+    PATTERN_3,
+    PATTERN_4,
+    TABLE1_PATTERNS,
+    Hole,
+    Pattern,
+    classify,
+    flatten_conjunction,
+    match,
+)
+from .results import IndependenceResult, SatisfactionSet
+from .scenarios import ScenarioAnalyzer, ScenarioResult
+from .satisfy import (
+    count_satisfying_vectors,
+    iter_satisfying_vectors,
+    satisfying_cubes,
+    satisfying_vectors,
+)
+from .synthesis import (
+    GeneticConfig,
+    genome_to_tree,
+    infer_fault_tree,
+    naive_assignment_search,
+    synthesize_tree,
+)
+from .translate import CacheStats, FormulaTranslator
+
+__all__ = [
+    "CacheStats",
+    "Counterexample",
+    "FormulaTranslator",
+    "GeneticConfig",
+    "Hole",
+    "IndependenceResult",
+    "ModelChecker",
+    "PATTERN_1",
+    "PATTERN_2",
+    "PATTERN_3",
+    "PATTERN_4",
+    "Pattern",
+    "SatisfactionSet",
+    "ScenarioAnalyzer",
+    "ScenarioResult",
+    "TABLE1_PATTERNS",
+    "algorithm4",
+    "check",
+    "classify",
+    "closest_counterexample",
+    "count_satisfying_vectors",
+    "exhaustive_counterexamples",
+    "flatten_conjunction",
+    "genome_to_tree",
+    "independent",
+    "infer_fault_tree",
+    "influencing_basic_events",
+    "iter_satisfying_vectors",
+    "match",
+    "naive_assignment_search",
+    "satisfying_cubes",
+    "satisfying_vectors",
+    "shared_influencers",
+    "superfluous",
+    "synthesize_tree",
+    "verify_def7",
+    "walk",
+]

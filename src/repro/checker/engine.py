@@ -1,0 +1,267 @@
+"""The model-checking facade: one object that answers every BFL query.
+
+:class:`ModelChecker` wires together Algorithm 1 (translation + caches),
+Algorithm 2 (vector checking), Algorithm 3 (satisfaction sets), Algorithm 4
+(counterexamples) and the IDP/SUP machinery, and accepts formulae either as
+AST objects or as DSL text.
+
+Example:
+    >>> from repro.casestudy import build_covid_tree
+    >>> from repro.checker import ModelChecker
+    >>> checker = ModelChecker(build_covid_tree())
+    >>> checker.check("forall (IS => MoT)")
+    False
+    >>> [sorted(s) for s in checker.satisfaction_set("MCS(MoT) & IS").failed_sets()]
+    [['H1', 'H5', 'IS']]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Union
+
+from ..bdd.manager import BDDManager
+from ..bdd.quantify import is_satisfiable, is_tautology
+from ..errors import LogicError, StatusVectorError
+from ..ft.tree import FaultTree, StatusVector
+from ..logic.ast_nodes import (
+    MCS,
+    MPS,
+    SUP,
+    Atom,
+    Exists,
+    Forall,
+    Formula,
+    IDP,
+    Query,
+    Statement,
+)
+from ..logic.parser import parse
+from ..logic.scope import MinimalityScope
+from .counterexample import Counterexample, algorithm4, closest_counterexample
+from .evaluate import check as algorithm2_check
+from .independence import influencing_basic_events
+from .results import IndependenceResult, SatisfactionSet
+from .satisfy import satisfying_cubes, satisfying_vectors
+from .translate import FormulaTranslator
+
+#: Formulae may be passed as AST nodes or as DSL text.
+FormulaLike = Union[Formula, str]
+StatementLike = Union[Statement, str]
+
+
+class ModelChecker:
+    """BFL model checker for one fault tree.
+
+    Args:
+        tree: The fault tree ``T``.
+        scope: MCS/MPS minimality scope (default SUPPORT; DESIGN.md dev. 2).
+        order: Optional BDD variable order (basic-event names); defaults to
+            declaration order.
+        monotone_fast_path: Use the restriction-based MCS/MPS construction
+            for monotone operands (ablation arm; results are identical).
+    """
+
+    def __init__(
+        self,
+        tree: FaultTree,
+        scope: MinimalityScope = MinimalityScope.SUPPORT,
+        order: Optional[Sequence[str]] = None,
+        monotone_fast_path: bool = False,
+    ) -> None:
+        self.tree = tree
+        self.translator = FormulaTranslator(
+            tree,
+            scope=scope,
+            order=order,
+            monotone_fast_path=monotone_fast_path,
+        )
+
+    # ------------------------------------------------------------------
+    # Input normalisation
+    # ------------------------------------------------------------------
+
+    def _statement(self, statement: StatementLike) -> Statement:
+        if isinstance(statement, str):
+            return parse(statement)
+        return statement
+
+    def _formula(self, formula: FormulaLike) -> Formula:
+        statement = self._statement(formula)
+        if not isinstance(statement, Formula):
+            raise LogicError(
+                "expected a layer-1 formula; got a layer-2 query "
+                "(exists/forall/IDP/SUP)"
+            )
+        return statement
+
+    def _vector(
+        self,
+        vector: Optional[StatusVector] = None,
+        failed: Optional[Sequence[str]] = None,
+        bits: Optional[Sequence[int]] = None,
+    ) -> Dict[str, bool]:
+        given = [value for value in (vector, failed, bits) if value is not None]
+        if len(given) != 1:
+            raise StatusVectorError(
+                "provide exactly one of: vector=, failed=, bits="
+            )
+        if vector is not None:
+            self.tree.check_vector(vector)
+            return {n: bool(vector[n]) for n in self.tree.basic_events}
+        if failed is not None:
+            return self.tree.vector_from_failed(failed)
+        return self.tree.vector_from_bits(bits)
+
+    # ------------------------------------------------------------------
+    # Checking (Algorithm 2 + layer 2)
+    # ------------------------------------------------------------------
+
+    def check(
+        self,
+        statement: StatementLike,
+        vector: Optional[StatusVector] = None,
+        failed: Optional[Sequence[str]] = None,
+        bits: Optional[Sequence[int]] = None,
+    ) -> bool:
+        """``b, T |= phi`` (layer 1, needs a vector) or ``T |= psi``
+        (layer 2, must not get one).
+
+        Args:
+            statement: Formula/query as AST or DSL text.
+            vector: Status vector as a name->bool mapping.
+            failed: Alternative: the set of failed basic events.
+            bits: Alternative: 0/1 bits in declaration order (the paper's
+                ``b = (b1, ..., bn)`` notation).
+        """
+        parsed = self._statement(statement)
+        if isinstance(parsed, Query):
+            if vector is not None or failed is not None or bits is not None:
+                raise LogicError(
+                    "layer-2 queries quantify over vectors; do not pass one"
+                )
+            return self._check_query(parsed)
+        return algorithm2_check(
+            self.translator, parsed, self._vector(vector, failed, bits)
+        )
+
+    def _check_query(self, query: Query) -> bool:
+        manager = self.translator.manager
+        if isinstance(query, Exists):
+            return is_satisfiable(manager, self.translator.bdd(query.operand))
+        if isinstance(query, Forall):
+            return is_tautology(manager, self.translator.bdd(query.operand))
+        if isinstance(query, IDP):
+            return self.independence(query.left, query.right).independent
+        if isinstance(query, SUP):
+            return self.independence(
+                Atom(query.element), Atom(self.tree.top)
+            ).independent
+        raise TypeError(f"cannot check {query!r}")
+
+    # ------------------------------------------------------------------
+    # Satisfaction sets (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def satisfaction_set(self, formula: FormulaLike) -> SatisfactionSet:
+        """``[[formula]]``: every satisfying status vector, plus the cube
+        view used for cut-set style reporting."""
+        parsed = self._formula(formula)
+        return SatisfactionSet(
+            formula=parsed,
+            basic_events=tuple(self.tree.basic_events),
+            cubes=tuple(satisfying_cubes(self.translator, parsed)),
+            vectors=tuple(satisfying_vectors(self.translator, parsed)),
+        )
+
+    def minimal_cut_sets(self, element: Optional[str] = None) -> List[FrozenSet[str]]:
+        """MCSs of ``element`` (default: the top level event) via
+        ``[[MCS(element)]]``."""
+        target = element if element is not None else self.tree.top
+        return self.satisfaction_set(MCS(Atom(target))).failed_sets()
+
+    def minimal_path_sets(self, element: Optional[str] = None) -> List[FrozenSet[str]]:
+        """MPSs of ``element`` (default: the top level event) via
+        ``[[MPS(element)]]``."""
+        target = element if element is not None else self.tree.top
+        return self.satisfaction_set(MPS(Atom(target))).operational_sets()
+
+    # ------------------------------------------------------------------
+    # Independence (IDP / SUP) and IBE
+    # ------------------------------------------------------------------
+
+    def influencing(self, formula: FormulaLike) -> FrozenSet[str]:
+        """``IBE(formula)`` via BDD support."""
+        return influencing_basic_events(self.translator, self._formula(formula))
+
+    def independence(
+        self, left: FormulaLike, right: FormulaLike
+    ) -> IndependenceResult:
+        """``IDP(left, right)`` with the shared-influencer explanation."""
+        left_f = self._formula(left)
+        right_f = self._formula(right)
+        left_ibe = influencing_basic_events(self.translator, left_f)
+        right_ibe = influencing_basic_events(self.translator, right_f)
+        return IndependenceResult(
+            independent=not (left_ibe & right_ibe),
+            left_influencers=left_ibe,
+            right_influencers=right_ibe,
+            shared=left_ibe & right_ibe,
+        )
+
+    def superfluous(self, element: str) -> bool:
+        """``SUP(element)``."""
+        return self.independence(Atom(element), Atom(self.tree.top)).independent
+
+    # ------------------------------------------------------------------
+    # Counterexamples (Algorithm 4)
+    # ------------------------------------------------------------------
+
+    def counterexample(
+        self,
+        formula: FormulaLike,
+        vector: Optional[StatusVector] = None,
+        failed: Optional[Sequence[str]] = None,
+        bits: Optional[Sequence[int]] = None,
+        method: str = "algorithm4",
+    ) -> Counterexample:
+        """A counterexample vector ``b'`` for an unsatisfied formula.
+
+        Args:
+            formula: The layer-1 formula.
+            vector / failed / bits: The vector ``b`` (one of the three).
+            method: ``"algorithm4"`` (the paper's greedy walk) or
+                ``"closest"`` (Hamming-minimal Def. 7 witness).
+        """
+        parsed = self._formula(formula)
+        b = self._vector(vector, failed, bits)
+        if method == "algorithm4":
+            return algorithm4(self.translator, parsed, b)
+        if method == "closest":
+            result = closest_counterexample(self.translator, parsed, b)
+            if result is None:
+                from ..errors import NoCounterexampleError
+
+                raise NoCounterexampleError(
+                    "the formula is unsatisfiable for this tree"
+                )
+            return result
+        raise ValueError(f"unknown counterexample method {method!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def manager(self) -> BDDManager:
+        """The underlying BDD manager (for size statistics etc.)."""
+        return self.translator.manager
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Algorithm 1 cache counters."""
+        stats = self.translator.stats
+        return {
+            "formula_hits": stats.formula_hits,
+            "formula_misses": stats.formula_misses,
+            "element_requests": stats.element_requests,
+            "bdd_nodes": self.manager.node_count(),
+        }

@@ -1,0 +1,51 @@
+"""IBE, IDP and SUP (paper Secs. III-B and IV).
+
+``IBE(phi)`` is the set of basic events whose value can influence the truth
+of ``phi``.  On a *reduced* ordered BDD the support (the paper's ``VarB``)
+is exactly that set, which is why Algorithm 1 decides
+``IDP(phi, phi') == 1`` iff the supports of the two BDDs are disjoint.
+The enumeration-based definition lives in
+:meth:`repro.logic.semantics.ReferenceSemantics.influencing_basic_events`;
+the test suite proves the two coincide.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..logic.ast_nodes import Atom, Formula
+from .translate import FormulaTranslator
+
+
+def influencing_basic_events(
+    translator: FormulaTranslator, formula: Formula
+) -> FrozenSet[str]:
+    """``IBE(formula)`` via BDD support (``VarB(BT(formula))``)."""
+    return translator.support(formula)
+
+
+def shared_influencers(
+    translator: FormulaTranslator, left: Formula, right: Formula
+) -> FrozenSet[str]:
+    """``IBE(left) intersect IBE(right)`` — the witnesses of dependence.
+
+    The paper's Property 8 discussion returns exactly this set ({H1} for
+    CIO vs CIS) to explain *why* two elements are dependent.
+    """
+    return influencing_basic_events(translator, left) & influencing_basic_events(
+        translator, right
+    )
+
+
+def independent(
+    translator: FormulaTranslator, left: Formula, right: Formula
+) -> bool:
+    """``IDP(left, right)``: no shared influencing basic event."""
+    return not shared_influencers(translator, left, right)
+
+
+def superfluous(translator: FormulaTranslator, element: str) -> bool:
+    """``SUP(e) ::= IDP(e, e_top)``: the element never influences the TLE."""
+    return independent(
+        translator, Atom(element), Atom(translator.tree.top)
+    )

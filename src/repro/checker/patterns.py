@@ -1,0 +1,188 @@
+"""Counterexample patterns (paper Sec. VI, Def. 8 and Table I).
+
+A *pattern* is "a BFL formula where non-terminal symbols might be present";
+it *matches* a formula when a valid BFL formula can be generated from it.
+We realise non-terminal symbols as :class:`Hole` nodes and implement
+structural matching with consistent bindings.  The four patterns of
+Table I ship ready-made:
+
+* ``pattern1 ::= MCS(phi)``
+* ``pattern2 ::= MPS(phi)``
+* ``pattern3 ::= MCS(phi_1) and ... and MCS(phi_n)``
+* ``pattern4 ::= MPS(phi_1) and ... and MPS(phi_n)``
+
+Patterns 3 and 4 are variadic, so they use a matcher over flattened
+conjunctions rather than a fixed template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..logic.ast_nodes import (
+    MCS,
+    MPS,
+    And,
+    Atom,
+    Constant,
+    Evidence,
+    Formula,
+    Vot,
+)
+
+
+@dataclass(frozen=True)
+class Hole(Formula):
+    """A non-terminal symbol inside a pattern (Def. 8)."""
+
+    index: int
+
+    def children(self) -> Tuple[Formula, ...]:
+        return ()
+
+
+#: A binding maps hole indices to the formulae they matched.
+Binding = Dict[int, Formula]
+
+
+def match(template: Formula, formula: Formula) -> Optional[Binding]:
+    """Structurally match ``formula`` against ``template``.
+
+    Holes match any subformula; repeated holes must bind consistently.
+
+    Returns:
+        The hole binding, or ``None`` when the formula does not match.
+    """
+    binding: Binding = {}
+    if _match(template, formula, binding):
+        return binding
+    return None
+
+
+def _match(template: Formula, formula: Formula, binding: Binding) -> bool:
+    if isinstance(template, Hole):
+        bound = binding.get(template.index)
+        if bound is None:
+            binding[template.index] = formula
+            return True
+        return bound == formula
+    if type(template) is not type(formula):
+        return False
+    if isinstance(template, Atom):
+        return template.name == formula.name
+    if isinstance(template, Constant):
+        return template.value == formula.value
+    if isinstance(template, Evidence):
+        if template.assignments != formula.assignments:
+            return False
+        return _match(template.operand, formula.operand, binding)
+    if isinstance(template, Vot):
+        if (
+            template.operator != formula.operator
+            or template.threshold != formula.threshold
+            or len(template.operands) != len(formula.operands)
+        ):
+            return False
+        return all(
+            _match(t, f, binding)
+            for t, f in zip(template.operands, formula.operands)
+        )
+    template_children = template.children()
+    formula_children = formula.children()
+    if len(template_children) != len(formula_children):
+        return False
+    return all(
+        _match(t, f, binding)
+        for t, f in zip(template_children, formula_children)
+    )
+
+
+def flatten_conjunction(formula: Formula) -> List[Formula]:
+    """The conjuncts of a (possibly nested) chain of ``And`` nodes."""
+    if isinstance(formula, And):
+        return flatten_conjunction(formula.left) + flatten_conjunction(
+            formula.right
+        )
+    return [formula]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A named counterexample pattern with a matcher.
+
+    Attributes:
+        name: Identifier, e.g. ``"pattern1"``.
+        description: The Table I shape, e.g. ``"MCS(phi)"``.
+        matcher: Returns the matched subformulae (the operands of the
+            MCS/MPS occurrences) or ``None``.
+    """
+
+    name: str
+    description: str
+    matcher: Callable[[Formula], Optional[Tuple[Formula, ...]]]
+
+    def matches(self, formula: Formula) -> Optional[Tuple[Formula, ...]]:
+        """Matched operands, or ``None``."""
+        return self.matcher(formula)
+
+
+def _match_pattern1(formula: Formula) -> Optional[Tuple[Formula, ...]]:
+    if isinstance(formula, MCS):
+        return (formula.operand,)
+    return None
+
+
+def _match_pattern2(formula: Formula) -> Optional[Tuple[Formula, ...]]:
+    if isinstance(formula, MPS):
+        return (formula.operand,)
+    return None
+
+
+def _match_all_conjuncts(
+    formula: Formula, wrapper: type
+) -> Optional[Tuple[Formula, ...]]:
+    conjuncts = flatten_conjunction(formula)
+    if len(conjuncts) < 2:
+        return None
+    operands = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, wrapper):
+            return None
+        operands.append(conjunct.operand)
+    return tuple(operands)
+
+
+def _match_pattern3(formula: Formula) -> Optional[Tuple[Formula, ...]]:
+    return _match_all_conjuncts(formula, MCS)
+
+
+def _match_pattern4(formula: Formula) -> Optional[Tuple[Formula, ...]]:
+    return _match_all_conjuncts(formula, MPS)
+
+
+PATTERN_1 = Pattern("pattern1", "MCS(phi)", _match_pattern1)
+PATTERN_2 = Pattern("pattern2", "MPS(phi)", _match_pattern2)
+PATTERN_3 = Pattern(
+    "pattern3", "MCS(phi_1) and ... and MCS(phi_n)", _match_pattern3
+)
+PATTERN_4 = Pattern(
+    "pattern4", "MPS(phi_1) and ... and MPS(phi_n)", _match_pattern4
+)
+
+#: Table I's patterns, most specific first (3/4 before their unary cases).
+TABLE1_PATTERNS: Tuple[Pattern, ...] = (
+    PATTERN_3,
+    PATTERN_4,
+    PATTERN_1,
+    PATTERN_2,
+)
+
+
+def classify(formula: Formula) -> List[str]:
+    """Names of the Table I patterns that match ``formula``."""
+    return [
+        pattern.name
+        for pattern in TABLE1_PATTERNS
+        if pattern.matches(formula) is not None
+    ]

@@ -1,0 +1,48 @@
+"""Algorithm 3: compute all satisfying status vectors ``[[chi]]``.
+
+Build ``BT(chi)`` (Algorithm 1), then collect every path to the ``1``
+terminal (``AllSat``).  Each path is a *cube* — a partial assignment whose
+unmentioned basic events are don't-cares; expanding the don't-cares yields
+the complete satisfaction set of vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from ..bdd.allsat import iter_cubes, iter_models
+from ..logic.ast_nodes import Formula
+from .translate import FormulaTranslator
+
+
+def satisfying_cubes(
+    translator: FormulaTranslator, formula: Formula
+) -> List[Dict[str, bool]]:
+    """One partial assignment per BDD path to ``1`` (don't-cares omitted)."""
+    root = translator.bdd(formula)
+    return list(iter_cubes(translator.manager, root))
+
+
+def iter_satisfying_vectors(
+    translator: FormulaTranslator, formula: Formula
+) -> Iterator[Dict[str, bool]]:
+    """Lazily yield every total status vector satisfying ``formula``."""
+    root = translator.bdd(formula)
+    yield from iter_models(
+        translator.manager, root, list(translator.basic_events)
+    )
+
+
+def satisfying_vectors(
+    translator: FormulaTranslator, formula: Formula
+) -> List[Dict[str, bool]]:
+    """The paper's ``[[formula]]`` as a list of total status vectors."""
+    return list(iter_satisfying_vectors(translator, formula))
+
+
+def count_satisfying_vectors(
+    translator: FormulaTranslator, formula: Formula
+) -> int:
+    """``|[[formula]]|`` without materialising the vectors."""
+    root = translator.bdd(formula)
+    return translator.manager.sat_count(root, list(translator.basic_events))

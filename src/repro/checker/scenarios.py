@@ -1,0 +1,198 @@
+"""High-level scenario API: the use cases from the paper's introduction.
+
+The introduction motivates BFL with a bullet list of analyses; this module
+packages each one as a method so downstream users do not have to write the
+formulae by hand:
+
+* "set evidence to analyse what-if scenarios. E.g., what are the MCSs,
+  given that BE A or subsystem B has failed?" —
+  :meth:`ScenarioAnalyzer.cut_sets_given` / :meth:`path_sets_given`;
+* "check whether two elements are independent" — :meth:`independent`;
+* "check whether the failure of one (or more) element E always leads to
+  the failure of TLE" — :meth:`always_causes_failure`;
+* "set upper/lower boundaries for failed elements. E.g., would element E
+  always fail if at most/at least two out of A, B and C were to fail?" —
+  :meth:`failure_bound_implies`;
+* plus the derived screenings: single points of failure and necessary
+  events (the singleton MCSs/MPSs that Sec. VII highlights, {H1} and
+  {VW} for the COVID-19 tree).
+
+Every method is a thin, typed wrapper that builds the corresponding BFL
+statement and delegates to :class:`repro.checker.ModelChecker` — the
+formula text is exposed in the result for transparency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..ft.tree import FaultTree
+from ..logic.ast_nodes import (
+    MCS,
+    MPS,
+    Atom,
+    Evidence,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Vot,
+    conj,
+)
+from ..logic.parser import format_statement
+from ..logic.scope import MinimalityScope
+from .engine import ModelChecker
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of a scenario query, with the BFL statement that produced
+    it (so reports can show *what* was checked)."""
+
+    statement: str
+    holds: bool
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+class ScenarioAnalyzer:
+    """Scenario front end over one fault tree.
+
+    Args:
+        tree: The fault tree.
+        element: Target element for the scenarios (default: the TLE).
+        scope: MCS/MPS minimality scope.
+    """
+
+    def __init__(
+        self,
+        tree: FaultTree,
+        element: Optional[str] = None,
+        scope: MinimalityScope = MinimalityScope.SUPPORT,
+    ) -> None:
+        self.tree = tree
+        self.target = element if element is not None else tree.top
+        self.checker = ModelChecker(tree, scope=scope)
+
+    # ------------------------------------------------------------------
+
+    def _verdict(self, statement) -> ScenarioResult:
+        return ScenarioResult(
+            statement=format_statement(statement),
+            holds=self.checker.check(statement),
+        )
+
+    def always_causes_failure(self, *elements: str) -> ScenarioResult:
+        """Does the joint failure of ``elements`` always fail the target?
+
+        ``forall (e1 & ... & en => target)``.
+        """
+        premise = conj(*[Atom(name) for name in elements])
+        return self._verdict(Forall(Implies(premise, Atom(self.target))))
+
+    def can_cause_failure(self, *elements: str) -> ScenarioResult:
+        """Can the target fail while ``elements`` are failed?
+
+        ``exists (e1 & ... & en & target)``.
+        """
+        from ..logic.ast_nodes import And, Exists
+
+        premise = conj(*[Atom(name) for name in elements])
+        return self._verdict(Exists(And(premise, Atom(self.target))))
+
+    def failure_bound_implies(
+        self,
+        comparison: str,
+        threshold: int,
+        elements: Sequence[str],
+        negate_target: bool = False,
+    ) -> ScenarioResult:
+        """The intro's boundary scenario: ``forall (Vot_{cmp k}(elements)
+        => target)`` (or ``=> !target`` with ``negate_target``).
+
+        Example: "would E always fail if at least two of A, B, C failed?"
+        is ``failure_bound_implies(">=", 2, ["A", "B", "C"])``.
+        """
+        vot = Vot(comparison, threshold, tuple(Atom(n) for n in elements))
+        conclusion: Formula = Atom(self.target)
+        if negate_target:
+            conclusion = Not(conclusion)
+        return self._verdict(Forall(Implies(vot, conclusion)))
+
+    # ------------------------------------------------------------------
+
+    def _evidence(
+        self,
+        formula: Formula,
+        failed: Iterable[str],
+        operational: Iterable[str],
+    ) -> Formula:
+        assignments: Tuple[Tuple[str, bool], ...] = tuple(
+            [(name, True) for name in failed]
+            + [(name, False) for name in operational]
+        )
+        if not assignments:
+            return formula
+        return Evidence(formula, assignments)
+
+    def cut_sets_given(
+        self,
+        failed: Iterable[str] = (),
+        operational: Iterable[str] = (),
+    ) -> List[FrozenSet[str]]:
+        """MCS-style what-if: minimal *additional* failure sets under
+        evidence — ``[[MCS(target)[failed -> 1, operational -> 0]]]``."""
+        formula = self._evidence(
+            MCS(Atom(self.target)), failed, operational
+        )
+        return self.checker.satisfaction_set(formula).failed_sets()
+
+    def path_sets_given(
+        self,
+        failed: Iterable[str] = (),
+        operational: Iterable[str] = (),
+    ) -> List[FrozenSet[str]]:
+        """MPS-style what-if under evidence."""
+        formula = self._evidence(
+            MPS(Atom(self.target)), failed, operational
+        )
+        return self.checker.satisfaction_set(formula).operational_sets()
+
+    # ------------------------------------------------------------------
+
+    def independent(self, left: str, right: str) -> ScenarioResult:
+        """``IDP(left, right)``."""
+        from ..logic.ast_nodes import IDP
+
+        return self._verdict(IDP(Atom(left), Atom(right)))
+
+    def superfluous(self, element: str) -> ScenarioResult:
+        """``SUP(element)``."""
+        from ..logic.ast_nodes import SUP
+
+        return self._verdict(SUP(element))
+
+    def single_points_of_failure(self) -> List[str]:
+        """Basic events whose failure alone fails the target
+        (``forall (e => target)`` — equivalently the singleton MCSs)."""
+        return [
+            name
+            for name in self.tree.basic_events
+            if self.checker.check(
+                Forall(Implies(Atom(name), Atom(self.target)))
+            )
+        ]
+
+    def necessary_events(self) -> List[str]:
+        """Basic events whose *operation* alone prevents the target
+        (``forall (!e => !target)`` — the singleton MPSs; {H1} and {VW}
+        in the paper's case study)."""
+        return [
+            name
+            for name in self.tree.basic_events
+            if self.checker.check(
+                Forall(Implies(Not(Atom(name)), Not(Atom(self.target))))
+            )
+        ]

@@ -1,0 +1,422 @@
+"""Satisfying fault-tree synthesis (paper Sec. V-E).
+
+The paper *discusses* this problem without committing to an algorithm:
+given a vector ``b`` and a formula ``chi``, find a tree ``T`` with
+``b, T |= chi``.  We implement the two directions it sketches:
+
+* :func:`naive_assignment_search` — the paper's "more trivial approach":
+  keep the basic events fixed as in ``b`` and try truth assignments for the
+  other variables of ``chi`` until it is satisfied (the result need not
+  correspond to a meaningful tree, exactly as the paper warns);
+* :func:`synthesize_tree` — randomised generate-and-test over well-formed
+  trees, checking ``b, T |= chi`` with the model checker;
+* :func:`infer_fault_tree` — a genetic-programming structure learner in
+  the spirit of the paper's reference [31] (Jimenez Roa et al.): evolve a
+  tree whose structure function classifies a set of labelled status
+  vectors.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SynthesisError
+from ..ft.elements import BasicEvent, Gate, GateType
+from ..ft.random_trees import RandomTreeConfig, random_tree
+from ..ft.tree import FaultTree
+from ..logic.ast_nodes import (
+    And,
+    Atom,
+    Constant,
+    Equiv,
+    Evidence,
+    Formula,
+    Implies,
+    Not,
+    NotEquiv,
+    Or,
+    Vot,
+)
+from ..logic.sugar import vot_comparator
+
+# ----------------------------------------------------------------------
+# The paper's "more trivial approach"
+# ----------------------------------------------------------------------
+
+
+def _propositional_eval(formula: Formula, assignment: Mapping[str, bool]) -> bool:
+    if isinstance(formula, Atom):
+        return bool(assignment[formula.name])
+    if isinstance(formula, Constant):
+        return formula.value
+    if isinstance(formula, Not):
+        return not _propositional_eval(formula.operand, assignment)
+    if isinstance(formula, And):
+        return _propositional_eval(formula.left, assignment) and (
+            _propositional_eval(formula.right, assignment)
+        )
+    if isinstance(formula, Or):
+        return _propositional_eval(formula.left, assignment) or (
+            _propositional_eval(formula.right, assignment)
+        )
+    if isinstance(formula, Implies):
+        return (not _propositional_eval(formula.left, assignment)) or (
+            _propositional_eval(formula.right, assignment)
+        )
+    if isinstance(formula, Equiv):
+        return _propositional_eval(formula.left, assignment) == (
+            _propositional_eval(formula.right, assignment)
+        )
+    if isinstance(formula, NotEquiv):
+        return _propositional_eval(formula.left, assignment) != (
+            _propositional_eval(formula.right, assignment)
+        )
+    if isinstance(formula, Evidence):
+        # Leftmost assignment wins (chained-substitution semantics; see
+        # ReferenceSemantics._eval).
+        modified = dict(assignment)
+        for name, value in reversed(formula.assignments):
+            modified[name] = value
+        return _propositional_eval(formula.operand, modified)
+    if isinstance(formula, Vot):
+        count = sum(
+            1
+            for operand in formula.operands
+            if _propositional_eval(operand, assignment)
+        )
+        return vot_comparator(formula.operator)(count, formula.threshold)
+    raise SynthesisError(
+        "the naive assignment search treats the formula propositionally and "
+        f"cannot handle {type(formula).__name__} (MCS/MPS need a tree)"
+    )
+
+
+def naive_assignment_search(
+    formula: Formula, fixed: Mapping[str, bool]
+) -> Optional[Dict[str, bool]]:
+    """Try all truth assignments for the non-fixed atoms of ``formula``.
+
+    Args:
+        formula: An MCS/MPS-free formula, viewed propositionally.
+        fixed: The basic-event values of ``b`` (kept fixed, per Sec. V-E).
+
+    Returns:
+        A satisfying total assignment over the formula's atoms, or ``None``.
+        As the paper notes, the assignment to intermediate-event atoms need
+        not be realisable by any meaningful fault-tree structure.
+    """
+    atoms = sorted(formula.atoms())
+    free = [name for name in atoms if name not in fixed]
+    base = {name: bool(fixed[name]) for name in atoms if name in fixed}
+    for bits in itertools.product((False, True), repeat=len(free)):
+        assignment = dict(base)
+        assignment.update(zip(free, bits))
+        if _propositional_eval(formula, assignment):
+            return assignment
+    return None
+
+
+# ----------------------------------------------------------------------
+# Generate-and-test synthesis
+# ----------------------------------------------------------------------
+
+
+def _rename_gates(tree: FaultTree, required: Sequence[str]) -> Optional[FaultTree]:
+    """Rename gates so every required intermediate-event name exists.
+
+    The top gate takes the first required name; remaining names are assigned
+    to the largest gates first.  Returns ``None`` if the tree has too few
+    gates or a name clash arises.
+    """
+    gate_names = list(tree.gate_names)
+    if len(gate_names) < len(required):
+        return None
+    if any(name in tree.basic_events for name in required):
+        return None
+    ordered = [tree.top] + sorted(
+        (g for g in gate_names if g != tree.top),
+        key=lambda g: -len(tree.descendants(g)),
+    )
+    mapping = {old: new for old, new in zip(ordered, required)}
+    if not mapping:
+        return tree
+    basic = [tree.basic_event(name) for name in tree.basic_events]
+    gates = []
+    for name in gate_names:
+        gate = tree.gate(name)
+        gates.append(
+            Gate(
+                name=mapping.get(name, name),
+                gate_type=gate.gate_type,
+                children=tuple(mapping.get(c, c) for c in gate.children),
+                threshold=gate.threshold,
+            )
+        )
+    return FaultTree(
+        basic_events=basic, gates=gates, top=mapping.get(tree.top, tree.top)
+    )
+
+
+def synthesize_tree(
+    formula: Formula,
+    vector: Mapping[str, bool],
+    basic_events: Sequence[str],
+    attempts: int = 2000,
+    seed: int = 0,
+) -> FaultTree:
+    """Find some well-formed tree ``T`` with ``b, T |= formula``.
+
+    Randomised generate-and-test: draw random trees over ``basic_events``,
+    graft the intermediate-event names the formula mentions onto their
+    gates, and model-check.  Raises :class:`SynthesisError` after
+    ``attempts`` failures (the problem may also be unsatisfiable).
+    """
+    from .engine import ModelChecker  # local import to avoid a cycle
+
+    atoms = formula.atoms()
+    required_gates = sorted(atoms - set(basic_events))
+    missing = {name for name in vector if name not in basic_events}
+    if missing & atoms:
+        raise SynthesisError(
+            "vector mentions atoms outside the basic-event list: "
+            + ", ".join(sorted(missing & atoms))
+        )
+    rng = random.Random(seed)
+    config = RandomTreeConfig(
+        n_basic_events=len(basic_events),
+        max_children=3,
+        p_vot=0.1,
+        p_share=0.15,
+        max_depth=4,
+    )
+    for attempt in range(attempts):
+        candidate = random_tree(rng.randrange(2**31), config)
+        renamed_be = dict(zip(candidate.basic_events, basic_events))
+        basic = [BasicEvent(renamed_be[name]) for name in candidate.basic_events]
+        gates = [
+            Gate(
+                name=gate.name,
+                gate_type=gate.gate_type,
+                children=tuple(
+                    renamed_be.get(child, child) for child in gate.children
+                ),
+                threshold=gate.threshold,
+            )
+            for gate in (candidate.gate(g) for g in candidate.gate_names)
+        ]
+        rebuilt = FaultTree(basic_events=basic, gates=gates, top=candidate.top)
+        renamed = _rename_gates(rebuilt, required_gates)
+        if renamed is None:
+            continue
+        checker = ModelChecker(renamed)
+        full_vector = {
+            name: bool(vector.get(name, False)) for name in basic_events
+        }
+        if checker.check(formula, vector=full_vector):
+            return renamed
+    raise SynthesisError(
+        f"no satisfying tree found in {attempts} attempts "
+        "(the instance may be unsatisfiable)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Genetic-programming structure inference (the paper's reference [31])
+# ----------------------------------------------------------------------
+
+#: Genomes are nested tuples: ("be", name) | (gate, (children...)) with
+#: gate in {"and", "or"} | ("vot", k, (children...)).
+Genome = Tuple
+
+
+@dataclass(frozen=True)
+class GeneticConfig:
+    """Hyper-parameters for :func:`infer_fault_tree`."""
+
+    population_size: int = 40
+    generations: int = 60
+    tournament: int = 3
+    mutation_rate: float = 0.4
+    crossover_rate: float = 0.7
+    max_depth: int = 4
+    size_penalty: float = 0.005
+    seed: int = 0
+
+
+def _random_genome(rng: random.Random, names: Sequence[str], depth: int) -> Genome:
+    if depth <= 0 or rng.random() < 0.35:
+        return ("be", rng.choice(list(names)))
+    arity = rng.randint(2, 3)
+    children = tuple(
+        _random_genome(rng, names, depth - 1) for _ in range(arity)
+    )
+    roll = rng.random()
+    if roll < 0.45:
+        return ("and", children)
+    if roll < 0.9:
+        return ("or", children)
+    return ("vot", rng.randint(1, arity), children)
+
+
+def _genome_eval(genome: Genome, vector: Mapping[str, bool]) -> bool:
+    kind = genome[0]
+    if kind == "be":
+        return bool(vector[genome[1]])
+    if kind == "and":
+        return all(_genome_eval(child, vector) for child in genome[1])
+    if kind == "or":
+        return any(_genome_eval(child, vector) for child in genome[1])
+    # vot
+    count = sum(1 for child in genome[2] if _genome_eval(child, vector))
+    return count >= genome[1]
+
+
+def _genome_size(genome: Genome) -> int:
+    if genome[0] == "be":
+        return 1
+    children = genome[1] if genome[0] != "vot" else genome[2]
+    return 1 + sum(_genome_size(child) for child in children)
+
+
+def _genome_nodes(genome: Genome, path: Tuple[int, ...] = ()) -> List[Tuple[Tuple[int, ...], Genome]]:
+    nodes = [(path, genome)]
+    if genome[0] != "be":
+        children = genome[1] if genome[0] != "vot" else genome[2]
+        for i, child in enumerate(children):
+            nodes.extend(_genome_nodes(child, path + (i,)))
+    return nodes
+
+
+def _genome_replace(genome: Genome, path: Tuple[int, ...], new: Genome) -> Genome:
+    if not path:
+        return new
+    head, rest = path[0], path[1:]
+    if genome[0] == "vot":
+        children = list(genome[2])
+        children[head] = _genome_replace(children[head], rest, new)
+        return ("vot", genome[1], tuple(children))
+    children = list(genome[1])
+    children[head] = _genome_replace(children[head], rest, new)
+    return (genome[0], tuple(children))
+
+
+def _crossover(rng: random.Random, left: Genome, right: Genome) -> Genome:
+    path, _ = rng.choice(_genome_nodes(left))
+    _, donor = rng.choice(_genome_nodes(right))
+    return _genome_replace(left, path, donor)
+
+
+def _mutate(rng: random.Random, genome: Genome, names: Sequence[str], depth: int) -> Genome:
+    path, _ = rng.choice(_genome_nodes(genome))
+    return _genome_replace(genome, path, _random_genome(rng, names, depth - len(path)))
+
+
+def genome_to_tree(genome: Genome, all_basic_events: Sequence[str]) -> FaultTree:
+    """Materialise a genome as a validated :class:`FaultTree`.
+
+    Duplicate children under one gate are merged; single-child top genomes
+    are wrapped in an OR gate; only basic events actually used are declared
+    (a well-formed tree cannot contain disconnected leaves).
+    """
+    gates: List[Gate] = []
+    used: List[str] = []
+    counter = itertools.count(1)
+
+    def build(node: Genome) -> str:
+        if node[0] == "be":
+            if node[1] not in used:
+                used.append(node[1])
+            return node[1]
+        children_nodes = node[1] if node[0] != "vot" else node[2]
+        names: List[str] = []
+        for child in children_nodes:
+            name = build(child)
+            if name not in names:
+                names.append(name)
+        gate_name = f"g{next(counter)}"
+        if node[0] == "vot":
+            threshold = min(node[1], len(names))
+            gates.append(
+                Gate(
+                    name=gate_name,
+                    gate_type=GateType.VOT,
+                    children=tuple(names),
+                    threshold=max(1, threshold),
+                )
+            )
+        else:
+            gate_type = GateType.AND if node[0] == "and" else GateType.OR
+            gates.append(
+                Gate(name=gate_name, gate_type=gate_type, children=tuple(names))
+            )
+        return gate_name
+
+    top = build(genome)
+    if top in used:  # bare basic event: wrap it
+        gates.append(Gate(name="g_top", gate_type=GateType.OR, children=(top,)))
+        top = "g_top"
+    order = [name for name in all_basic_events if name in used]
+    return FaultTree(
+        basic_events=[BasicEvent(name) for name in order], gates=gates, top=top
+    )
+
+
+def infer_fault_tree(
+    basic_events: Sequence[str],
+    examples: Sequence[Tuple[Mapping[str, bool], bool]],
+    config: Optional[GeneticConfig] = None,
+) -> FaultTree:
+    """Learn a fault tree whose structure function fits labelled vectors.
+
+    Args:
+        basic_events: Candidate leaves.
+        examples: ``(status vector, expected top status)`` pairs.
+        config: GP hyper-parameters.
+
+    Returns:
+        The best tree found (it may not fit perfectly; callers can check
+        with :func:`repro.ft.structure.structure_function`).
+    """
+    if not examples:
+        raise SynthesisError("need at least one labelled example")
+    cfg = config or GeneticConfig()
+    rng = random.Random(cfg.seed)
+
+    def fitness(genome: Genome) -> float:
+        correct = sum(
+            1
+            for vector, label in examples
+            if _genome_eval(genome, vector) == bool(label)
+        )
+        return correct / len(examples) - cfg.size_penalty * _genome_size(genome)
+
+    population = [
+        _random_genome(rng, basic_events, cfg.max_depth)
+        for _ in range(cfg.population_size)
+    ]
+    best = max(population, key=fitness)
+    for _ in range(cfg.generations):
+        if fitness(best) >= 1.0 - 1e-9:
+            break
+        next_population = [best]  # elitism
+        while len(next_population) < cfg.population_size:
+            contenders = rng.sample(
+                population, min(cfg.tournament, len(population))
+            )
+            parent = max(contenders, key=fitness)
+            child = parent
+            if rng.random() < cfg.crossover_rate:
+                contenders = rng.sample(
+                    population, min(cfg.tournament, len(population))
+                )
+                other = max(contenders, key=fitness)
+                child = _crossover(rng, child, other)
+            if rng.random() < cfg.mutation_rate:
+                child = _mutate(rng, child, basic_events, cfg.max_depth)
+            next_population.append(child)
+        population = next_population
+        best = max(population, key=fitness)
+    return genome_to_tree(best, basic_events)

@@ -1,0 +1,223 @@
+"""Algorithm 1: translate BFL formulae to BDDs, with caching.
+
+Implements the recursion scheme of the paper verbatim::
+
+    BT(e)              = Psi_FT(e)
+    BT(not phi)        = NOT BT(phi)
+    BT(phi and phi')   = BT(phi) AND BT(phi')
+    BT(phi[e -> v])    = Restrict(BT(phi), e, v)
+    BT(MCS(phi))       = BT(phi) AND NOT exists V'. (V' < V AND BT(phi)[V->V'])
+    BT(exists phi)     = exists V. BT(phi)          (non-false test)
+    BT(forall phi)     = not exists V. not BT(phi)  (tautology test)
+    IDP(phi, phi')     = VarB(BT(phi)) disjoint VarB(BT(phi'))
+
+plus the derived operators (or/implies/equiv/Vot/MPS) built directly with
+BDD operations — the test suite proves them equal to translating the
+desugared formulae.  Intermediate results ``BT(...)`` and ``Psi_FT(...)``
+are memoised, as the paper prescribes ("store intermediate results ... in a
+cache in case they are used several times").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..bdd.manager import BDDManager
+from ..bdd.minimal import (
+    maximal_assignments,
+    maximal_assignments_monotone,
+    minimal_assignments,
+    minimal_assignments_monotone,
+)
+from ..bdd.node import Node
+from ..errors import LogicError
+from ..ft.to_bdd import TreeTranslator
+from ..ft.tree import FaultTree
+from ..logic.ast_nodes import (
+    MCS,
+    MPS,
+    And,
+    Atom,
+    Constant,
+    Equiv,
+    Evidence,
+    Formula,
+    Implies,
+    Not,
+    NotEquiv,
+    Or,
+    Vot,
+)
+from ..logic.scope import MinimalityScope
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for the Algorithm 1 caches (tested explicitly)."""
+
+    formula_hits: int = 0
+    formula_misses: int = 0
+    element_requests: int = 0
+
+    def reset(self) -> None:
+        self.formula_hits = 0
+        self.formula_misses = 0
+        self.element_requests = 0
+
+
+class FormulaTranslator:
+    """Caching translator ``BT`` from BFL formulae to BDDs over one tree.
+
+    Args:
+        tree: The fault tree ``T``.
+        manager: BDD manager to build in; a fresh one over the tree's basic
+            events (declaration order, or ``order``) is created if omitted.
+        scope: Minimality scope for MCS/MPS (DESIGN.md deviation 2).
+        monotone_fast_path: When True, MCS/MPS of *monotone* operands use
+            the restriction-based construction instead of the paper's
+            primed-relation construction (both are implemented; the
+            ablation benchmark compares them).
+    """
+
+    def __init__(
+        self,
+        tree: FaultTree,
+        manager: Optional[BDDManager] = None,
+        scope: MinimalityScope = MinimalityScope.SUPPORT,
+        order: Optional[Sequence[str]] = None,
+        monotone_fast_path: bool = False,
+    ) -> None:
+        from ..bdd.minimal import ensure_primed, prime_name
+
+        if manager is None:
+            # Interleave each basic event with its primed copy: the
+            # subset relation (AND_k v'_k => v_k) of the MCS construction
+            # is then linear-size, whereas appending all primes at the end
+            # makes it exponential in the number of events.
+            base = list(order if order is not None else tree.basic_events)
+            interleaved: List[str] = []
+            for name in base:
+                interleaved.append(name)
+                interleaved.append(prime_name(name))
+            manager = BDDManager(interleaved)
+        else:
+            # Caller-provided manager: fall back to appending the primes in
+            # the manager's level order (correct, possibly slower).
+            ensure_primed(
+                manager, sorted(tree.basic_events, key=manager.level_of)
+            )
+        self.tree = tree
+        self.manager = manager
+        self.scope = scope
+        self.monotone_fast_path = monotone_fast_path
+        self.tree_translator = TreeTranslator(tree, manager)
+        self.stats = CacheStats()
+        self._cache: Dict[Formula, Node] = {}
+
+    # ------------------------------------------------------------------
+
+    def bdd(self, formula: Formula) -> Node:
+        """``BT(formula)`` with memoisation."""
+        cached = self._cache.get(formula)
+        if cached is not None:
+            self.stats.formula_hits += 1
+            return cached
+        self.stats.formula_misses += 1
+        result = self._translate(formula)
+        self._cache[formula] = result
+        return result
+
+    def _translate(self, formula: Formula) -> Node:
+        manager = self.manager
+        if isinstance(formula, Atom):
+            return self._element(formula.name)
+        if isinstance(formula, Constant):
+            return manager.constant(formula.value)
+        if isinstance(formula, Not):
+            return manager.negate(self.bdd(formula.operand))
+        if isinstance(formula, And):
+            return manager.and_(self.bdd(formula.left), self.bdd(formula.right))
+        if isinstance(formula, Or):
+            return manager.or_(self.bdd(formula.left), self.bdd(formula.right))
+        if isinstance(formula, Implies):
+            return manager.implies(
+                self.bdd(formula.left), self.bdd(formula.right)
+            )
+        if isinstance(formula, Equiv):
+            return manager.equiv(self.bdd(formula.left), self.bdd(formula.right))
+        if isinstance(formula, NotEquiv):
+            return manager.xor(self.bdd(formula.left), self.bdd(formula.right))
+        if isinstance(formula, Evidence):
+            result = self.bdd(formula.operand)
+            for name, value in formula.assignments:
+                if name not in self.tree.basic_events:
+                    raise LogicError(
+                        f"evidence target {name!r} is not a basic event of "
+                        "the tree (the status vector only covers BE)"
+                    )
+                result = manager.restrict(result, name, value)
+            return result
+        if isinstance(formula, Vot):
+            operands = [self.bdd(op) for op in formula.operands]
+            return self._vot(operands, formula.operator, formula.threshold)
+        if isinstance(formula, MCS):
+            inner = self.bdd(formula.operand)
+            scope = self._minimality_scope(inner)
+            if self.monotone_fast_path and self._is_monotone(inner, scope):
+                return minimal_assignments_monotone(manager, inner, scope)
+            return minimal_assignments(manager, inner, scope)
+        if isinstance(formula, MPS):
+            inner = self.bdd(formula.operand)
+            scope = self._minimality_scope(inner)
+            negated = manager.negate(inner)
+            if self.monotone_fast_path and self._is_monotone(inner, scope):
+                return maximal_assignments_monotone(manager, negated, scope)
+            return maximal_assignments(manager, negated, scope)
+        raise TypeError(f"cannot translate {formula!r}")
+
+    # ------------------------------------------------------------------
+
+    def _element(self, name: str) -> Node:
+        if name not in self.tree:
+            raise LogicError(f"formula mentions unknown element {name!r}")
+        self.stats.element_requests += 1
+        return self.tree_translator.element(name)
+
+    def _vot(self, operands: List[Node], operator: str, k: int) -> Node:
+        manager = self.manager
+        at_least_k = manager.threshold(operands, k)
+        if operator == ">=":
+            return at_least_k
+        if operator == ">":
+            return manager.threshold(operands, k + 1)
+        if operator == "<":
+            return manager.negate(at_least_k)
+        if operator == "<=":
+            return manager.negate(manager.threshold(operands, k + 1))
+        # operator == "=": at least k but not at least k + 1.
+        return manager.and_(
+            at_least_k, manager.negate(manager.threshold(operands, k + 1))
+        )
+
+    def _minimality_scope(self, inner: Node) -> List[str]:
+        if self.scope is MinimalityScope.FULL:
+            return list(self.tree.basic_events)
+        support = self.manager.support(inner)
+        return [name for name in self.tree.basic_events if name in support]
+
+    def _is_monotone(self, inner: Node, scope: Sequence[str]) -> bool:
+        from ..bdd.minimal import is_monotone
+
+        return is_monotone(self.manager, inner, scope)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def basic_events(self) -> Sequence[str]:
+        """Basic events of the underlying tree (the status-vector scope)."""
+        return self.tree.basic_events
+
+    def support(self, formula: Formula) -> frozenset:
+        """``VarB(BT(formula))`` — used by IDP/SUP and the engine."""
+        return frozenset(self.manager.support(self.bdd(formula)))

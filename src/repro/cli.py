@@ -1,0 +1,332 @@
+"""``bfl`` — command-line front end for the library.
+
+Sub-commands::
+
+    bfl check   --tree T.dft "forall (IS => MoT)"       model check
+    bfl allsat  --tree T.dft "MCS(IWoS) & H4"           satisfaction set
+    bfl mcs     --tree T.dft [--element MoT]            minimal cut sets
+    bfl mps     --tree T.dft [--element MoT]            minimal path sets
+    bfl cex     --tree T.dft "MCS(e1)" --bits 0,1,0     counterexample
+    bfl show    --tree T.dft [--failed IW,H3]           ASCII rendering
+    bfl dot     --tree T.dft [--failed IW,H3]           Graphviz export
+    bfl covid-report                                    Sec. VII analysis
+
+``--tree covid`` (the default) loads the built-in COVID-19 tree of Fig. 2;
+any other value is read as a Galileo file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .casestudy.covid import build_covid_tree
+from .casestudy.report import render_report
+from .checker.engine import ModelChecker
+from .errors import ReproError
+from .ft.galileo import load
+from .ft.tree import FaultTree
+from .logic.parser import parse_request
+from .logic.scope import MinimalityScope
+from .viz.ascii_tree import render_tree
+from .viz.dot import tree_to_dot
+from .viz.propagation import counterexample_view
+
+
+def _load_tree(spec: str) -> FaultTree:
+    if spec == "covid":
+        return build_covid_tree()
+    return load(spec)
+
+
+def _split_names(text: Optional[str]) -> Optional[List[str]]:
+    if text is None:
+        return None
+    return [name for name in (part.strip() for part in text.split(",")) if name]
+
+
+def _parse_bits(text: Optional[str]) -> Optional[List[int]]:
+    if text is None:
+        return None
+    return [int(part.strip()) for part in text.split(",")]
+
+
+def _add_tree_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tree",
+        default="covid",
+        help="Galileo file, or 'covid' for the built-in Fig. 2 tree",
+    )
+    parser.add_argument(
+        "--scope",
+        choices=[scope.value for scope in MinimalityScope],
+        default=MinimalityScope.SUPPORT.value,
+        help="MCS/MPS minimality scope (see DESIGN.md)",
+    )
+
+
+def _add_vector_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--failed", help="comma-separated failed basic events"
+    )
+    parser.add_argument(
+        "--bits", help="comma-separated 0/1 bits in declaration order"
+    )
+
+
+def _checker(args: argparse.Namespace) -> ModelChecker:
+    return ModelChecker(
+        _load_tree(args.tree), scope=MinimalityScope(args.scope)
+    )
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    checker = _checker(args)
+    statement, satset = parse_request(args.formula)
+    if satset:
+        print(checker.satisfaction_set(statement).describe(view=args.view))
+        return 0
+    failed = _split_names(args.failed)
+    bits = _parse_bits(args.bits)
+    if failed is None and bits is None:
+        result = checker.check(statement)
+    else:
+        result = checker.check(statement, failed=failed, bits=bits)
+    print("holds" if result else "does NOT hold")
+    return 0 if result else 1
+
+
+def _cmd_allsat(args: argparse.Namespace) -> int:
+    checker = _checker(args)
+    statement, _ = parse_request(args.formula)
+    print(checker.satisfaction_set(statement).describe(view=args.view))
+    return 0
+
+
+def _cmd_minimal_sets(args: argparse.Namespace, path_sets: bool) -> int:
+    checker = _checker(args)
+    if path_sets:
+        sets = checker.minimal_path_sets(args.element)
+        kind = "minimal path sets"
+    else:
+        sets = checker.minimal_cut_sets(args.element)
+        kind = "minimal cut sets"
+    target = args.element or checker.tree.top
+    print(f"{len(sets)} {kind} for {target}:")
+    for item in sets:
+        print("  {" + ", ".join(sorted(item)) + "}")
+    return 0
+
+
+def _cmd_cex(args: argparse.Namespace) -> int:
+    checker = _checker(args)
+    statement, _ = parse_request(args.formula)
+    cex = checker.counterexample(
+        statement,
+        failed=_split_names(args.failed),
+        bits=_parse_bits(args.bits),
+        method=args.method,
+    )
+    print(counterexample_view(checker.tree, cex))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.tree)
+    vector = None
+    failed = _split_names(args.failed)
+    if failed is not None:
+        vector = tree.vector_from_failed(failed)
+    print(render_tree(tree, vector, show_descriptions=args.descriptions))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.tree)
+    vector = None
+    failed = _split_names(args.failed)
+    if failed is not None:
+        vector = tree.vector_from_failed(failed)
+    print(tree_to_dot(tree, vector, show_descriptions=args.descriptions))
+    return 0
+
+
+def _cmd_covid_report(_: argparse.Namespace) -> int:
+    print(render_report())
+    return 0
+
+
+def _parse_probability(text: Optional[str]) -> dict:
+    if not text:
+        return {}
+    overrides = {}
+    for part in text.split(","):
+        name, _, value = part.partition("=")
+        overrides[name.strip()] = float(value)
+    return overrides
+
+
+def _cmd_importance(args: argparse.Namespace) -> int:
+    from .prob import importance_table, render_importance_table
+
+    tree = _load_tree(args.tree)
+    overrides = _parse_probability(args.probabilities)
+    if args.uniform is not None:
+        overrides = {
+            name: overrides.get(name, args.uniform)
+            for name in tree.basic_events
+        }
+    rows = importance_table(tree, element=args.element, overrides=overrides)
+    print(render_importance_table(rows))
+    return 0
+
+
+def _cmd_probability(args: argparse.Namespace) -> int:
+    from .prob import ProbabilityChecker, parse_prob_query
+
+    tree = _load_tree(args.tree)
+    overrides = _parse_probability(args.probabilities)
+    if args.uniform is not None:
+        overrides = {
+            name: overrides.get(name, args.uniform)
+            for name in tree.basic_events
+        }
+    checker = ProbabilityChecker(tree, overrides=overrides)
+    text = args.query.strip()
+    if any(cmp in text for cmp in ("<=", ">=", "<", ">", "=")) and text.startswith("P"):
+        query = parse_prob_query(text)
+        value = checker.probability(query.formula)
+        verdict = checker.check(query)
+        print(f"P = {value:.6g}; query {'holds' if verdict else 'does NOT hold'}")
+        return 0 if verdict else 1
+    value = checker.probability(text)
+    print(f"P = {value:.6g}")
+    return 0
+
+
+def _cmd_modules(args: argparse.Namespace) -> int:
+    from .ft.modules import modularization_report
+
+    tree = _load_tree(args.tree)
+    for line in modularization_report(tree):
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="bfl",
+        description="BFL: a logic to reason about fault trees (DSN 2022 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="model check a formula/query")
+    _add_tree_option(p_check)
+    _add_vector_options(p_check)
+    p_check.add_argument("formula", help="BFL DSL text (or [[ ... ]])")
+    p_check.add_argument(
+        "--view", choices=["failed", "operational", "vectors"], default="failed"
+    )
+    p_check.set_defaults(handler=_cmd_check)
+
+    p_allsat = sub.add_parser("allsat", help="all satisfying vectors")
+    _add_tree_option(p_allsat)
+    p_allsat.add_argument("formula")
+    p_allsat.add_argument(
+        "--view", choices=["failed", "operational", "vectors"], default="failed"
+    )
+    p_allsat.set_defaults(handler=_cmd_allsat)
+
+    p_mcs = sub.add_parser("mcs", help="minimal cut sets")
+    _add_tree_option(p_mcs)
+    p_mcs.add_argument("--element")
+    p_mcs.set_defaults(handler=lambda args: _cmd_minimal_sets(args, False))
+
+    p_mps = sub.add_parser("mps", help="minimal path sets")
+    _add_tree_option(p_mps)
+    p_mps.add_argument("--element")
+    p_mps.set_defaults(handler=lambda args: _cmd_minimal_sets(args, True))
+
+    p_cex = sub.add_parser("cex", help="counterexample (Algorithm 4)")
+    _add_tree_option(p_cex)
+    _add_vector_options(p_cex)
+    p_cex.add_argument("formula")
+    p_cex.add_argument(
+        "--method", choices=["algorithm4", "closest"], default="algorithm4"
+    )
+    p_cex.set_defaults(handler=_cmd_cex)
+
+    p_show = sub.add_parser("show", help="render the tree as ASCII art")
+    _add_tree_option(p_show)
+    p_show.add_argument("--failed")
+    p_show.add_argument("--descriptions", action="store_true")
+    p_show.set_defaults(handler=_cmd_show)
+
+    p_dot = sub.add_parser("dot", help="export the tree to Graphviz DOT")
+    _add_tree_option(p_dot)
+    p_dot.add_argument("--failed")
+    p_dot.add_argument("--descriptions", action="store_true")
+    p_dot.set_defaults(handler=_cmd_dot)
+
+    p_report = sub.add_parser(
+        "covid-report", help="regenerate the Sec. VII case-study analysis"
+    )
+    p_report.set_defaults(handler=_cmd_covid_report)
+
+    p_importance = sub.add_parser(
+        "importance", help="probabilistic importance measures"
+    )
+    _add_tree_option(p_importance)
+    p_importance.add_argument("--element")
+    p_importance.add_argument(
+        "--probabilities", help="overrides, e.g. 'IW=0.1,H1=0.02'"
+    )
+    p_importance.add_argument(
+        "--uniform", type=float, help="uniform probability for all events"
+    )
+    p_importance.set_defaults(handler=_cmd_importance)
+
+    p_prob = sub.add_parser(
+        "prob", help="P(formula) or a PBFL query 'P(phi) >= c'"
+    )
+    _add_tree_option(p_prob)
+    p_prob.add_argument("query")
+    p_prob.add_argument(
+        "--probabilities", help="overrides, e.g. 'IW=0.1,H1=0.02'"
+    )
+    p_prob.add_argument(
+        "--uniform", type=float, help="uniform probability for all events"
+    )
+    p_prob.set_defaults(handler=_cmd_probability)
+
+    p_modules = sub.add_parser(
+        "modules", help="independent-subtree (module) detection"
+    )
+    _add_tree_option(p_modules)
+    p_modules.set_defaults(handler=_cmd_modules)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

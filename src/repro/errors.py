@@ -1,0 +1,78 @@
+"""Shared exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+downstream users can catch one base class.  Subpackages raise the most
+specific subclass that applies; the hierarchy mirrors the package layout
+(BDD engine, fault-tree model, BFL logic, model checker).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class BDDError(ReproError):
+    """Base class for errors raised by the ROBDD engine."""
+
+
+class VariableError(BDDError):
+    """An unknown, duplicate, or badly ordered BDD variable was used."""
+
+
+class ManagerMismatchError(BDDError):
+    """Two BDD nodes from different managers were combined."""
+
+
+class FaultTreeError(ReproError):
+    """Base class for errors in fault-tree construction or analysis."""
+
+
+class WellFormednessError(FaultTreeError):
+    """The fault tree violates Def. 1 (cycle, unreachable node, bad root)."""
+
+
+class UnknownElementError(FaultTreeError, KeyError):
+    """A fault-tree element name does not exist in the tree."""
+
+
+class GateArityError(FaultTreeError):
+    """A gate has an illegal number of children (e.g. VOT(k/N) with N kids)."""
+
+
+class GalileoFormatError(FaultTreeError):
+    """A Galileo-format fault-tree file could not be parsed."""
+
+
+class LogicError(ReproError):
+    """Base class for errors in BFL formula construction or evaluation."""
+
+
+class BFLSyntaxError(LogicError):
+    """The BFL DSL parser rejected the input text."""
+
+    def __init__(self, message: str, line: int = 1, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class LayerError(LogicError):
+    """A layer-2 construct (quantifier/IDP) was nested inside a formula."""
+
+
+class StatusVectorError(LogicError):
+    """A status vector does not match the tree's basic events."""
+
+
+class CheckerError(ReproError):
+    """Base class for model-checking errors."""
+
+
+class NoCounterexampleError(CheckerError):
+    """Algorithm 4 cannot produce a counterexample (formula unsatisfiable)."""
+
+
+class SynthesisError(CheckerError):
+    """No satisfying fault tree could be synthesised (Sec. V-E)."""

@@ -1,0 +1,100 @@
+"""Fluent builder for fault trees.
+
+Example:
+    >>> from repro.ft import FaultTreeBuilder
+    >>> tree = (
+    ...     FaultTreeBuilder()
+    ...     .basic_events("IW", "H3", "IT", "H2")
+    ...     .and_gate("CP", "IW", "H3")
+    ...     .and_gate("CR", "IT", "H2")
+    ...     .or_gate("CP/R", "CP", "CR")
+    ...     .build("CP/R")
+    ... )
+    >>> tree.top
+    'CP/R'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .elements import BasicEvent, Gate, GateType
+from .tree import FaultTree
+
+
+class FaultTreeBuilder:
+    """Accumulates elements and produces a validated :class:`FaultTree`.
+
+    All structural validation (uniqueness, acyclicity, connectedness) is
+    deferred to :meth:`build`, so elements may be declared in any order.
+    """
+
+    def __init__(self) -> None:
+        self._basic: List[BasicEvent] = []
+        self._gates: List[Gate] = []
+
+    def basic_event(
+        self,
+        name: str,
+        description: str = "",
+        probability: Optional[float] = None,
+    ) -> "FaultTreeBuilder":
+        """Declare one basic event."""
+        self._basic.append(
+            BasicEvent(name=name, description=description, probability=probability)
+        )
+        return self
+
+    def basic_events(self, *names: str) -> "FaultTreeBuilder":
+        """Declare several basic events without descriptions."""
+        for name in names:
+            self.basic_event(name)
+        return self
+
+    def and_gate(
+        self, name: str, *children: str, description: str = ""
+    ) -> "FaultTreeBuilder":
+        """Declare an AND gate."""
+        self._gates.append(
+            Gate(
+                name=name,
+                gate_type=GateType.AND,
+                children=tuple(children),
+                description=description,
+            )
+        )
+        return self
+
+    def or_gate(
+        self, name: str, *children: str, description: str = ""
+    ) -> "FaultTreeBuilder":
+        """Declare an OR gate."""
+        self._gates.append(
+            Gate(
+                name=name,
+                gate_type=GateType.OR,
+                children=tuple(children),
+                description=description,
+            )
+        )
+        return self
+
+    def vot_gate(
+        self, name: str, threshold: int, *children: str, description: str = ""
+    ) -> "FaultTreeBuilder":
+        """Declare a VOT(k/N) gate: fails when at least ``threshold`` of the
+        ``children`` fail."""
+        self._gates.append(
+            Gate(
+                name=name,
+                gate_type=GateType.VOT,
+                children=tuple(children),
+                threshold=threshold,
+                description=description,
+            )
+        )
+        return self
+
+    def build(self, top: str) -> FaultTree:
+        """Validate and return the finished tree with ``top`` as ``e_top``."""
+        return FaultTree(basic_events=self._basic, gates=self._gates, top=top)

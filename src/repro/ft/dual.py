@@ -1,0 +1,48 @@
+"""Dual fault trees.
+
+The *dual* of a fault tree swaps AND and OR gates (and maps VOT(k/N) to
+VOT(N-k+1/N)).  Its structure function is ``Phi_d(b) = not Phi(not b)``, and
+a classical result links it to the path sets: **the minimal cut sets of the
+dual tree are exactly the minimal path sets of the original** — which is the
+cleanest way to see why the paper's MPS operator must be the inclusion-wise
+*dual* of MCS (DESIGN.md deviation 1).  The property is verified by tests
+and by a hypothesis property over random trees.
+"""
+
+from __future__ import annotations
+
+from .elements import Gate, GateType
+from .tree import FaultTree
+
+
+def dual_tree(tree: FaultTree) -> FaultTree:
+    """The dual of ``tree`` (same elements, dualised gate types)."""
+    basic = [tree.basic_event(name) for name in tree.basic_events]
+    gates = []
+    for name in tree.gate_names:
+        gate = tree.gate(name)
+        if gate.gate_type is GateType.AND:
+            dual = Gate(
+                name=gate.name,
+                gate_type=GateType.OR,
+                children=gate.children,
+                description=gate.description,
+            )
+        elif gate.gate_type is GateType.OR:
+            dual = Gate(
+                name=gate.name,
+                gate_type=GateType.AND,
+                children=gate.children,
+                description=gate.description,
+            )
+        else:
+            n = gate.arity
+            dual = Gate(
+                name=gate.name,
+                gate_type=GateType.VOT,
+                children=gate.children,
+                threshold=n - gate.threshold + 1,
+                description=gate.description,
+            )
+        gates.append(dual)
+    return FaultTree(basic_events=basic, gates=gates, top=tree.top)

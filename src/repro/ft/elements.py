@@ -1,0 +1,110 @@
+"""Fault-tree elements: basic events and gates (paper Def. 1).
+
+A fault tree is built from :class:`BasicEvent` leaves and :class:`Gate`
+intermediate elements.  ``GateTypes = {AND, OR}`` extended with
+``VOT(k/N)`` exactly as the paper does ("we can extend GateTypes with any
+gate derived from AND and OR").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import GateArityError
+
+
+class GateType(enum.Enum):
+    """Gate types supported by the (static) fault trees of the paper."""
+
+    AND = "and"
+    OR = "or"
+    VOT = "vot"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class BasicEvent:
+    """A leaf of the fault tree (an element that "need not be refined").
+
+    Attributes:
+        name: Unique identifier, e.g. ``"IW"``.
+        description: Optional human-readable label, e.g.
+            ``"Infected worker joining the team"``.
+        probability: Optional failure probability.  BFL itself is Boolean;
+            the attribute is carried for Galileo-format round-trips and for
+            the probabilistic extension the paper lists as future work.
+    """
+
+    name: str
+    description: str = ""
+    probability: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("basic events must have a non-empty name")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability of {self.name!r} must lie in [0, 1], "
+                f"got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class Gate:
+    """An intermediate element with a gate type and a non-empty child tuple.
+
+    Attributes:
+        name: Unique identifier, e.g. ``"CP/R"``.
+        gate_type: AND, OR or VOT.
+        children: Names of the inputs, in order.  Def. 1 requires
+            ``ch(e) != {}``.
+        threshold: ``k`` for VOT(k/N) gates; ``None`` otherwise.
+        description: Optional human-readable label.
+    """
+
+    name: str
+    gate_type: GateType
+    children: Tuple[str, ...]
+    threshold: Optional[int] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("gates must have a non-empty name")
+        if not self.children:
+            raise GateArityError(f"gate {self.name!r} must have children")
+        if len(set(self.children)) != len(self.children):
+            raise GateArityError(
+                f"gate {self.name!r} lists a child more than once"
+            )
+        if self.gate_type is GateType.VOT:
+            k = self.threshold
+            n = len(self.children)
+            if k is None:
+                raise GateArityError(
+                    f"VOT gate {self.name!r} needs a threshold"
+                )
+            # Def. 1 extension: VOT(k/N) with k, N > 1 and k <= N.
+            if not 1 <= k <= n:
+                raise GateArityError(
+                    f"VOT gate {self.name!r}: threshold {k} outside 1..{n}"
+                )
+        elif self.threshold is not None:
+            raise GateArityError(
+                f"{self.gate_type} gate {self.name!r} cannot carry a threshold"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of children (``N`` for VOT(k/N))."""
+        return len(self.children)
+
+    def describe_type(self) -> str:
+        """Short human-readable gate description, e.g. ``VOT(2/3)``."""
+        if self.gate_type is GateType.VOT:
+            return f"VOT({self.threshold}/{self.arity})"
+        return self.gate_type.name

@@ -1,0 +1,189 @@
+"""Galileo-style fault-tree exchange format.
+
+The Galileo ``.dft`` dialect is the de-facto interchange format of the
+fault-tree community (used by Storm, the model checker the paper's authors
+employ for the case study).  We support its static subset::
+
+    toplevel "IWoS";
+    "IWoS" and "CP/R" "MoT" "SH";
+    "CP/R" or "CP" "CR";
+    "V"    2of3 "a" "b" "c";
+    "IW"   prob=0.1;
+    "H1";
+
+* ``and`` / ``or`` / ``<k>of<N>`` introduce gates;
+* any other line declares a basic event, optionally with ``prob=`` (other
+  attributes such as ``lambda=`` or ``dorm=`` are accepted and ignored);
+* ``//``, ``#`` and ``/* ... */`` comments are stripped; names may be
+  quoted (needed for ``"CP/R"``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..errors import GalileoFormatError
+from .elements import BasicEvent, Gate, GateType
+from .tree import FaultTree
+
+_VOT_RE = re.compile(r"^(\d+)of(\d+)$")
+_TOKEN_RE = re.compile(r'"([^"]*)"|(\S+)')
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    lines = []
+    for line in text.splitlines():
+        for marker in ("//", "#"):
+            index = line.find(marker)
+            if index >= 0:
+                line = line[:index]
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _tokenize(statement: str) -> List[str]:
+    tokens = []
+    for quoted, bare in _TOKEN_RE.findall(statement):
+        tokens.append(quoted if quoted else bare)
+    return tokens
+
+
+def loads(text: str) -> FaultTree:
+    """Parse Galileo text into a validated :class:`FaultTree`.
+
+    Raises:
+        GalileoFormatError: On any syntactic problem (missing ``toplevel``,
+            malformed statement, bad VOT arity, ...).
+    """
+    top: Optional[str] = None
+    gates: List[Gate] = []
+    basic: Dict[str, BasicEvent] = {}
+    order: List[str] = []
+
+    statements = [
+        s.strip()
+        for s in _strip_comments(text).split(";")
+        if s.strip()
+    ]
+    if not statements:
+        raise GalileoFormatError("empty Galileo document")
+
+    for statement in statements:
+        tokens = _tokenize(statement)
+        if not tokens:
+            continue
+        head = tokens[0]
+        if head == "toplevel":
+            if len(tokens) != 2:
+                raise GalileoFormatError(
+                    f"malformed toplevel statement: {statement!r}"
+                )
+            if top is not None:
+                raise GalileoFormatError("duplicate toplevel statement")
+            top = tokens[1]
+            continue
+        if len(tokens) >= 2 and tokens[1] in ("and", "or"):
+            children = tuple(tokens[2:])
+            if not children:
+                raise GalileoFormatError(
+                    f"gate {head!r} has no children"
+                )
+            gate_type = GateType.AND if tokens[1] == "and" else GateType.OR
+            gates.append(
+                Gate(name=head, gate_type=gate_type, children=children)
+            )
+            continue
+        vot = _VOT_RE.match(tokens[1]) if len(tokens) >= 2 else None
+        if vot:
+            k, n = int(vot.group(1)), int(vot.group(2))
+            children = tuple(tokens[2:])
+            if len(children) != n:
+                raise GalileoFormatError(
+                    f"VOT gate {head!r} declares {n} children "
+                    f"but lists {len(children)}"
+                )
+            gates.append(
+                Gate(
+                    name=head,
+                    gate_type=GateType.VOT,
+                    children=children,
+                    threshold=k,
+                )
+            )
+            continue
+        # Anything else declares a basic event with key=value attributes.
+        probability: Optional[float] = None
+        for attr in tokens[1:]:
+            if "=" not in attr:
+                raise GalileoFormatError(
+                    f"unrecognised statement: {statement!r}"
+                )
+            key, _, value = attr.partition("=")
+            if key == "prob":
+                try:
+                    probability = float(value)
+                except ValueError:
+                    raise GalileoFormatError(
+                        f"bad probability {value!r} for {head!r}"
+                    ) from None
+        if head in basic:
+            raise GalileoFormatError(f"duplicate basic event {head!r}")
+        basic[head] = BasicEvent(name=head, probability=probability)
+        order.append(head)
+
+    if top is None:
+        raise GalileoFormatError("missing toplevel statement")
+
+    # Children that were never declared are implicit basic events (a common
+    # shorthand in circulated .dft files).
+    declared = set(basic) | {gate.name for gate in gates}
+    for gate in gates:
+        for child in gate.children:
+            if child not in declared:
+                basic[child] = BasicEvent(name=child)
+                order.append(child)
+                declared.add(child)
+
+    return FaultTree(
+        basic_events=[basic[name] for name in order],
+        gates=gates,
+        top=top,
+    )
+
+
+def _quote(name: str) -> str:
+    return f'"{name}"'
+
+
+def dumps(tree: FaultTree) -> str:
+    """Serialise a tree to Galileo text (inverse of :func:`loads`)."""
+    lines = [f"toplevel {_quote(tree.top)};"]
+    for name in tree.gate_names:
+        gate = tree.gate(name)
+        children = " ".join(_quote(child) for child in gate.children)
+        if gate.gate_type is GateType.VOT:
+            kind = f"{gate.threshold}of{gate.arity}"
+        else:
+            kind = gate.gate_type.value
+        lines.append(f"{_quote(name)} {kind} {children};")
+    for name in tree.basic_events:
+        be = tree.basic_event(name)
+        if be.probability is not None:
+            lines.append(f"{_quote(name)} prob={be.probability};")
+        else:
+            lines.append(f"{_quote(name)};")
+    return "\n".join(lines) + "\n"
+
+
+def load(path: str) -> FaultTree:
+    """Parse a Galileo file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def dump(tree: FaultTree, path: str) -> None:
+    """Write ``tree`` to ``path`` in Galileo format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(tree))

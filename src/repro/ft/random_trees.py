@@ -1,0 +1,142 @@
+"""Seeded random fault-tree generation.
+
+Used by the hypothesis property tests (cross-validating the BDD checker
+against the enumerative reference semantics) and by the scalability /
+ablation benchmarks, which sweep over tree size.
+
+Trees are generated top-down.  Every gate receives 2..``max_children``
+children; each child is, with the configured probabilities, a fresh subtree,
+a fresh basic event, or a *shared* reference to an existing element (which
+produces the DAG sharing and repeated basic events that make the COVID-19
+tree interesting).  The generator guarantees well-formedness by
+construction and re-validates through :class:`FaultTree`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .elements import BasicEvent, Gate, GateType
+from .tree import FaultTree
+
+
+@dataclass(frozen=True)
+class RandomTreeConfig:
+    """Knobs for :func:`random_tree`.
+
+    Attributes:
+        n_basic_events: Number of distinct basic events.
+        max_children: Maximum children per gate (minimum is 2).
+        p_vot: Probability that a gate is VOT (the rest split AND/OR evenly).
+        p_share: Probability that a child slot reuses an existing element.
+        max_depth: Depth at which subtrees are forced to be basic events.
+    """
+
+    n_basic_events: int = 8
+    max_children: int = 4
+    p_vot: float = 0.15
+    p_share: float = 0.2
+    max_depth: int = 5
+
+    def __post_init__(self) -> None:
+        if self.n_basic_events < 1:
+            raise ValueError("need at least one basic event")
+        if self.max_children < 2:
+            raise ValueError("gates need at least two candidate children")
+        if not 0.0 <= self.p_vot <= 1.0 or not 0.0 <= self.p_share <= 1.0:
+            raise ValueError("probabilities must lie in [0, 1]")
+
+
+def random_tree(
+    seed: int, config: Optional[RandomTreeConfig] = None
+) -> FaultTree:
+    """Generate a pseudo-random well-formed fault tree.
+
+    The same ``(seed, config)`` always produces the same tree.
+    """
+    cfg = config or RandomTreeConfig()
+    rng = random.Random(seed)
+    be_names = [f"e{i}" for i in range(1, cfg.n_basic_events + 1)]
+    unused = list(be_names)
+    used: List[str] = []
+    gates: List[Gate] = []
+    counter = [0]
+
+    def fresh_gate_name() -> str:
+        counter[0] += 1
+        return f"g{counter[0]}"
+
+    def pick_basic() -> str:
+        if unused:
+            name = unused.pop(rng.randrange(len(unused)))
+            used.append(name)
+            return name
+        return rng.choice(used)
+
+    def build(depth: int) -> str:
+        # Leaves: always at max depth, increasingly often below it.
+        if depth >= cfg.max_depth or (depth > 0 and rng.random() < 0.35):
+            return pick_basic()
+        name = fresh_gate_name()
+        n_children = rng.randint(2, cfg.max_children)
+        children: List[str] = []
+        for _ in range(n_children):
+            share_pool = [g.name for g in gates] + used
+            if share_pool and rng.random() < cfg.p_share:
+                candidate = rng.choice(share_pool)
+                if candidate not in children:
+                    children.append(candidate)
+                    continue
+            child = build(depth + 1)
+            if child not in children:
+                children.append(child)
+        if len(children) < 2:
+            extra = pick_basic()
+            if extra not in children:
+                children.append(extra)
+        if len(children) >= 2 and rng.random() < cfg.p_vot:
+            threshold = rng.randint(1, len(children))
+            gate = Gate(
+                name=name,
+                gate_type=GateType.VOT,
+                children=tuple(children),
+                threshold=threshold,
+            )
+        else:
+            gate_type = GateType.AND if rng.random() < 0.5 else GateType.OR
+            gate = Gate(
+                name=name, gate_type=gate_type, children=tuple(children)
+            )
+        gates.append(gate)
+        return name
+
+    top = build(0)
+    if top in be_names:
+        # Degenerate draw: wrap the single leaf in an OR top gate.
+        top_gate = Gate(
+            name="g_top", gate_type=GateType.OR, children=(top,)
+        )
+        gates.append(top_gate)
+        top = "g_top"
+
+    # Hang unused basic events under the top gate so every declared event
+    # occurs in the tree (well-formedness requires connectedness).
+    if unused:
+        top_gate = next(g for g in gates if g.name == top)
+        merged = tuple(top_gate.children) + tuple(unused)
+        gates[gates.index(top_gate)] = Gate(
+            name=top_gate.name,
+            gate_type=top_gate.gate_type,
+            children=merged,
+            threshold=top_gate.threshold,
+        )
+        used.extend(unused)
+        del unused[:]
+
+    return FaultTree(
+        basic_events=[BasicEvent(name) for name in be_names],
+        gates=gates,
+        top=top,
+    )

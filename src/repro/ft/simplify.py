@@ -1,0 +1,146 @@
+"""Structure-preserving fault-tree simplification.
+
+Real-world trees (and machine-generated ones, e.g. from
+:mod:`repro.checker.synthesis`) accumulate redundant structure.  This
+module normalises a tree while *provably preserving the structure
+function* (property-tested on all vectors):
+
+* single-child AND/OR gates are absorbed into their child;
+* nested gates of the same associative type are flattened into their
+  parent (only when the child gate is not shared and not referenced by
+  name elsewhere — callers may protect gates they want to keep);
+* duplicate children are merged.
+
+VOT gates are left untouched (flattening changes their semantics); the
+top element always survives so ``T.top`` stays valid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .elements import Gate, GateType
+from .tree import FaultTree
+
+
+def simplify(
+    tree: FaultTree, keep: Iterable[str] = ()
+) -> FaultTree:
+    """Return a simplified tree with the same structure function.
+
+    Args:
+        tree: The tree to normalise.
+        keep: Gate names that must survive (e.g. gates referenced by BFL
+            formulae); the top element is always kept.
+
+    Returns:
+        A new validated :class:`FaultTree`.  Every surviving element
+        computes exactly the same Boolean function as before.
+    """
+    protected: Set[str] = set(keep) | {tree.top}
+    unknown = protected - set(tree.elements)
+    if unknown:
+        raise ValueError(
+            "keep names not in the tree: " + ", ".join(sorted(unknown))
+        )
+
+    # Resolution map: gate name -> the element that replaces it.
+    replacement: Dict[str, str] = {}
+
+    def resolve(name: str) -> str:
+        while name in replacement:
+            name = replacement[name]
+        return name
+
+    # Pass 1: absorb single-child AND/OR gates (bottom-up via repeated
+    # sweeps; the tree is small and acyclic so this terminates quickly).
+    changed = True
+    gates: Dict[str, Gate] = {name: tree.gate(name) for name in tree.gate_names}
+    while changed:
+        changed = False
+        for name, gate in list(gates.items()):
+            if name in protected or name not in gates:
+                continue
+            children = tuple(dict.fromkeys(resolve(c) for c in gate.children))
+            if len(children) == 1 and gate.gate_type is not GateType.VOT:
+                replacement[name] = children[0]
+                del gates[name]
+                changed = True
+
+    # Pass 2: flatten same-type children that are used nowhere else.
+    parents: Dict[str, List[str]] = {}
+    for name, gate in gates.items():
+        for child in gate.children:
+            parents.setdefault(resolve(child), []).append(name)
+
+    def flattenable(parent: Gate, child_name: str) -> bool:
+        child = gates.get(child_name)
+        if child is None or child_name in protected:
+            return False
+        if child.gate_type is not parent.gate_type:
+            return False
+        if child.gate_type is GateType.VOT:
+            return False
+        return len(parents.get(child_name, [])) == 1
+
+    new_gates: Dict[str, Gate] = {}
+    consumed: Set[str] = set()
+
+    def expanded_children(gate: Gate) -> Tuple[str, ...]:
+        result: List[str] = []
+        stack = [resolve(c) for c in gate.children]
+        while stack:
+            child = stack.pop(0)
+            if flattenable(gate, child):
+                consumed.add(child)
+                stack = [resolve(c) for c in gates[child].children] + stack
+                continue
+            if child not in result:
+                result.append(child)
+        return tuple(result)
+
+    for name, gate in gates.items():
+        new_gates[name] = Gate(
+            name=name,
+            gate_type=gate.gate_type,
+            children=expanded_children(gate),
+            threshold=gate.threshold,
+            description=gate.description,
+        )
+    for name in consumed:
+        new_gates.pop(name, None)
+
+    # Drop gates that became unreachable from the top.
+    reachable: Set[str] = set()
+    stack = [resolve(tree.top)]
+    while stack:
+        current = stack.pop()
+        if current in reachable:
+            continue
+        reachable.add(current)
+        gate = new_gates.get(current)
+        if gate is not None:
+            stack.extend(gate.children)
+
+    surviving_gates = [g for n, g in new_gates.items() if n in reachable]
+    surviving_bes = [
+        tree.basic_event(name)
+        for name in tree.basic_events
+        if name in reachable
+    ]
+    return FaultTree(
+        basic_events=surviving_bes,
+        gates=surviving_gates,
+        top=resolve(tree.top),
+    )
+
+
+def simplification_stats(before: FaultTree, after: FaultTree) -> Dict[str, int]:
+    """How much structure the simplification removed."""
+    return {
+        "gates_before": len(before.gate_names),
+        "gates_after": len(after.gate_names),
+        "gates_removed": len(before.gate_names) - len(after.gate_names),
+        "events_before": len(before.basic_events),
+        "events_after": len(after.basic_events),
+    }

@@ -1,0 +1,104 @@
+"""The structure function ``Phi_T`` of a fault tree (paper Def. 2).
+
+``Phi_T(b, e)`` gives the status (1 = failed) of element ``e`` under status
+vector ``b``: a basic event takes its vector value, OR gates propagate a
+failure if *some* child failed, AND gates if *all* children failed, and
+VOT(k/N) gates if at least ``k`` children failed.
+
+Evaluation is performed iteratively in a single bottom-up pass and shared
+sub-DAGs are evaluated once, so it is linear in the tree size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import UnknownElementError
+from .elements import GateType
+from .tree import FaultTree, StatusVector
+
+
+def evaluate_all(tree: FaultTree, vector: StatusVector) -> Dict[str, bool]:
+    """Status of *every* element of ``tree`` under ``vector``.
+
+    This is the workhorse for the reference semantics, for failure
+    propagation diagrams, and for the enumeration baselines.
+
+    Args:
+        tree: The fault tree.
+        vector: Status vector over the tree's basic events.
+
+    Returns:
+        Mapping from every element name to its Boolean status.
+    """
+    tree.check_vector(vector)
+    status: Dict[str, bool] = {
+        name: bool(vector[name]) for name in tree.basic_events
+    }
+    # Iterative post-order over gates (the DAG may be deep and shared).
+    stack = [(tree.top, False)]
+    while stack:
+        name, expanded = stack.pop()
+        if name in status:
+            continue
+        if not expanded:
+            stack.append((name, True))
+            for child in tree.children(name):
+                if child not in status:
+                    stack.append((child, False))
+            continue
+        gate = tree.gate(name)
+        child_values = [status[child] for child in gate.children]
+        if gate.gate_type is GateType.OR:
+            status[name] = any(child_values)
+        elif gate.gate_type is GateType.AND:
+            status[name] = all(child_values)
+        else:  # VOT(k/N): sum of child statuses >= k (paper Sec. II).
+            status[name] = sum(child_values) >= gate.threshold
+    # Gates unreachable from the top do not exist in well-formed trees, but
+    # evaluate them anyway for robustness when called on sub-structures.
+    for name in tree.gate_names:
+        if name not in status:
+            _evaluate_from(tree, name, status)
+    return status
+
+
+def _evaluate_from(tree: FaultTree, root: str, status: Dict[str, bool]) -> None:
+    stack = [(root, False)]
+    while stack:
+        name, expanded = stack.pop()
+        if name in status:
+            continue
+        if not expanded:
+            stack.append((name, True))
+            for child in tree.children(name):
+                if child not in status:
+                    stack.append((child, False))
+            continue
+        gate = tree.gate(name)
+        child_values = [status[child] for child in gate.children]
+        if gate.gate_type is GateType.OR:
+            status[name] = any(child_values)
+        elif gate.gate_type is GateType.AND:
+            status[name] = all(child_values)
+        else:
+            status[name] = sum(child_values) >= gate.threshold
+
+
+def structure_function(
+    tree: FaultTree, vector: StatusVector, element: Optional[str] = None
+) -> bool:
+    """``Phi_T(b, e)`` — the paper's Def. 2.
+
+    Args:
+        tree: The fault tree ``T``.
+        vector: The status vector ``b`` (True = failed).
+        element: The element ``e``; defaults to the top level event.
+
+    Returns:
+        True iff the element fails under ``b``.
+    """
+    target = element if element is not None else tree.top
+    if target not in tree:
+        raise UnknownElementError(target)
+    return evaluate_all(tree, vector)[target]

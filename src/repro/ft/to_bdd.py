@@ -1,0 +1,106 @@
+"""Translation of fault trees to BDDs — the paper's ``Psi_FT`` (Def. 6).
+
+``Psi_FT(e)`` maps an element to a BDD over the basic events::
+
+    Psi(e) = B(e)                      if e is a basic event
+    Psi(e) = OR  of Psi(children)      if t(e) = OR
+    Psi(e) = AND of Psi(children)      if t(e) = AND
+    Psi(e) = at-least-k combination    if t(e) = VOT(k/N)
+
+Results are cached per (manager, tree) in a :class:`TreeTranslator`, the
+"store the resulting BDDs" device of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..bdd.manager import BDDManager
+from ..bdd.node import Node
+from .elements import GateType
+from .tree import FaultTree
+
+
+class TreeTranslator:
+    """Caching ``Psi_FT`` for one tree inside one manager.
+
+    The manager must declare (at least) the tree's basic events.  Element
+    BDDs are computed on demand and memoised, so repeated formulae over the
+    same elements reuse earlier work — exactly the "simple caching" the
+    paper prescribes for Algorithm 1.
+    """
+
+    def __init__(self, tree: FaultTree, manager: BDDManager) -> None:
+        self.tree = tree
+        self.manager = manager
+        declared = set(manager.variables)
+        missing = [be for be in tree.basic_events if be not in declared]
+        if missing:
+            manager.declare(*missing)
+        self._cache: Dict[str, Node] = {}
+
+    def element(self, name: str) -> Node:
+        """``Psi_FT(name)`` with memoisation."""
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        # Iterative post-order so deep/shared DAGs never hit the Python
+        # recursion limit.
+        stack: List[tuple] = [(name, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current in self._cache:
+                continue
+            if self.tree.is_basic(current):
+                self._cache[current] = self.manager.var(current)
+                continue
+            if not expanded:
+                stack.append((current, True))
+                for child in self.tree.children(current):
+                    if child not in self._cache:
+                        stack.append((child, False))
+                continue
+            self._cache[current] = self._combine(current)
+        return self._cache[name]
+
+    def _combine(self, name: str) -> Node:
+        gate = self.tree.gate(name)
+        operands = [self._cache[child] for child in gate.children]
+        if gate.gate_type is GateType.OR:
+            return self.manager.disjoin(operands)
+        if gate.gate_type is GateType.AND:
+            return self.manager.conjoin(operands)
+        return self.manager.threshold(operands, gate.threshold)
+
+    def top(self) -> Node:
+        """BDD of the top level event."""
+        return self.element(self.tree.top)
+
+    @property
+    def cached_elements(self) -> Sequence[str]:
+        """Element names translated so far (for cache-behaviour tests)."""
+        return tuple(self._cache)
+
+
+def tree_to_bdd(
+    tree: FaultTree,
+    manager: Optional[BDDManager] = None,
+    element: Optional[str] = None,
+    order: Optional[Sequence[str]] = None,
+) -> Node:
+    """One-shot convenience wrapper around :class:`TreeTranslator`.
+
+    Args:
+        tree: Fault tree to translate.
+        manager: Target manager; a fresh one is created if omitted.
+        element: Element to translate (default: the top level event).
+        order: Variable order for a fresh manager (default: declaration
+            order).  Ignored when ``manager`` is given.
+
+    Returns:
+        The BDD for ``Psi_FT(element)``.
+    """
+    if manager is None:
+        manager = BDDManager(order if order is not None else tree.basic_events)
+    translator = TreeTranslator(tree, manager)
+    return translator.element(element if element is not None else tree.top)

@@ -1,0 +1,371 @@
+"""Abstract syntax of BFL (paper Sec. III-A).
+
+The logic has two syntactic layers::
+
+    phi ::= e | not phi | phi and phi | phi[e -> 0] | phi[e -> 1] | MCS(phi)
+    psi ::= exists phi | forall phi | IDP(phi, phi)
+
+Layer-1 formulae (:class:`Formula`) are evaluated against a status vector;
+layer-2 queries (:class:`Query`) quantify over vectors.  The derived
+operators of the paper's "syntactic sugar" table (or, implies, equiv, xor,
+MPS, SUP, Vot) are first-class AST nodes here so they can be printed,
+pattern-matched and — crucially — *desugared* by :mod:`repro.logic.sugar`,
+which lets the test suite verify the paper's sugar definitions.
+
+Formula classes are immutable and hashable, so they can serve as cache keys
+in Algorithm 1 (``store intermediate results BT(...) in a cache``).
+
+Construction helpers allow idiomatic formula building::
+
+    >>> from repro.logic import atom
+    >>> iw, h3 = atom("IW"), atom("H3")
+    >>> formula = (iw & h3).implies(atom("CP"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Tuple, Union
+
+from ..errors import LayerError
+
+#: Comparison operators allowed in ``Vot`` (the paper's ``|><|``).
+VOT_OPERATORS = ("<", "<=", "=", ">=", ">")
+
+
+class Formula:
+    """Base class of layer-1 formulae (the paper's ``phi``).
+
+    Provides operator overloading (``&``, ``|``, ``~``, ``>>``) plus the
+    named combinators used throughout the examples.
+    """
+
+    __slots__ = ()
+
+    # -- combinators ----------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, _as_formula(other))
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(self, _as_formula(other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Implies":
+        return Implies(self, _as_formula(other))
+
+    def implies(self, other: "Formula") -> "Implies":
+        """``self => other``."""
+        return Implies(self, _as_formula(other))
+
+    def equiv(self, other: "Formula") -> "Equiv":
+        """``self <=> other``."""
+        return Equiv(self, _as_formula(other))
+
+    def nequiv(self, other: "Formula") -> "NotEquiv":
+        """``self <!> other`` (the paper's ``not-equiv``)."""
+        return NotEquiv(self, _as_formula(other))
+
+    def given(self, **evidence: Union[bool, int]) -> "Evidence":
+        """Attach evidence: ``formula.given(H1=0, H2=1)`` is
+        ``formula[H1 -> 0][H2 -> 1]``."""
+        assignments = tuple(
+            (name, bool(value)) for name, value in evidence.items()
+        )
+        return Evidence(self, assignments)
+
+    # -- structure ------------------------------------------------------
+
+    def children(self) -> Tuple["Formula", ...]:
+        """Direct subformulae (empty for atoms/constants)."""
+        raise NotImplementedError
+
+    def atoms(self) -> FrozenSet[str]:
+        """Names of all fault-tree elements mentioned (including evidence
+        targets)."""
+        names = set()
+        for node in self.walk():
+            if isinstance(node, Atom):
+                names.add(node.name)
+            elif isinstance(node, Evidence):
+                names.update(name for name, _ in node.assignments)
+        return frozenset(names)
+
+    def walk(self) -> Iterator["Formula"]:
+        """Pre-order traversal of the formula tree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+
+def _as_formula(value: Union["Formula", str]) -> "Formula":
+    if isinstance(value, Formula):
+        return value
+    if isinstance(value, str):
+        return Atom(value)
+    raise TypeError(f"expected a Formula or element name, got {value!r}")
+
+
+# ----------------------------------------------------------------------
+# Core layer-1 constructors
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A fault-tree element ``e`` (basic *or* intermediate)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("atom names must be non-empty")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Constant(Formula):
+    """A Boolean constant (``true`` / ``false``); handy in patterns."""
+
+    value: bool
+
+    def children(self) -> Tuple[Formula, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation ``not phi``."""
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction ``phi and phi'``."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Evidence(Formula):
+    """Evidence ``phi[e1 -> v1, ..., ek -> vk]`` (paper's ``phi[e -> 0/1]``).
+
+    The paper's Property 6 chains several substitutions; we store them as an
+    ordered tuple abbreviating the chain ``phi[e1 -> v1]...[ek -> vk]``.  If
+    a variable is listed twice, the leftmost (innermost) substitution wins —
+    matching iterated ``Restrict``.  Note ``phi[e -> 0]`` is *not*
+    ``phi and not e`` — see the paper's remark in Sec. III-A.
+    """
+
+    operand: Formula
+    assignments: Tuple[Tuple[str, bool], ...]
+
+    def __post_init__(self) -> None:
+        if not self.assignments:
+            raise ValueError("evidence needs at least one assignment")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class MCS(Formula):
+    """``MCS(phi)``: the current vector is a minimal satisfying vector."""
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+
+# ----------------------------------------------------------------------
+# Sugared layer-1 constructors
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """``phi or phi'  ==  not(not phi and not phi')``."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """``phi => phi'  ==  not(phi and not phi')``."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Equiv(Formula):
+    """``phi <=> phi'  ==  (phi => phi') and (phi' => phi)``."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class NotEquiv(Formula):
+    """``phi <!> phi'  ==  not(phi <=> phi')``."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class MPS(Formula):
+    """``MPS(phi)``: the current vector's operational set is a minimal
+    path set for ``phi``.
+
+    The paper's sugar ``MPS(phi) ::= MCS(not phi)`` is implemented with the
+    inclusion order *dualised* (maximal vectors of ``not phi``); see
+    DESIGN.md deviation 1 for why the literal reading contradicts the
+    paper's own results.
+    """
+
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Vot(Formula):
+    """``Vot_{op k}(phi_1, ..., phi_N)``: the number of operands that hold
+    compares with ``k`` under ``op`` (default ``>=`` as in the paper's
+    Property 4)."""
+
+    operator: str
+    threshold: int
+    operands: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if self.operator not in VOT_OPERATORS:
+            raise ValueError(
+                f"Vot operator must be one of {VOT_OPERATORS}, "
+                f"got {self.operator!r}"
+            )
+        if not self.operands:
+            raise ValueError("Vot needs at least one operand")
+        if not 0 <= self.threshold <= len(self.operands):
+            raise ValueError(
+                f"Vot threshold {self.threshold} outside "
+                f"0..{len(self.operands)}"
+            )
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.operands
+
+
+# ----------------------------------------------------------------------
+# Layer 2 (the paper's psi)
+# ----------------------------------------------------------------------
+
+class Query:
+    """Base class of layer-2 queries (evaluated on the tree alone)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Exists(Query):
+    """``exists phi``: some status vector satisfies ``phi``."""
+
+    operand: Formula
+
+
+@dataclass(frozen=True)
+class Forall(Query):
+    """``forall phi``: every status vector satisfies ``phi``."""
+
+    operand: Formula
+
+
+@dataclass(frozen=True)
+class IDP(Query):
+    """``IDP(phi, phi')``: the formulae share no influencing basic event."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class SUP(Query):
+    """``SUP(e) ::= IDP(e, e_top)``: element ``e`` is superfluous."""
+
+    element: str
+
+    def __post_init__(self) -> None:
+        if not self.element:
+            raise ValueError("SUP needs an element name")
+
+
+#: Anything the parser can return: a bare layer-1 formula or a query.
+Statement = Union[Formula, Query]
+
+
+def atom(name: str) -> Atom:
+    """Convenience constructor: ``atom("IW")``."""
+    return Atom(name)
+
+
+def atoms(*names: str) -> Tuple[Atom, ...]:
+    """Convenience constructor for several atoms at once."""
+    return tuple(Atom(name) for name in names)
+
+
+def conj(*formulae: Formula) -> Formula:
+    """Right-folded conjunction of one or more formulae."""
+    if not formulae:
+        return Constant(True)
+    result = formulae[-1]
+    for item in reversed(formulae[:-1]):
+        result = And(_as_formula(item), result)
+    return result
+
+
+def disj(*formulae: Formula) -> Formula:
+    """Right-folded disjunction of one or more formulae."""
+    if not formulae:
+        return Constant(False)
+    result = formulae[-1]
+    for item in reversed(formulae[:-1]):
+        result = Or(_as_formula(item), result)
+    return result
+
+
+def require_layer1(value: Statement) -> Formula:
+    """Raise :class:`LayerError` unless ``value`` is a layer-1 formula."""
+    if isinstance(value, Formula):
+        return value
+    raise LayerError(
+        "a layer-2 query (exists/forall/IDP/SUP) cannot be nested "
+        "inside a formula"
+    )

@@ -1,0 +1,30 @@
+"""Minimality scope for the MCS/MPS operators (DESIGN.md deviation 2).
+
+When deciding whether a status vector is *minimal* for ``MCS(phi)`` (or
+maximal for ``MPS(phi)``), two readings of the paper coexist:
+
+* ``SUPPORT`` — compare vectors only on the basic events that actually
+  influence ``phi`` (the support of its BDD / its IBE set); all other
+  events are don't-cares.  This reproduces Table I's pattern-3/4 examples
+  and all of Sec. VII, and is the default.
+* ``FULL`` — compare on the complete status vector, the literal reading of
+  the formal semantics in Sec. III-B (under which ``MCS(e3)`` also pins
+  every unrelated event to 0).
+
+Both the BDD checker and the enumerative reference semantics accept either
+scope, and the test suite cross-validates them under both.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MinimalityScope(enum.Enum):
+    """Which variables participate in MCS/MPS minimality comparisons."""
+
+    SUPPORT = "support"
+    FULL = "full"
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,266 @@
+"""Enumerative reference semantics for BFL (paper Sec. III-B).
+
+This module evaluates BFL by *direct implementation of the satisfaction
+relation*: the structure function for atoms, vector surgery for evidence,
+explicit subset/superset enumeration for MCS/MPS, and exhaustive
+quantification for the second layer.  Everything is exponential in the
+number of basic events — deliberately so: it is the obviously-correct
+baseline against which the BDD-based model checker (Sec. V) is
+cross-validated in the tests, and the slow arm of the scalability
+benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..errors import LogicError, StatusVectorError
+from ..ft.structure import evaluate_all
+from ..ft.tree import FaultTree, StatusVector
+from .ast_nodes import (
+    MCS,
+    MPS,
+    SUP,
+    And,
+    Atom,
+    Constant,
+    Equiv,
+    Evidence,
+    Exists,
+    Forall,
+    Formula,
+    IDP,
+    Implies,
+    Not,
+    NotEquiv,
+    Or,
+    Query,
+    Statement,
+    Vot,
+)
+from .scope import MinimalityScope
+from .sugar import vot_comparator
+
+#: Enumeration guard: 2^n vectors get unwieldy fast.
+_MAX_BASIC_EVENTS = 22
+
+
+class ReferenceSemantics:
+    """Evaluate BFL statements on a fault tree by exhaustive enumeration.
+
+    Args:
+        tree: The fault tree ``T``.
+        scope: Minimality scope for MCS/MPS (see
+            :class:`~repro.logic.scope.MinimalityScope`).
+
+    Raises:
+        LogicError: If the tree is too large for enumeration.
+    """
+
+    def __init__(
+        self,
+        tree: FaultTree,
+        scope: MinimalityScope = MinimalityScope.SUPPORT,
+    ) -> None:
+        if len(tree.basic_events) > _MAX_BASIC_EVENTS:
+            raise LogicError(
+                "reference semantics enumerates all vectors and is limited "
+                f"to {_MAX_BASIC_EVENTS} basic events"
+            )
+        self.tree = tree
+        self.scope = scope
+        self._status_cache: Dict[Tuple[bool, ...], Dict[str, bool]] = {}
+        self._ibe_cache: Dict[Formula, FrozenSet[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Vector helpers
+    # ------------------------------------------------------------------
+
+    def _key(self, vector: StatusVector) -> Tuple[bool, ...]:
+        return tuple(bool(vector[name]) for name in self.tree.basic_events)
+
+    def _statuses(self, vector: StatusVector) -> Dict[str, bool]:
+        key = self._key(vector)
+        cached = self._status_cache.get(key)
+        if cached is None:
+            cached = evaluate_all(self.tree, dict(zip(self.tree.basic_events, key)))
+            self._status_cache[key] = cached
+        return cached
+
+    def iter_vectors(self) -> Iterator[Dict[str, bool]]:
+        """All ``2^n`` status vectors of the tree."""
+        names = self.tree.basic_events
+        for bits in itertools.product((False, True), repeat=len(names)):
+            yield dict(zip(names, bits))
+
+    # ------------------------------------------------------------------
+    # Layer 1: b, T |= phi
+    # ------------------------------------------------------------------
+
+    def holds(self, statement: Statement, vector: Optional[StatusVector] = None) -> bool:
+        """``b, T |= phi`` for formulae / ``T |= psi`` for queries.
+
+        Args:
+            statement: A layer-1 formula or a layer-2 query.
+            vector: The status vector ``b``; required for layer-1.
+        """
+        if isinstance(statement, Query):
+            return self._holds_query(statement)
+        if vector is None:
+            raise StatusVectorError(
+                "layer-1 formulae are evaluated against a status vector; "
+                "pass one or wrap the formula in exists/forall"
+            )
+        self.tree.check_vector(vector)
+        return self._eval(statement, {name: bool(vector[name]) for name in self.tree.basic_events})
+
+    def _eval(self, formula: Formula, vector: Dict[str, bool]) -> bool:
+        if isinstance(formula, Atom):
+            if formula.name not in self.tree:
+                raise LogicError(
+                    f"formula mentions unknown element {formula.name!r}"
+                )
+            return self._statuses(vector)[formula.name]
+        if isinstance(formula, Constant):
+            return formula.value
+        if isinstance(formula, Not):
+            return not self._eval(formula.operand, vector)
+        if isinstance(formula, And):
+            return self._eval(formula.left, vector) and self._eval(
+                formula.right, vector
+            )
+        if isinstance(formula, Or):
+            return self._eval(formula.left, vector) or self._eval(
+                formula.right, vector
+            )
+        if isinstance(formula, Implies):
+            return (not self._eval(formula.left, vector)) or self._eval(
+                formula.right, vector
+            )
+        if isinstance(formula, Equiv):
+            return self._eval(formula.left, vector) == self._eval(
+                formula.right, vector
+            )
+        if isinstance(formula, NotEquiv):
+            return self._eval(formula.left, vector) != self._eval(
+                formula.right, vector
+            )
+        if isinstance(formula, Evidence):
+            # The tuple [e1 -> v1, ..., ek -> vk] abbreviates the chain
+            # phi[e1 -> v1]...[ek -> vk]; under the paper's semantics the
+            # innermost (leftmost) substitution of a variable wins, exactly
+            # as iterated Restrict behaves.  Apply right-to-left so earlier
+            # assignments overwrite later ones.
+            modified = dict(vector)
+            for name, value in reversed(formula.assignments):
+                if name not in self.tree.basic_events:
+                    raise LogicError(
+                        f"evidence target {name!r} is not a basic event"
+                    )
+                modified[name] = value
+            return self._eval(formula.operand, modified)
+        if isinstance(formula, Vot):
+            count = sum(
+                1 for op in formula.operands if self._eval(op, vector)
+            )
+            return vot_comparator(formula.operator)(count, formula.threshold)
+        if isinstance(formula, MCS):
+            return self._eval_mcs(formula, vector)
+        if isinstance(formula, MPS):
+            return self._eval_mps(formula, vector)
+        raise TypeError(f"cannot evaluate {formula!r}")
+
+    def _minimality_scope(self, operand: Formula) -> FrozenSet[str]:
+        if self.scope is MinimalityScope.FULL:
+            return frozenset(self.tree.basic_events)
+        return self.influencing_basic_events(operand)
+
+    def _eval_mcs(self, formula: MCS, vector: Dict[str, bool]) -> bool:
+        """Sec. III-B: ``b |= MCS(phi)`` iff ``b |= phi`` and no vector with
+        a strictly smaller failed set (within scope) satisfies ``phi``."""
+        if not self._eval(formula.operand, vector):
+            return False
+        scope = self._minimality_scope(formula.operand)
+        failed = [name for name in scope if vector[name]]
+        for r in range(len(failed)):
+            for keep in itertools.combinations(failed, r):
+                smaller = dict(vector)
+                for name in failed:
+                    smaller[name] = name in keep
+                if self._eval(formula.operand, smaller):
+                    return False
+        return True
+
+    def _eval_mps(self, formula: MPS, vector: Dict[str, bool]) -> bool:
+        """DESIGN.md deviation 1: ``b |= MPS(phi)`` iff ``b |= not phi`` and
+        every vector with a strictly larger failed set (within scope)
+        satisfies ``phi``."""
+        if self._eval(formula.operand, vector):
+            return False
+        scope = self._minimality_scope(formula.operand)
+        operational = [name for name in scope if not vector[name]]
+        for r in range(1, len(operational) + 1):
+            for flip in itertools.combinations(operational, r):
+                larger = dict(vector)
+                for name in flip:
+                    larger[name] = True
+                if not self._eval(formula.operand, larger):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Layer 2: T |= psi
+    # ------------------------------------------------------------------
+
+    def _holds_query(self, query: Query) -> bool:
+        if isinstance(query, Exists):
+            return any(
+                self._eval(query.operand, vector) for vector in self.iter_vectors()
+            )
+        if isinstance(query, Forall):
+            return all(
+                self._eval(query.operand, vector) for vector in self.iter_vectors()
+            )
+        if isinstance(query, IDP):
+            left = self.influencing_basic_events(query.left)
+            right = self.influencing_basic_events(query.right)
+            return not left & right
+        if isinstance(query, SUP):
+            return self._holds_query(
+                IDP(Atom(query.element), Atom(self.tree.top))
+            )
+        raise TypeError(f"cannot evaluate {query!r}")
+
+    # ------------------------------------------------------------------
+    # IBE and satisfaction sets
+    # ------------------------------------------------------------------
+
+    def influencing_basic_events(self, formula: Formula) -> FrozenSet[str]:
+        """The paper's ``IBE(phi)``: basic events whose value can flip the
+        truth value of ``phi`` in some context (computed by enumeration)."""
+        cached = self._ibe_cache.get(formula)
+        if cached is not None:
+            return cached
+        influencing = set()
+        for name in self.tree.basic_events:
+            for vector in self.iter_vectors():
+                low = dict(vector)
+                low[name] = False
+                high = dict(vector)
+                high[name] = True
+                if self._eval(formula, low) != self._eval(formula, high):
+                    influencing.add(name)
+                    break
+        result = frozenset(influencing)
+        self._ibe_cache[formula] = result
+        return result
+
+    def satisfying_vectors(self, formula: Formula) -> List[Dict[str, bool]]:
+        """The paper's ``[[phi]]``: every status vector satisfying the
+        formula, in lexicographic order."""
+        return [
+            vector
+            for vector in self.iter_vectors()
+            if self._eval(formula, vector)
+        ]

@@ -1,0 +1,172 @@
+"""Desugaring: rewrite derived BFL operators into the core grammar.
+
+Implements the paper's "syntactic sugar" table literally::
+
+    phi or phi'   ::=  not(not phi and not phi')
+    phi => phi'   ::=  not(phi and not phi')
+    phi <=> phi'  ::=  (phi => phi') and (phi' => phi)
+    phi <!> phi'  ::=  not(phi <=> phi')
+    SUP(e)        ::=  IDP(e, e_top)
+    Vot_{op k}(phi_1..phi_N) ::= OR over subsets U with |U| op k of
+                                 (AND_{u in U} phi_u  and  AND_{u not in U} not phi_u)
+
+``MPS`` is the one place where the sugar table cannot be taken literally
+(DESIGN.md deviation 1): :func:`desugar` therefore keeps ``MPS`` as a core
+node.  The paper-literal rewrite ``MPS(phi) -> MCS(not phi)`` is still
+available as :func:`mps_literal_rewrite` so the discrepancy can be
+demonstrated (see ``tests/test_mps_semantics.py``).
+
+The expansion of ``Vot`` is exponential in N — that is the point of the
+table; the checker instead builds the threshold BDD directly, and the test
+suite proves the two agree.
+"""
+
+from __future__ import annotations
+
+import itertools
+import operator
+from typing import Callable, Dict
+
+from .ast_nodes import (
+    MCS,
+    MPS,
+    SUP,
+    And,
+    Atom,
+    Constant,
+    Equiv,
+    Evidence,
+    Exists,
+    Forall,
+    Formula,
+    IDP,
+    Implies,
+    Not,
+    NotEquiv,
+    Or,
+    Statement,
+    Vot,
+    conj,
+    disj,
+)
+
+_COMPARATORS: Dict[str, Callable[[int, int], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    "=": operator.eq,
+    ">=": operator.ge,
+    ">": operator.gt,
+}
+
+
+def vot_comparator(symbol: str) -> Callable[[int, int], bool]:
+    """The Python comparator for a ``Vot`` operator symbol."""
+    return _COMPARATORS[symbol]
+
+
+def expand_vot(node: Vot) -> Formula:
+    """The paper's exponential subset expansion of ``Vot_{op k}``."""
+    n = len(node.operands)
+    compare = vot_comparator(node.operator)
+    disjuncts = []
+    for size in range(n + 1):
+        if not compare(size, node.threshold):
+            continue
+        for chosen in itertools.combinations(range(n), size):
+            chosen_set = set(chosen)
+            literals = [
+                node.operands[i] if i in chosen_set else Not(node.operands[i])
+                for i in range(n)
+            ]
+            disjuncts.append(conj(*literals))
+    if not disjuncts:
+        return Constant(False)
+    return disj(*disjuncts)
+
+
+def desugar(formula: Formula) -> Formula:
+    """Rewrite ``formula`` into the core grammar
+    (Atom / Constant / Not / And / Evidence / MCS / MPS)."""
+    if isinstance(formula, (Atom, Constant)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(desugar(formula.operand))
+    if isinstance(formula, And):
+        return And(desugar(formula.left), desugar(formula.right))
+    if isinstance(formula, Or):
+        return Not(
+            And(Not(desugar(formula.left)), Not(desugar(formula.right)))
+        )
+    if isinstance(formula, Implies):
+        return Not(And(desugar(formula.left), Not(desugar(formula.right))))
+    if isinstance(formula, Equiv):
+        return desugar(
+            And(
+                Implies(formula.left, formula.right),
+                Implies(formula.right, formula.left),
+            )
+        )
+    if isinstance(formula, NotEquiv):
+        return Not(desugar(Equiv(formula.left, formula.right)))
+    if isinstance(formula, Evidence):
+        return Evidence(desugar(formula.operand), formula.assignments)
+    if isinstance(formula, MCS):
+        return MCS(desugar(formula.operand))
+    if isinstance(formula, MPS):
+        return MPS(desugar(formula.operand))
+    if isinstance(formula, Vot):
+        return desugar(expand_vot(formula))
+    raise TypeError(f"cannot desugar {formula!r}")
+
+
+def mps_literal_rewrite(formula: Formula) -> Formula:
+    """The paper-literal sugar ``MPS(phi) ::= MCS(not phi)``.
+
+    Provided *only* to demonstrate that the literal reading collapses
+    ``[[MPS(e_top)]]`` to the all-operational vector; not used by the
+    checker (DESIGN.md deviation 1).
+    """
+    if isinstance(formula, MPS):
+        return MCS(Not(mps_literal_rewrite(formula.operand)))
+    if isinstance(formula, (Atom, Constant)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(mps_literal_rewrite(formula.operand))
+    if isinstance(formula, And):
+        return And(
+            mps_literal_rewrite(formula.left), mps_literal_rewrite(formula.right)
+        )
+    if isinstance(formula, Or):
+        return Or(
+            mps_literal_rewrite(formula.left), mps_literal_rewrite(formula.right)
+        )
+    if isinstance(formula, Implies):
+        return Implies(
+            mps_literal_rewrite(formula.left), mps_literal_rewrite(formula.right)
+        )
+    if isinstance(formula, Evidence):
+        return Evidence(mps_literal_rewrite(formula.operand), formula.assignments)
+    if isinstance(formula, MCS):
+        return MCS(mps_literal_rewrite(formula.operand))
+    if isinstance(formula, Vot):
+        return Vot(
+            formula.operator,
+            formula.threshold,
+            tuple(mps_literal_rewrite(op) for op in formula.operands),
+        )
+    return formula
+
+
+def desugar_statement(statement: Statement, top: str) -> Statement:
+    """Desugar a statement; ``SUP(e)`` needs the tree's top element name."""
+    if isinstance(statement, Formula):
+        return desugar(statement)
+    if isinstance(statement, Exists):
+        return Exists(desugar(statement.operand))
+    if isinstance(statement, Forall):
+        return Forall(desugar(statement.operand))
+    if isinstance(statement, IDP):
+        return IDP(desugar(statement.left), desugar(statement.right))
+    if isinstance(statement, SUP):
+        return IDP(Atom(statement.element), Atom(top))
+    raise TypeError(f"cannot desugar {statement!r}")

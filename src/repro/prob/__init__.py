@@ -1,0 +1,30 @@
+"""Quantitative extension (the paper's future work #1): probabilities,
+importance measures and PBFL-lite queries over BFL formulae."""
+
+from .importance import ImportanceRow, importance_table, render_importance_table
+from .measure import (
+    MissingProbabilityError,
+    bdd_probability,
+    conditional_probability,
+    enumeration_probability,
+    event_probabilities,
+    min_cut_upper_bound,
+    rare_event_approximation,
+)
+from .queries import ProbQuery, ProbabilityChecker, parse_prob_query
+
+__all__ = [
+    "ImportanceRow",
+    "MissingProbabilityError",
+    "ProbQuery",
+    "ProbabilityChecker",
+    "bdd_probability",
+    "parse_prob_query",
+    "conditional_probability",
+    "enumeration_probability",
+    "event_probabilities",
+    "importance_table",
+    "min_cut_upper_bound",
+    "rare_event_approximation",
+    "render_importance_table",
+]

@@ -1,0 +1,140 @@
+"""PBFL-lite: probabilistic queries over BFL formulae.
+
+The paper's future work asks for "a probabilistic fault tree logic".  This
+module provides the natural first step: a layer-2 query
+
+    P(phi) |><| c          e.g.  P(MoT | MCS-free evidence ...) >= 0.3
+
+where ``phi`` is any layer-1 BFL formula, evaluated against independent
+basic-event failure probabilities.  Probabilities are computed on exactly
+the BDD that Algorithm 1 builds for ``phi``, so every BFL construct —
+evidence, MCS/MPS, VOT — participates for free.
+
+Note the design decision documented here: for ``P(phi)`` the probability
+mass of a formula is the measure of its satisfying *status vectors*
+(``[[phi]]``); under the SUPPORT minimality scope the don't-care variables
+contribute their full mass, which is the measure-theoretically consistent
+reading.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+from ..checker.translate import FormulaTranslator
+from ..ft.tree import FaultTree
+from ..logic.ast_nodes import Formula
+from ..logic.parser import parse_formula
+from ..logic.scope import MinimalityScope
+from .measure import bdd_probability, event_probabilities
+
+_COMPARATORS: Dict[str, Callable[[float, float], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    "=": lambda a, b: abs(a - b) < 1e-12,
+    ">=": operator.ge,
+    ">": operator.gt,
+}
+
+
+@dataclass(frozen=True)
+class ProbQuery:
+    """``P(formula) |><| bound``."""
+
+    formula: Formula
+    comparator: str
+    bound: float
+
+    def __post_init__(self) -> None:
+        if self.comparator not in _COMPARATORS:
+            raise ValueError(
+                f"comparator must be one of {sorted(_COMPARATORS)}, "
+                f"got {self.comparator!r}"
+            )
+        if not 0.0 <= self.bound <= 1.0:
+            raise ValueError(f"bound {self.bound} outside [0, 1]")
+
+
+_QUERY_RE = None  # compiled lazily below
+
+
+def parse_prob_query(text: str) -> ProbQuery:
+    """Parse ``"P(<formula>) <cmp> <bound>"`` into a :class:`ProbQuery`.
+
+    Example:
+        >>> parse_prob_query("P(MoT & !H1) >= 0.25")
+        ProbQuery(formula=..., comparator='>=', bound=0.25)
+    """
+    import re
+
+    global _QUERY_RE
+    if _QUERY_RE is None:
+        _QUERY_RE = re.compile(
+            r"^\s*P\s*\((?P<formula>.*)\)\s*"
+            r"(?P<cmp><=|>=|<|>|=)\s*(?P<bound>[0-9.eE+\-]+)\s*$",
+            re.DOTALL,
+        )
+    match = _QUERY_RE.match(text)
+    if match is None:
+        raise ValueError(
+            f"cannot parse probability query {text!r}; expected "
+            "'P(<formula>) <cmp> <bound>'"
+        )
+    return ProbQuery(
+        formula=parse_formula(match.group("formula")),
+        comparator=match.group("cmp"),
+        bound=float(match.group("bound")),
+    )
+
+
+class ProbabilityChecker:
+    """Quantitative companion to :class:`repro.checker.ModelChecker`.
+
+    Args:
+        tree: The fault tree (basic events need probabilities, or pass
+            ``overrides``).
+        overrides: Per-event probability overrides.
+        scope: Minimality scope forwarded to the formula translator.
+    """
+
+    def __init__(
+        self,
+        tree: FaultTree,
+        overrides: Optional[Mapping[str, float]] = None,
+        scope: MinimalityScope = MinimalityScope.SUPPORT,
+    ) -> None:
+        self.tree = tree
+        self.probabilities = event_probabilities(tree, overrides)
+        self.translator = FormulaTranslator(tree, scope=scope)
+
+    def _formula(self, formula) -> Formula:
+        if isinstance(formula, str):
+            return parse_formula(formula)
+        return formula
+
+    def probability(self, formula) -> float:
+        """``P(formula)`` — the measure of ``[[formula]]``."""
+        root = self.translator.bdd(self._formula(formula))
+        return bdd_probability(self.translator.manager, root, self.probabilities)
+
+    def conditional(self, formula, given) -> float:
+        """``P(formula | given)``."""
+        manager = self.translator.manager
+        f = self.translator.bdd(self._formula(formula))
+        g = self.translator.bdd(self._formula(given))
+        denominator = bdd_probability(manager, g, self.probabilities)
+        if denominator == 0.0:
+            raise ZeroDivisionError("conditioning on a zero-probability event")
+        joint = bdd_probability(manager, manager.and_(f, g), self.probabilities)
+        return joint / denominator
+
+    def check(self, query: ProbQuery) -> bool:
+        """Evaluate ``P(formula) |><| bound``."""
+        value = self.probability(query.formula)
+        return _COMPARATORS[query.comparator](value, query.bound)
+
+    def unreliability(self) -> float:
+        """``P(e_top)`` — the classical top-event unreliability."""
+        return self.probability(self.tree.top)

@@ -1,0 +1,12 @@
+"""Rendering: ASCII trees, failure propagation, DOT export."""
+
+from .ascii_tree import render_tree
+from .dot import tree_to_dot
+from .propagation import counterexample_view, propagation_view
+
+__all__ = [
+    "counterexample_view",
+    "propagation_view",
+    "render_tree",
+    "tree_to_dot",
+]

@@ -1,0 +1,76 @@
+"""ASCII rendering of fault trees, optionally annotated with a status vector.
+
+This is the textual analogue of the paper's tree pictures: each element
+shows its gate type and, when a status vector is given, whether it fails
+(``[X]``) or stays operational (``[ ]``) under that vector — the failure
+propagation the paper draws in Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ft.structure import evaluate_all
+from ..ft.tree import FaultTree, StatusVector
+
+
+def _label(
+    tree: FaultTree, name: str, status: Optional[Dict[str, bool]]
+) -> str:
+    if tree.is_basic(name):
+        kind = "BE"
+    else:
+        kind = tree.gate(name).describe_type()
+    mark = ""
+    if status is not None:
+        mark = " [X]" if status[name] else " [ ]"
+    description = tree.describe(name)
+    suffix = f"  -- {description}" if description != name else ""
+    return f"{name} ({kind}){mark}{suffix}"
+
+
+def render_tree(
+    tree: FaultTree,
+    vector: Optional[StatusVector] = None,
+    root: Optional[str] = None,
+    show_descriptions: bool = False,
+) -> str:
+    """Draw ``tree`` (or the subtree under ``root``) as indented ASCII art.
+
+    Args:
+        tree: The fault tree.
+        vector: Optional status vector; adds ``[X]``/``[ ]`` failure marks
+            on every element (gates via the structure function).
+        root: Element to start from (default: the top level event).
+        show_descriptions: Append element descriptions after each node.
+
+    Repeated (shared) elements are expanded at each occurrence, with a
+    ``*`` marker after the first, mirroring how Fig. 2 repeats leaves.
+    """
+    status = evaluate_all(tree, vector) if vector is not None else None
+    start = root if root is not None else tree.top
+    lines: List[str] = []
+    seen: set = set()
+
+    def visit(name: str, prefix: str, connector: str) -> None:
+        label = _label(tree, name, status)
+        if not show_descriptions:
+            label = label.split("  -- ")[0]
+        repeat = " *" if name in seen and not tree.is_basic(name) else ""
+        if name in seen and tree.is_basic(name):
+            repeat = " *"
+        lines.append(f"{prefix}{connector}{label}{repeat}")
+        first_visit = name not in seen
+        seen.add(name)
+        children = tree.children(name)
+        if not children or (not first_visit and not tree.is_basic(name)):
+            # Shared gates are drawn once in full; later occurrences are
+            # marked with '*' and not re-expanded.
+            return
+        child_prefix = prefix + ("   " if connector in ("", "`- ") else "|  ")
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            visit(child, child_prefix, "`- " if last else "|- ")
+
+    visit(start, "", "")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Graphviz DOT export for fault trees (the shape of the paper's Fig. 2).
+
+Gates are drawn as house/invhouse/diamond shapes (AND/OR/VOT), basic events
+as circles.  With a status vector, failed elements are filled red and
+operational ones green, matching the red/green propagation pictures of
+Table I.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ft.elements import GateType
+from ..ft.structure import evaluate_all
+from ..ft.tree import FaultTree, StatusVector
+
+_GATE_SHAPES = {
+    GateType.AND: "invhouse",
+    GateType.OR: "house",
+    GateType.VOT: "diamond",
+}
+
+
+def _escape(name: str) -> str:
+    return name.replace('"', '\\"')
+
+
+def tree_to_dot(
+    tree: FaultTree,
+    vector: Optional[StatusVector] = None,
+    name: str = "fault_tree",
+    show_descriptions: bool = False,
+) -> str:
+    """Render ``tree`` as a DOT digraph (top-down).
+
+    Args:
+        tree: The fault tree.
+        vector: Optional status vector for red/green colouring.
+        name: DOT graph name.
+        show_descriptions: Use element descriptions as labels.
+    """
+    status = evaluate_all(tree, vector) if vector is not None else None
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=TB;"]
+    for element in tree.elements:
+        label = (
+            tree.describe(element) if show_descriptions else element
+        )
+        attrs = []
+        if tree.is_basic(element):
+            attrs.append("shape=circle")
+        else:
+            gate = tree.gate(element)
+            attrs.append(f"shape={_GATE_SHAPES[gate.gate_type]}")
+            if gate.gate_type is GateType.VOT:
+                label = f"{label}\\n{gate.describe_type()}"
+            else:
+                label = f"{label}\\n{gate.gate_type.name}"
+        attrs.append(f'label="{_escape(label)}"')
+        if status is not None:
+            colour = "indianred1" if status[element] else "palegreen"
+            attrs.append("style=filled")
+            attrs.append(f"fillcolor={colour}")
+        lines.append(f'  "{_escape(element)}" [{", ".join(attrs)}];')
+    for gate_name in tree.gate_names:
+        for child in tree.children(gate_name):
+            lines.append(
+                f'  "{_escape(gate_name)}" -> "{_escape(child)}";'
+            )
+    lines.append("}")
+    return "\n".join(lines)

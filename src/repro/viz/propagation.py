@@ -1,0 +1,72 @@
+"""Failure-propagation views (paper Sec. VI, Table I's picture columns).
+
+Given a tree and a status vector, :func:`propagation_view` lists how the
+failure travels from the failed leaves to the top.  Given an original
+vector and an Algorithm-4 counterexample, :func:`counterexample_view`
+renders the side-by-side "example vs counterexample" comparison of Table I:
+which basic events changed, and how every element's status differs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..checker.counterexample import Counterexample
+from ..ft.structure import evaluate_all
+from ..ft.tree import FaultTree, StatusVector
+from .ascii_tree import render_tree
+
+
+def propagation_view(tree: FaultTree, vector: StatusVector) -> str:
+    """Text block: vector, failed elements by depth, annotated tree."""
+    status = evaluate_all(tree, vector)
+    failed_bes = sorted(n for n in tree.basic_events if status[n])
+    failed_gates = sorted(
+        (tree.depth(n), n) for n in tree.gate_names if status[n]
+    )
+    lines: List[str] = []
+    bits = ", ".join(f"{n}={int(status[n])}" for n in tree.basic_events)
+    lines.append(f"status vector: ({bits})")
+    lines.append(
+        "failed basic events: "
+        + ("{" + ", ".join(failed_bes) + "}" if failed_bes else "none")
+    )
+    if failed_gates:
+        chain = " -> ".join(name for _, name in sorted(failed_gates, reverse=True))
+        lines.append(f"failure propagates: {chain}")
+    top_state = "FAILS" if status[tree.top] else "stays operational"
+    lines.append(f"top level event {tree.top}: {top_state}")
+    lines.append(render_tree(tree, vector))
+    return "\n".join(lines)
+
+
+def counterexample_view(
+    tree: FaultTree, counterexample: Counterexample
+) -> str:
+    """Table-I style comparison of ``b`` and the counterexample ``b'``."""
+    before = evaluate_all(tree, counterexample.original)
+    after = evaluate_all(tree, counterexample.vector)
+    lines: List[str] = []
+    if not counterexample.changed:
+        lines.append("vector already satisfies the formula; nothing to change")
+    else:
+        changes = ", ".join(
+            f"{name}: {int(counterexample.original[name])}"
+            f"->{int(counterexample.vector[name])}"
+            for name in counterexample.changed
+        )
+        lines.append(f"changed basic events: {changes}")
+        compliant = "yes" if counterexample.def7_compliant else "NO"
+        lines.append(f"every change necessary (Def. 7): {compliant}")
+    element_changes = [
+        f"{name}: {int(before[name])}->{int(after[name])}"
+        for name in tree.gate_names
+        if before[name] != after[name]
+    ]
+    if element_changes:
+        lines.append("gate status changes: " + ", ".join(element_changes))
+    lines.append("--- example b ---")
+    lines.append(render_tree(tree, counterexample.original))
+    lines.append("--- counterexample b' ---")
+    lines.append(render_tree(tree, counterexample.vector))
+    return "\n".join(lines)

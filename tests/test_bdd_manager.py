@@ -1,0 +1,210 @@
+"""Unit tests for the ROBDD manager: construction, reduction, Apply family."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.errors import ManagerMismatchError, VariableError
+
+
+@pytest.fixture()
+def manager():
+    return BDDManager(["a", "b", "c"])
+
+
+class TestVariables:
+    def test_declaration_order_is_the_level_order(self, manager):
+        assert manager.variables == ("a", "b", "c")
+        assert [manager.level_of(n) for n in "abc"] == [0, 1, 2]
+
+    def test_name_of_inverts_level_of(self, manager):
+        for name in "abc":
+            assert manager.name_of(manager.level_of(name)) == name
+
+    def test_duplicate_declaration_rejected(self, manager):
+        with pytest.raises(VariableError):
+            manager.declare("a")
+
+    def test_empty_name_rejected(self, manager):
+        with pytest.raises(VariableError):
+            manager.declare("")
+
+    def test_unknown_variable_rejected(self, manager):
+        with pytest.raises(VariableError):
+            manager.level_of("zz")
+        with pytest.raises(VariableError):
+            manager.name_of(99)
+
+    def test_later_declarations_extend_the_order(self, manager):
+        manager.declare("d", "e")
+        assert manager.variables[-2:] == ("d", "e")
+
+
+class TestTerminals:
+    def test_exactly_two_terminals(self, manager):
+        assert manager.true.is_terminal and manager.true.value is True
+        assert manager.false.is_terminal and manager.false.value is False
+        assert manager.constant(True) is manager.true
+        assert manager.constant(False) is manager.false
+
+    def test_terminals_are_distinct(self, manager):
+        assert manager.true is not manager.false
+
+
+class TestReduction:
+    def test_identical_children_collapse(self, manager):
+        node = manager.mk(0, manager.true, manager.true)
+        assert node is manager.true
+
+    def test_unique_table_shares_nodes(self, manager):
+        first = manager.mk(0, manager.false, manager.true)
+        second = manager.mk(0, manager.false, manager.true)
+        assert first is second
+
+    def test_var_is_the_elementary_bdd(self, manager):
+        node = manager.var("b")
+        assert node.low is manager.false
+        assert node.high is manager.true
+        assert manager.name_of(node.level) == "b"
+
+    def test_order_violation_rejected(self, manager):
+        deep = manager.var("c")
+        with pytest.raises(VariableError):
+            manager.mk(2, deep, manager.true)  # child level == own level
+
+    def test_canonicity_same_function_same_node(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        left = manager.or_(a, b)
+        right = manager.negate(manager.and_(manager.negate(a), manager.negate(b)))
+        assert left is right
+
+
+class TestApply:
+    @pytest.mark.parametrize(
+        "op,fn",
+        [
+            ("and", lambda x, y: x and y),
+            ("or", lambda x, y: x or y),
+            ("xor", lambda x, y: x != y),
+            ("xnor", lambda x, y: x == y),
+            ("nand", lambda x, y: not (x and y)),
+            ("nor", lambda x, y: not (x or y)),
+            ("implies", lambda x, y: (not x) or y),
+        ],
+    )
+    def test_truth_tables(self, manager, op, fn):
+        a, b = manager.var("a"), manager.var("b")
+        result = manager.apply(op, a, b)
+        for va, vb in itertools.product([False, True], repeat=2):
+            expected = fn(va, vb)
+            assert (
+                manager.evaluate(result, {"a": va, "b": vb, "c": False})
+                is expected
+            )
+
+    def test_unknown_operator_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.apply("nope", manager.true, manager.false)
+
+    def test_negation_is_involutive(self, manager):
+        f = manager.or_(manager.var("a"), manager.and_(manager.var("b"), manager.var("c")))
+        assert manager.negate(manager.negate(f)) is f
+
+    def test_conjoin_disjoin_empty(self, manager):
+        assert manager.conjoin([]) is manager.true
+        assert manager.disjoin([]) is manager.false
+
+    def test_ite_matches_definition(self, manager):
+        a, b, c = (manager.var(n) for n in "abc")
+        ite = manager.ite(a, b, c)
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip("abc", bits))
+            expected = env["b"] if env["a"] else env["c"]
+            assert manager.evaluate(ite, env) is expected
+
+    def test_cross_manager_nodes_rejected(self, manager):
+        other = BDDManager(["a"])
+        with pytest.raises(ManagerMismatchError):
+            manager.and_(manager.var("a"), other.var("a"))
+
+
+class TestThreshold:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4])
+    def test_at_least_k_of_three(self, manager, k):
+        operands = [manager.var(n) for n in "abc"]
+        node = manager.threshold(operands, k)
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip("abc", bits))
+            assert manager.evaluate(node, env) is (sum(bits) >= k)
+
+    def test_k_zero_is_true_and_k_over_n_false(self, manager):
+        operands = [manager.var("a")]
+        assert manager.threshold(operands, 0) is manager.true
+        assert manager.threshold(operands, 2) is manager.false
+
+
+class TestRestrictComposeRename:
+    def test_restrict_fixes_a_variable(self, manager):
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        assert manager.restrict(f, "a", True) is manager.var("b")
+        assert manager.restrict(f, "a", False) is manager.false
+
+    def test_restrict_many(self, manager):
+        f = manager.or_(manager.var("a"), manager.var("c"))
+        result = manager.restrict_many(f, {"a": False, "c": False})
+        assert result is manager.false
+
+    def test_compose_substitutes_a_function(self, manager):
+        f = manager.or_(manager.var("a"), manager.var("b"))
+        g = manager.and_(manager.var("b"), manager.var("c"))
+        composed = manager.compose(f, "a", g)
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip("abc", bits))
+            expected = (env["b"] and env["c"]) or env["b"]
+            assert manager.evaluate(composed, env) is expected
+
+    def test_monotone_rename(self, manager):
+        manager.declare("a2", "b2")
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        renamed = manager.rename(f, {"a": "a2", "b": "b2"})
+        assert manager.support(renamed) == {"a2", "b2"}
+
+    def test_non_monotone_rename_rejected(self, manager):
+        manager.declare("z1", "z2")
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        with pytest.raises(VariableError):
+            manager.rename(f, {"a": "z2", "b": "z1"})
+
+
+class TestInspection:
+    def test_support(self, manager):
+        f = manager.and_(manager.var("a"), manager.var("c"))
+        assert manager.support(f) == {"a", "c"}
+        assert manager.support(manager.true) == set()
+
+    def test_evaluate_missing_variable(self, manager):
+        f = manager.var("b")
+        with pytest.raises(KeyError):
+            manager.evaluate(f, {"a": True})
+
+    def test_sat_count(self, manager):
+        f = manager.or_(manager.var("a"), manager.var("b"))
+        assert manager.sat_count(f, ["a", "b"]) == 3
+        assert manager.sat_count(f) == 6  # free c doubles the count
+
+    def test_sat_count_rejects_narrow_scope(self, manager):
+        f = manager.var("c")
+        with pytest.raises(VariableError):
+            manager.sat_count(f, ["a"])
+
+    def test_node_count_grows_with_unique_nodes(self, manager):
+        before = manager.node_count()
+        manager.and_(manager.var("a"), manager.var("b"))
+        assert manager.node_count() > before
+
+    def test_clear_caches_keeps_results_valid(self, manager):
+        f = manager.or_(manager.var("a"), manager.var("b"))
+        manager.clear_caches()
+        g = manager.or_(manager.var("a"), manager.var("b"))
+        assert f is g  # unique table survives a cache clear

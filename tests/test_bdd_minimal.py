@@ -1,0 +1,172 @@
+"""Minimal/maximal satisfying-vector constructions (the MCS/MPS engine).
+
+Cross-validates the paper's primed-relation construction against the
+restriction-based monotone construction and against brute force.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import (
+    BDDManager,
+    all_models,
+    is_monotone,
+    maximal_assignments,
+    maximal_assignments_monotone,
+    minimal_assignments,
+    minimal_assignments_monotone,
+    prime_name,
+)
+from repro.bdd.minimal import ensure_primed
+
+NAMES = ["p", "q", "r"]
+
+
+def _brute_minimal(models, scope):
+    keys = [frozenset(n for n in scope if m[n]) for m in models]
+    return {
+        m_key
+        for m_key in keys
+        if not any(other < m_key for other in keys)
+    }
+
+
+def _brute_maximal(models, scope):
+    keys = [frozenset(n for n in scope if m[n]) for m in models]
+    return {
+        m_key
+        for m_key in keys
+        if not any(other > m_key for other in keys)
+    }
+
+
+def _monotone_function(manager, seed):
+    """Random AND/OR combination of positive literals (hence monotone)."""
+    import random
+
+    rng = random.Random(seed)
+    result = manager.var(rng.choice(NAMES))
+    for _ in range(4):
+        literal = manager.var(rng.choice(NAMES))
+        op = rng.choice(["and", "or"])
+        result = manager.apply(op, result, literal)
+    return result
+
+
+class TestPrimedNames:
+    def test_prime_name_suffix(self):
+        assert prime_name("IW") == "IW__prime"
+
+    def test_ensure_primed_declares_once(self):
+        manager = BDDManager(NAMES)
+        mapping = ensure_primed(manager, NAMES)
+        again = ensure_primed(manager, NAMES)
+        assert mapping == again
+        assert manager.variables.count(prime_name("p")) == 1
+
+
+class TestMinimal:
+    def test_or_gate_minimal_vectors(self):
+        manager = BDDManager(["a", "b"])
+        f = manager.or_(manager.var("a"), manager.var("b"))
+        minimal = minimal_assignments(manager, f, ["a", "b"])
+        models = all_models(manager, minimal, ["a", "b"])
+        sets = {frozenset(n for n, v in m.items() if v) for m in models}
+        assert sets == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_and_gate_single_minimal_vector(self):
+        manager = BDDManager(["a", "b"])
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        minimal = minimal_assignments(manager, f, ["a", "b"])
+        models = all_models(manager, minimal, ["a", "b"])
+        assert models == [{"a": True, "b": True}]
+
+    def test_empty_scope_is_identity(self):
+        manager = BDDManager(["a"])
+        f = manager.var("a")
+        assert minimal_assignments(manager, f, []) is f
+
+    def test_unsatisfiable_stays_unsatisfiable(self):
+        manager = BDDManager(["a"])
+        f = manager.false
+        assert minimal_assignments(manager, f, ["a"]) is manager.false
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_primed_equals_monotone_fast_path(self, seed):
+        manager = BDDManager(NAMES)
+        f = _monotone_function(manager, seed)
+        assert is_monotone(manager, f)
+        general = minimal_assignments(manager, f, NAMES)
+        fast = minimal_assignments_monotone(manager, f, NAMES)
+        assert general is fast
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_primed_matches_brute_force(self, seed):
+        manager = BDDManager(NAMES)
+        f = _monotone_function(manager, seed)
+        minimal = minimal_assignments(manager, f, NAMES)
+        got = {
+            frozenset(n for n, v in m.items() if v)
+            for m in all_models(manager, minimal, NAMES)
+        }
+        expected = _brute_minimal(all_models(manager, f, NAMES), NAMES)
+        assert got == expected
+
+
+class TestMaximal:
+    def test_maximal_vectors_of_negated_and(self):
+        manager = BDDManager(["a", "b"])
+        f = manager.negate(manager.and_(manager.var("a"), manager.var("b")))
+        maximal = maximal_assignments(manager, f, ["a", "b"])
+        models = all_models(manager, maximal, ["a", "b"])
+        sets = {frozenset(n for n, v in m.items() if v) for m in models}
+        # Maximal non-(a and b) vectors: {a}, {b}.
+        assert sets == {frozenset({"a"}), frozenset({"b"})}
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_maximal_matches_brute_force(self, seed):
+        manager = BDDManager(NAMES)
+        f = manager.negate(_monotone_function(manager, seed))
+        maximal = maximal_assignments(manager, f, NAMES)
+        got = {
+            frozenset(n for n, v in m.items() if v)
+            for m in all_models(manager, maximal, NAMES)
+        }
+        expected = _brute_maximal(all_models(manager, f, NAMES), NAMES)
+        assert got == expected
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_maximal_fast_path_agrees(self, seed):
+        manager = BDDManager(NAMES)
+        base = _monotone_function(manager, seed)
+        f = manager.negate(base)
+        general = maximal_assignments(manager, f, NAMES)
+        fast = maximal_assignments_monotone(manager, f, NAMES)
+        assert general is fast
+
+
+class TestIsMonotone:
+    def test_positive_function_is_monotone(self):
+        manager = BDDManager(NAMES)
+        f = manager.or_(manager.var("p"), manager.and_(manager.var("q"), manager.var("r")))
+        assert is_monotone(manager, f)
+
+    def test_negation_is_not_monotone(self):
+        manager = BDDManager(NAMES)
+        assert not is_monotone(manager, manager.nvar("p"))
+
+    def test_constants_are_monotone(self):
+        manager = BDDManager(NAMES)
+        assert is_monotone(manager, manager.true)
+        assert is_monotone(manager, manager.false)
+
+    def test_xor_is_not_monotone(self):
+        manager = BDDManager(NAMES)
+        assert not is_monotone(manager, manager.xor(manager.var("p"), manager.var("q")))

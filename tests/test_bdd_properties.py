@@ -1,0 +1,145 @@
+"""Property-based tests of ROBDD invariants (Def. 5 and canonicity)."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager, iter_cubes
+from repro.bdd.node import TERMINAL_LEVEL
+
+NAMES = ["v1", "v2", "v3", "v4"]
+
+
+def _build(manager, ops):
+    """Interpret a small op-program into a BDD plus a Python evaluator."""
+    import operator as op_mod
+
+    expr = manager.var(NAMES[0])
+
+    def base_eval(env):
+        return env[NAMES[0]]
+
+    evaluator = base_eval
+    for op, name, negate in ops:
+        literal = manager.var(name)
+        expr_literal = literal if not negate else manager.negate(literal)
+
+        def lit_eval(env, _name=name, _neg=negate):
+            value = env[_name]
+            return (not value) if _neg else value
+
+        previous = evaluator
+        if op == "and":
+            expr = manager.and_(expr, expr_literal)
+            evaluator = lambda env, p=previous, l=lit_eval: p(env) and l(env)
+        elif op == "or":
+            expr = manager.or_(expr, expr_literal)
+            evaluator = lambda env, p=previous, l=lit_eval: p(env) or l(env)
+        else:
+            expr = manager.xor(expr, expr_literal)
+            evaluator = lambda env, p=previous, l=lit_eval: p(env) != l(env)
+    return expr, evaluator
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["and", "or", "xor"]),
+        st.sampled_from(NAMES),
+        st.booleans(),
+    ),
+    max_size=8,
+)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=100, deadline=None)
+def test_bdd_agrees_with_direct_evaluation(ops):
+    manager = BDDManager(NAMES)
+    expr, evaluator = _build(manager, ops)
+    for bits in itertools.product([False, True], repeat=len(NAMES)):
+        env = dict(zip(NAMES, bits))
+        assert manager.evaluate(expr, env) is bool(evaluator(env))
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=100, deadline=None)
+def test_robdd_invariants(ops):
+    manager = BDDManager(NAMES)
+    expr, _ = _build(manager, ops)
+    seen = {}
+    for node in expr.iter_nodes():
+        if node.is_terminal:
+            assert node.level == TERMINAL_LEVEL
+            continue
+        # Reduced: children distinct.
+        assert node.low is not node.high
+        # Ordered: levels strictly increase towards the leaves.
+        assert node.level < node.low.level
+        assert node.level < node.high.level
+        # Unique: no two nodes with identical (level, low, high).
+        key = (node.level, node.low.uid, node.high.uid)
+        assert key not in seen
+        seen[key] = node
+
+
+@given(ops=ops_strategy, seed=st.integers(0, 999))
+@settings(max_examples=60, deadline=None)
+def test_canonicity_under_rebuild_order(ops, seed):
+    """Building the same function by a shuffled op order (where legal —
+    AND/OR/XOR chains commute) yields the identical node."""
+    manager = BDDManager(NAMES)
+    expr, _ = _build(manager, ops)
+    # Rebuild with the commutative tail shuffled.
+    rng = random.Random(seed)
+    if len({op for op, _, _ in ops}) == 1 and ops:
+        shuffled = ops[:]
+        rng.shuffle(shuffled)
+        expr2, _ = _build(manager, shuffled)
+        assert expr is expr2
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_cubes_partition_the_onset(ops):
+    """Cubes are disjoint and cover exactly the satisfying assignments."""
+    manager = BDDManager(NAMES)
+    expr, _ = _build(manager, ops)
+    cubes = list(iter_cubes(manager, expr))
+    for bits in itertools.product([False, True], repeat=len(NAMES)):
+        env = dict(zip(NAMES, bits))
+        matching = [
+            cube
+            for cube in cubes
+            if all(env[name] == value for name, value in cube.items())
+        ]
+        if manager.evaluate(expr, env):
+            assert len(matching) == 1
+        else:
+            assert not matching
+
+
+@given(ops=ops_strategy, name=st.sampled_from(NAMES))
+@settings(max_examples=60, deadline=None)
+def test_shannon_expansion(ops, name):
+    """f == ite(x, f[x:=1], f[x:=0]) — restrict and ite cohere."""
+    manager = BDDManager(NAMES)
+    expr, _ = _build(manager, ops)
+    rebuilt = manager.ite(
+        manager.var(name),
+        manager.restrict(expr, name, True),
+        manager.restrict(expr, name, False),
+    )
+    assert rebuilt is expr
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_de_morgan(ops):
+    manager = BDDManager(NAMES)
+    f, _ = _build(manager, ops)
+    g = manager.var(NAMES[1])
+    left = manager.negate(manager.and_(f, g))
+    right = manager.or_(manager.negate(f), manager.negate(g))
+    assert left is right

@@ -1,0 +1,88 @@
+"""Quantification tests: paper definition vs one-pass implementation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager, exists, exists_textbook, forall
+from repro.bdd.quantify import is_satisfiable, is_tautology
+
+NAMES = ["a", "b", "c", "d"]
+
+
+def _random_function(manager, seed):
+    """A deterministic pseudo-random BDD over NAMES from a seed."""
+    import random
+
+    rng = random.Random(seed)
+    result = manager.constant(rng.random() < 0.5)
+    for _ in range(6):
+        name = rng.choice(NAMES)
+        literal = manager.var(name) if rng.random() < 0.5 else manager.nvar(name)
+        op = rng.choice(["and", "or", "xor"])
+        result = manager.apply(op, result, literal)
+    return result
+
+
+class TestExists:
+    def test_exists_or_gate(self):
+        manager = BDDManager(NAMES)
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        projected = exists(manager, f, ["a"])
+        assert projected is manager.var("b")
+
+    def test_exists_empty_set_is_identity(self):
+        manager = BDDManager(NAMES)
+        f = manager.var("c")
+        assert exists(manager, f, []) is f
+
+    def test_exists_everything_of_satisfiable_is_true(self):
+        manager = BDDManager(NAMES)
+        f = manager.and_(manager.var("a"), manager.nvar("b"))
+        assert exists(manager, f, NAMES) is manager.true
+
+    @given(seed=st.integers(0, 10**6), subset=st.sets(st.sampled_from(NAMES)))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_textbook_definition(self, seed, subset):
+        manager = BDDManager(NAMES)
+        f = _random_function(manager, seed)
+        assert exists(manager, f, sorted(subset)) is exists_textbook(
+            manager, f, sorted(subset)
+        )
+
+
+class TestForall:
+    def test_forall_is_dual_of_exists(self):
+        manager = BDDManager(NAMES)
+        f = manager.or_(manager.var("a"), manager.var("b"))
+        assert forall(manager, f, ["a"]) is manager.var("b")
+
+    @given(seed=st.integers(0, 10**6), subset=st.sets(st.sampled_from(NAMES)))
+    @settings(max_examples=40, deadline=None)
+    def test_forall_semantics(self, seed, subset):
+        manager = BDDManager(NAMES)
+        f = _random_function(manager, seed)
+        names = sorted(subset)
+        result = forall(manager, f, names)
+        free = [n for n in NAMES if n not in subset]
+        for free_bits in itertools.product([False, True], repeat=len(free)):
+            env = dict(zip(free, free_bits))
+            expected = all(
+                manager.evaluate(f, {**env, **dict(zip(names, bound))})
+                for bound in itertools.product([False, True], repeat=len(names))
+            )
+            assert manager.evaluate(result, {**env, **{n: False for n in names}}) is expected
+
+
+class TestLayer2Helpers:
+    def test_is_tautology_and_satisfiable(self):
+        manager = BDDManager(["a"])
+        a = manager.var("a")
+        taut = manager.or_(a, manager.negate(a))
+        contra = manager.and_(a, manager.negate(a))
+        assert is_tautology(manager, taut)
+        assert not is_tautology(manager, a)
+        assert is_satisfiable(manager, a)
+        assert not is_satisfiable(manager, contra)

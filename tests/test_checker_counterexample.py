@@ -1,0 +1,162 @@
+"""Algorithm 4 + Def. 7: counterexample construction and verification."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import NoCounterexampleError
+from repro.ft import figure1_tree, table1_tree
+from repro.logic import MCS, MPS, Atom, parse_formula
+from repro.checker import (
+    FormulaTranslator,
+    algorithm4,
+    check,
+    closest_counterexample,
+    exhaustive_counterexamples,
+    verify_def7,
+)
+
+from .conftest import formulas_for, small_trees, vectors_for
+from hypothesis import strategies as st
+
+
+@pytest.fixture()
+def table1_translator():
+    return FormulaTranslator(table1_tree())
+
+
+class TestAlgorithm4:
+    def test_unsatisfiable_formula_raises(self, table1_translator):
+        tree = table1_tree()
+        with pytest.raises(NoCounterexampleError):
+            algorithm4(
+                table1_translator,
+                parse_formula("false"),
+                tree.vector_from_failed([]),
+            )
+
+    def test_already_satisfying_vector_returned_unchanged(
+        self, table1_translator
+    ):
+        tree = table1_tree()
+        vector = tree.vector_from_failed(["e2", "e4"])
+        cex = algorithm4(table1_translator, MCS(Atom("e1")), vector)
+        assert cex.changed == ()
+        assert cex.vector == vector
+
+    def test_result_always_satisfies_the_formula(self, table1_translator):
+        tree = table1_tree()
+        formula = MCS(Atom("e1"))
+        for bits in [(0, 0, 0), (0, 1, 0), (1, 1, 1), (0, 0, 1)]:
+            vector = tree.vector_from_bits(bits)
+            cex = algorithm4(table1_translator, formula, vector)
+            assert check(table1_translator, formula, cex.vector)
+
+    def test_sec6_opening_example(self):
+        # {IW, H3, IT} is a cut set but not an MCS; a suitable
+        # counterexample is the contained MCS {IW, H3}.
+        tree = figure1_tree()
+        translator = FormulaTranslator(tree)
+        vector = tree.vector_from_failed(["IW", "H3", "IT"])
+        cex = algorithm4(translator, MCS(Atom("CP/R")), vector)
+        assert tree.failed_set(cex.vector) == frozenset({"IW", "H3"})
+        assert cex.def7_compliant
+
+    def test_newly_failed_and_operational_views(self, table1_translator):
+        tree = table1_tree()
+        cex = algorithm4(
+            table1_translator, MCS(Atom("e1")), tree.vector_from_bits((0, 1, 0))
+        )
+        assert cex.newly_failed == ("e2",)
+        assert cex.newly_operational == ()
+
+
+class TestDef7:
+    def test_verify_detects_non_satisfying_candidate(self, table1_translator):
+        tree = table1_tree()
+        violations = verify_def7(
+            table1_translator,
+            MCS(Atom("e1")),
+            tree.vector_from_bits((0, 0, 0)),
+            tree.vector_from_bits((0, 0, 1)),
+        )
+        assert violations == ("*",)
+
+    def test_verify_detects_unnecessary_change(self, table1_translator):
+        tree = table1_tree()
+        # From (1,1,0) -- which already satisfies MCS(e1) -- to (1,0,1):
+        # both are witnesses, but each changed bit flips between two valid
+        # witnesses, so reverting e4 alone gives (1,1,1): not satisfying;
+        # use a formula where a change is genuinely unnecessary instead.
+        violations = verify_def7(
+            table1_translator,
+            parse_formula("e2"),
+            tree.vector_from_bits((0, 0, 0)),
+            tree.vector_from_bits((1, 1, 0)),
+        )
+        assert violations == ("e4",)
+
+    def test_compliant_candidate_has_no_violations(self, table1_translator):
+        tree = table1_tree()
+        violations = verify_def7(
+            table1_translator,
+            MCS(Atom("e1")),
+            tree.vector_from_bits((0, 1, 0)),
+            tree.vector_from_bits((1, 1, 0)),
+        )
+        assert violations == ()
+
+
+class TestExhaustiveAndClosest:
+    def test_exhaustive_lists_all_def7_witnesses(self, table1_translator):
+        tree = table1_tree()
+        vector = tree.vector_from_bits((0, 1, 0))
+        witnesses = exhaustive_counterexamples(
+            table1_translator, MCS(Atom("e1")), vector
+        )
+        failed = {tree.failed_set(w.vector) for w in witnesses}
+        assert frozenset({"e2", "e4"}) in failed
+        assert all(w.def7_compliant for w in witnesses)
+
+    def test_closest_minimises_hamming_distance(self, table1_translator):
+        tree = table1_tree()
+        vector = tree.vector_from_bits((0, 1, 0))
+        closest = closest_counterexample(
+            table1_translator, MCS(Atom("e1")), vector
+        )
+        assert closest is not None
+        assert len(closest.changed) == 1
+        assert tree.failed_set(closest.vector) == frozenset({"e2", "e4"})
+
+    def test_closest_none_when_unsatisfiable(self, table1_translator):
+        tree = table1_tree()
+        assert (
+            closest_counterexample(
+                table1_translator,
+                parse_formula("false"),
+                tree.vector_from_failed([]),
+            )
+            is None
+        )
+
+
+class TestAlgorithm4Properties:
+    @given(data=st.data(), tree=small_trees(max_basic_events=4))
+    @settings(max_examples=40, deadline=None)
+    def test_output_satisfies_formula_and_def7_holds(self, data, tree):
+        """On random (tree, formula, vector): if the formula is satisfiable,
+        Algorithm 4 yields a satisfying vector, and the greedy walk's
+        changes are Def. 7-necessary (a reproduction finding: the paper
+        claims this; we verify it holds on every generated instance)."""
+        translator = FormulaTranslator(tree)
+        formula = data.draw(formulas_for(tree, allow_minimal_ops=True))
+        vector = data.draw(vectors_for(tree))
+        root = translator.bdd(formula)
+        if root is translator.manager.false:
+            with pytest.raises(NoCounterexampleError):
+                algorithm4(translator, formula, vector)
+            return
+        cex = algorithm4(translator, formula, vector)
+        assert check(translator, formula, cex.vector)
+        assert cex.def7_compliant, (
+            f"Algorithm 4 made an unnecessary change: {cex}"
+        )

@@ -1,0 +1,142 @@
+"""The ModelChecker facade: input handling, layer dispatch, results."""
+
+import pytest
+
+from repro.errors import LogicError, StatusVectorError
+from repro.ft import figure1_tree
+from repro.logic import MCS, Atom, Exists, Forall, MinimalityScope, parse
+from repro.checker import ModelChecker
+
+
+@pytest.fixture()
+def checker():
+    return ModelChecker(figure1_tree())
+
+
+class TestInputNormalisation:
+    def test_accepts_text_and_ast(self, checker):
+        assert checker.check("exists (CP & CR)") is True
+        assert checker.check(Exists(parse("CP & CR"))) is True
+
+    def test_vector_forms_are_interchangeable(self, checker):
+        formula = "MCS(CP/R)"
+        by_failed = checker.check(formula, failed=["IW", "H3"])
+        by_bits = checker.check(formula, bits=[1, 1, 0, 0])
+        by_vector = checker.check(
+            formula, vector={"IW": True, "H3": True, "IT": False, "H2": False}
+        )
+        assert by_failed is by_bits is by_vector is True
+
+    def test_exactly_one_vector_form_required(self, checker):
+        with pytest.raises(StatusVectorError):
+            checker.check("CP", failed=["IW"], bits=[1, 0, 0, 0])
+        with pytest.raises(StatusVectorError):
+            checker.check("CP")  # layer-1 without a vector
+
+    def test_layer2_rejects_vectors(self, checker):
+        with pytest.raises(LogicError):
+            checker.check("forall (CP => CP/R)", failed=["IW"])
+
+    def test_satisfaction_set_rejects_queries(self, checker):
+        with pytest.raises(LogicError):
+            checker.satisfaction_set("forall CP")
+
+
+class TestLayer2:
+    def test_forall_and_exists(self, checker):
+        assert checker.check("forall (CP => CP/R)")
+        assert not checker.check("forall CP/R")
+        assert checker.check("exists (CP & CR)")
+        assert not checker.check("exists (CP & !CP)")
+
+    def test_idp_and_sup(self, checker):
+        assert checker.check("IDP(CP, CR)")
+        assert not checker.check("IDP(CP, CP/R)")
+        assert not checker.check("SUP(IW)")
+
+
+class TestSatisfactionSets:
+    def test_mcs_of_top(self, checker):
+        result = checker.satisfaction_set("MCS(CP/R)")
+        assert len(result) == 2
+        assert result.failed_sets() == [
+            frozenset({"H2", "IT"}),
+            frozenset({"H3", "IW"}),
+        ]
+
+    def test_describe_views(self, checker):
+        result = checker.satisfaction_set("MCS(CP/R)")
+        assert "{H2, IT}" in result.describe()
+        assert "2 result(s)" in result.describe()
+        assert "IW=" in result.describe(view="vectors")
+        empty = checker.satisfaction_set("CP & !CP")
+        assert "empty" in empty.describe()
+        assert not empty
+
+    def test_minimal_sets_shortcuts(self, checker):
+        assert checker.minimal_cut_sets() == checker.satisfaction_set(
+            MCS(Atom("CP/R"))
+        ).failed_sets()
+        assert checker.minimal_path_sets("CP") == [
+            frozenset({"H3"}),
+            frozenset({"IW"}),
+        ]
+
+    def test_iteration_and_bool(self, checker):
+        result = checker.satisfaction_set("MCS(CP)")
+        assert bool(result)
+        assert all(isinstance(v, dict) for v in result)
+
+
+class TestIndependenceResults:
+    def test_describe_explains_dependence(self, checker):
+        result = checker.independence("CP", "CP/R")
+        assert not result
+        assert "H3" in result.describe() and "IW" in result.describe()
+
+    def test_describe_independent(self, checker):
+        result = checker.independence("CP", "CR")
+        assert result
+        assert "independent" in result.describe()
+
+    def test_influencing(self, checker):
+        assert checker.influencing("CP & IT") == {"IW", "H3", "IT"}
+
+    def test_superfluous(self, checker):
+        assert not checker.superfluous("H2")
+
+
+class TestCounterexampleMethods:
+    def test_algorithm4_and_closest_agree_on_satisfaction(self, checker):
+        for method in ("algorithm4", "closest"):
+            cex = checker.counterexample(
+                "MCS(CP/R)", failed=["IW", "H3", "IT"], method=method
+            )
+            assert checker.check("MCS(CP/R)", vector=cex.vector)
+
+    def test_unknown_method_rejected(self, checker):
+        with pytest.raises(ValueError):
+            checker.counterexample("MCS(CP/R)", failed=[], method="magic")
+
+
+class TestConfiguration:
+    def test_scope_changes_results(self):
+        support = ModelChecker(figure1_tree(), scope=MinimalityScope.SUPPORT)
+        full = ModelChecker(figure1_tree(), scope=MinimalityScope.FULL)
+        # MCS(CP) with IT failed: satisfying under SUPPORT (IT is a
+        # don't-care), not under FULL (IT must be 0).
+        vector = {"IW": True, "H3": True, "IT": True, "H2": False}
+        assert support.check("MCS(CP)", vector=vector)
+        assert not full.check("MCS(CP)", vector=vector)
+
+    def test_custom_order(self):
+        checker = ModelChecker(
+            figure1_tree(), order=["H2", "IT", "H3", "IW"]
+        )
+        assert len(checker.minimal_cut_sets()) == 2
+
+    def test_cache_stats_exposed(self, checker):
+        checker.check("forall (CP => CP/R)")
+        stats = checker.cache_stats()
+        assert stats["formula_misses"] > 0
+        assert stats["bdd_nodes"] > 2

@@ -1,0 +1,74 @@
+"""Algorithms 2 and 3, including the paper's Examples 2 and 3."""
+
+import pytest
+
+from repro.errors import StatusVectorError
+from repro.ft import figure3_or_tree
+from repro.logic import MCS, Atom, parse_formula
+from repro.checker import (
+    FormulaTranslator,
+    check,
+    count_satisfying_vectors,
+    satisfying_cubes,
+    satisfying_vectors,
+    walk,
+)
+
+
+@pytest.fixture()
+def translator():
+    return FormulaTranslator(figure3_or_tree())
+
+
+class TestExample2:
+    """Paper Example 2: OR tree, chi = MCS(e_top), b = (0, 1) satisfies."""
+
+    def test_b_01_is_an_mcs_vector(self, translator):
+        assert check(translator, MCS(Atom("Top")), {"e1": False, "e2": True})
+
+    def test_b_11_is_not_minimal(self, translator):
+        assert not check(translator, MCS(Atom("Top")), {"e1": True, "e2": True})
+
+    def test_b_00_is_not_a_cut_set(self, translator):
+        assert not check(
+            translator, MCS(Atom("Top")), {"e1": False, "e2": False}
+        )
+
+
+class TestExample3:
+    """Paper Example 3: AllSat(MCS(e_top)) = {(0,1), (1,0)}."""
+
+    def test_all_satisfying_vectors(self, translator):
+        vectors = satisfying_vectors(translator, MCS(Atom("Top")))
+        as_tuples = {(v["e1"], v["e2"]) for v in vectors}
+        assert as_tuples == {(False, True), (True, False)}
+
+    def test_count(self, translator):
+        assert count_satisfying_vectors(translator, MCS(Atom("Top"))) == 2
+
+    def test_cubes_view(self, translator):
+        cubes = satisfying_cubes(translator, MCS(Atom("Top")))
+        assert len(cubes) == 2
+
+
+class TestWalk:
+    def test_walk_needs_every_branching_variable(self, translator):
+        root = translator.bdd(Atom("Top"))
+        with pytest.raises(StatusVectorError):
+            walk(translator.manager, root, {"e1": False})
+
+    def test_walk_ignores_irrelevant_variables(self, translator):
+        root = translator.bdd(Atom("e1"))
+        assert walk(translator.manager, root, {"e1": True})
+
+    def test_check_validates_the_vector(self, translator):
+        with pytest.raises(StatusVectorError):
+            check(translator, Atom("Top"), {"e1": True})
+
+    def test_terminal_formulas(self, translator):
+        assert check(
+            translator, parse_formula("true"), {"e1": False, "e2": False}
+        )
+        assert not check(
+            translator, parse_formula("false"), {"e1": True, "e2": True}
+        )

@@ -1,0 +1,108 @@
+"""IBE / IDP / SUP: BDD support vs the enumerative definition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ft import FaultTreeBuilder, figure1_tree
+from repro.logic import Atom, ReferenceSemantics, parse_formula
+from repro.checker import (
+    FormulaTranslator,
+    independent,
+    influencing_basic_events,
+    shared_influencers,
+    superfluous,
+)
+
+from .conftest import formulas_for, small_trees
+
+
+@pytest.fixture()
+def fig1_translator():
+    return FormulaTranslator(figure1_tree())
+
+
+class TestIBE:
+    def test_ibe_of_element(self, fig1_translator):
+        assert influencing_basic_events(fig1_translator, Atom("CP")) == {
+            "IW",
+            "H3",
+        }
+        assert influencing_basic_events(fig1_translator, Atom("CP/R")) == {
+            "IW",
+            "H3",
+            "IT",
+            "H2",
+        }
+
+    def test_ibe_of_tautology_is_empty(self, fig1_translator):
+        assert (
+            influencing_basic_events(fig1_translator, parse_formula("IW | !IW"))
+            == frozenset()
+        )
+
+    def test_ibe_sees_through_evidence(self, fig1_translator):
+        # CP[IW := 1] only depends on H3.
+        formula = parse_formula("CP[IW := 1]")
+        assert influencing_basic_events(fig1_translator, formula) == {"H3"}
+
+    @given(data=st.data(), tree=small_trees(max_basic_events=4))
+    @settings(max_examples=40, deadline=None)
+    def test_bdd_support_equals_semantic_ibe(self, data, tree):
+        """The paper's VarB-based IDP rule is sound because ROBDD support
+        equals the semantic influencing set — verified on random formulae."""
+        translator = FormulaTranslator(tree)
+        semantics = ReferenceSemantics(tree)
+        formula = data.draw(formulas_for(tree, allow_minimal_ops=False))
+        assert influencing_basic_events(
+            translator, formula
+        ) == semantics.influencing_basic_events(formula)
+
+
+class TestIDP:
+    def test_disjoint_subtrees_independent(self, fig1_translator):
+        assert independent(fig1_translator, Atom("CP"), Atom("CR"))
+
+    def test_overlapping_formulae_dependent(self, fig1_translator):
+        assert not independent(fig1_translator, Atom("CP"), Atom("CP/R"))
+        assert shared_influencers(
+            fig1_translator, Atom("CP"), Atom("CP/R")
+        ) == {"IW", "H3"}
+
+    def test_idp_with_compound_formulae(self, fig1_translator):
+        left = parse_formula("IW & H3")
+        right = parse_formula("IT | H2")
+        assert independent(fig1_translator, left, right)
+
+
+class TestSUP:
+    def test_relevant_event_not_superfluous(self, fig1_translator):
+        assert not superfluous(fig1_translator, "IW")
+
+    def test_masked_event_is_superfluous(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b")
+            .or_gate("g", "a", "b")
+            .and_gate("top", "g", "a")
+            .build("top")
+        )
+        translator = FormulaTranslator(tree)
+        assert superfluous(translator, "b")
+        assert not superfluous(translator, "a")
+
+    def test_sup_matches_zero_structural_importance(self):
+        from repro.ft import structural_importance
+
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b", "c")
+            .or_gate("g", "a", "b")
+            .and_gate("mask", "g", "a")
+            .or_gate("top", "mask", "c")
+            .build("top")
+        )
+        translator = FormulaTranslator(tree)
+        for name in tree.basic_events:
+            importance = structural_importance(tree, name)
+            assert superfluous(translator, name) == (importance == 0)

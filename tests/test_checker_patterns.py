@@ -1,0 +1,100 @@
+"""Counterexample patterns (Def. 8): holes, matching, classification."""
+
+import pytest
+
+from repro.logic import MCS, MPS, And, Atom, Not, Or, Vot, parse_formula
+from repro.checker import (
+    PATTERN_1,
+    PATTERN_2,
+    PATTERN_3,
+    PATTERN_4,
+    TABLE1_PATTERNS,
+    Hole,
+    classify,
+    flatten_conjunction,
+    match,
+)
+
+
+class TestStructuralMatch:
+    def test_hole_matches_anything(self):
+        binding = match(Hole(1), parse_formula("MCS(A & B)"))
+        assert binding == {1: parse_formula("MCS(A & B)")}
+
+    def test_template_with_structure(self):
+        template = MCS(And(Hole(1), Hole(2)))
+        binding = match(template, parse_formula("MCS(A & !B)"))
+        assert binding == {1: Atom("A"), 2: Not(Atom("B"))}
+
+    def test_repeated_holes_must_bind_consistently(self):
+        template = And(Hole(1), Hole(1))
+        assert match(template, parse_formula("A & A")) is not None
+        assert match(template, parse_formula("A & B")) is None
+
+    def test_type_mismatch_fails(self):
+        assert match(MCS(Hole(1)), parse_formula("MPS(A)")) is None
+        assert match(Atom("A"), parse_formula("B")) is None
+
+    def test_vot_requires_same_shape(self):
+        template = Vot(">=", 2, (Hole(1), Hole(2), Hole(3)))
+        assert match(template, parse_formula("VOT(>= 2; A, B, C)")) is not None
+        assert match(template, parse_formula("VOT(>= 1; A, B, C)")) is None
+        assert match(template, parse_formula("VOT(>= 2; A, B)")) is None
+
+    def test_evidence_assignments_must_match(self):
+        from repro.logic import Evidence
+
+        template = Evidence(Hole(1), (("H1", False),))
+        assert match(template, parse_formula("A[H1 := 0]")) is not None
+        assert match(template, parse_formula("A[H1 := 1]")) is None
+
+
+class TestTable1Patterns:
+    def test_pattern1(self):
+        assert PATTERN_1.matches(parse_formula("MCS(e1)")) == (Atom("e1"),)
+        assert PATTERN_1.matches(parse_formula("MPS(e1)")) is None
+
+    def test_pattern2(self):
+        assert PATTERN_2.matches(parse_formula("MPS(e1)")) == (Atom("e1"),)
+
+    def test_pattern3_variadic(self):
+        operands = PATTERN_3.matches(
+            parse_formula("MCS(e1) & MCS(e3) & MCS(e2)")
+        )
+        assert operands == (Atom("e1"), Atom("e3"), Atom("e2"))
+
+    def test_pattern3_rejects_mixed_conjunctions(self):
+        assert PATTERN_3.matches(parse_formula("MCS(e1) & MPS(e3)")) is None
+        assert PATTERN_3.matches(parse_formula("MCS(e1) & e3")) is None
+        assert PATTERN_3.matches(parse_formula("MCS(e1)")) is None
+
+    def test_pattern4_variadic(self):
+        operands = PATTERN_4.matches(parse_formula("MPS(e1) & MPS(e3)"))
+        assert operands == (Atom("e1"), Atom("e3"))
+
+    def test_classify(self):
+        assert classify(parse_formula("MCS(e1)")) == ["pattern1"]
+        assert classify(parse_formula("MPS(e1)")) == ["pattern2"]
+        assert classify(parse_formula("MCS(e1) & MCS(e3)")) == ["pattern3"]
+        assert classify(parse_formula("MPS(e1) & MPS(e3)")) == ["pattern4"]
+        assert classify(parse_formula("e1 & e3")) == []
+
+    def test_registry_order_most_specific_first(self):
+        assert TABLE1_PATTERNS[0] is PATTERN_3
+
+
+class TestFlatten:
+    def test_flatten_nested_conjunction(self):
+        formula = parse_formula("(A & B) & (C & D)")
+        assert flatten_conjunction(formula) == [
+            Atom("A"),
+            Atom("B"),
+            Atom("C"),
+            Atom("D"),
+        ]
+
+    def test_flatten_non_conjunction_is_singleton(self):
+        assert flatten_conjunction(Atom("A")) == [Atom("A")]
+        assert flatten_conjunction(parse_formula("A | B")) == [
+            Or(Atom("A"), Atom("B"))
+        ]

@@ -1,0 +1,137 @@
+"""Sec. V-E: naive assignment search, tree synthesis, GP inference."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.ft import structure_function
+from repro.logic import MCS, Atom, parse_formula
+from repro.checker import (
+    GeneticConfig,
+    ModelChecker,
+    genome_to_tree,
+    infer_fault_tree,
+    naive_assignment_search,
+    synthesize_tree,
+)
+
+
+class TestNaiveSearch:
+    def test_finds_an_assignment(self):
+        formula = parse_formula("(A & B) | C")
+        result = naive_assignment_search(formula, fixed={"C": False})
+        assert result is not None
+        assert result["C"] is False
+        assert result["A"] and result["B"]
+
+    def test_respects_fixed_values(self):
+        formula = parse_formula("A & B")
+        assert naive_assignment_search(formula, fixed={"A": False}) is None
+
+    def test_handles_evidence_and_vot(self):
+        formula = parse_formula("VOT(>= 2; A, B, C)[A := 1]")
+        result = naive_assignment_search(formula, fixed={})
+        assert result is not None
+
+    def test_unsatisfiable_returns_none(self):
+        assert naive_assignment_search(parse_formula("A & !A"), {}) is None
+
+    def test_mcs_rejected(self):
+        with pytest.raises(SynthesisError):
+            naive_assignment_search(parse_formula("MCS(A)"), {})
+
+
+class TestSynthesizeTree:
+    def test_simple_instance(self):
+        # Find a tree where the failure of x1 alone fails gate G.
+        formula = parse_formula("G")
+        tree = synthesize_tree(
+            formula,
+            vector={"x1": True, "x2": False, "x3": False},
+            basic_events=["x1", "x2", "x3"],
+            attempts=500,
+            seed=1,
+        )
+        checker = ModelChecker(tree)
+        assert checker.check(
+            "G", vector={"x1": True, "x2": False, "x3": False}
+        )
+        assert "G" in tree.gate_names
+
+    def test_mcs_instance(self):
+        formula = MCS(Atom("G"))
+        tree = synthesize_tree(
+            formula,
+            vector={"x1": True, "x2": False},
+            basic_events=["x1", "x2"],
+            attempts=800,
+            seed=3,
+        )
+        checker = ModelChecker(tree)
+        assert checker.check(formula, vector={"x1": True, "x2": False})
+
+    def test_unsatisfiable_raises(self):
+        with pytest.raises(SynthesisError):
+            synthesize_tree(
+                parse_formula("G & !G"),
+                vector={"x1": True},
+                basic_events=["x1"],
+                attempts=30,
+            )
+
+    def test_vector_atom_mismatch_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_tree(
+                parse_formula("G & mystery"),
+                vector={"mystery": True},
+                basic_events=["x1"],
+                attempts=10,
+            )
+
+
+class TestGeneticInference:
+    @staticmethod
+    def _examples(names, fn):
+        examples = []
+        for bits in itertools.product([False, True], repeat=len(names)):
+            vector = dict(zip(names, bits))
+            examples.append((vector, fn(vector)))
+        return examples
+
+    def test_learns_an_or(self):
+        names = ["a", "b"]
+        examples = self._examples(names, lambda v: v["a"] or v["b"])
+        tree = infer_fault_tree(names, examples, GeneticConfig(seed=5))
+        for vector, label in examples:
+            assert structure_function(tree, vector) == label
+
+    def test_learns_an_and_of_or(self):
+        names = ["a", "b", "c"]
+        examples = self._examples(
+            names, lambda v: v["a"] and (v["b"] or v["c"])
+        )
+        tree = infer_fault_tree(
+            names, examples, GeneticConfig(seed=11, generations=120)
+        )
+        mistakes = sum(
+            1
+            for vector, label in examples
+            if structure_function(tree, vector) != label
+        )
+        assert mistakes == 0
+
+    def test_requires_examples(self):
+        with pytest.raises(SynthesisError):
+            infer_fault_tree(["a"], [])
+
+    def test_genome_to_tree_handles_bare_leaf(self):
+        tree = genome_to_tree(("be", "a"), ["a", "b"])
+        assert tree.top == "g_top"
+        assert tree.basic_events == ("a",)
+
+    def test_genome_to_tree_merges_duplicate_children(self):
+        genome = ("and", (("be", "a"), ("be", "a"), ("be", "b")))
+        tree = genome_to_tree(genome, ["a", "b"])
+        top_children = tree.children(tree.top)
+        assert sorted(top_children) == ["a", "b"]

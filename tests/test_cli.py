@@ -1,0 +1,182 @@
+"""The ``bfl`` command line tool, driven through ``main(argv)``."""
+
+import pytest
+
+from repro.cli import main
+from repro.ft import dumps, figure1_tree
+
+
+@pytest.fixture()
+def fig1_file(tmp_path):
+    path = tmp_path / "fig1.dft"
+    path.write_text(dumps(figure1_tree()), encoding="utf-8")
+    return str(path)
+
+
+class TestCheck:
+    def test_layer2_query_holds(self, capsys):
+        assert main(["check", "forall (CP => IWoS | !IWoS)"]) == 0
+        assert "holds" in capsys.readouterr().out
+
+    def test_layer2_query_fails_with_exit_code(self, capsys):
+        assert main(["check", "forall (IS => MoT)"]) == 1
+        assert "does NOT hold" in capsys.readouterr().out
+
+    def test_layer1_with_failed_events(self, capsys, fig1_file):
+        code = main(
+            ["check", "--tree", fig1_file, "MCS(CP/R)", "--failed", "IW,H3"]
+        )
+        assert code == 0
+
+    def test_layer1_with_bits(self, fig1_file):
+        assert main(["check", "--tree", fig1_file, "MCS(CP/R)", "--bits", "1,1,0,0"]) == 0
+
+    def test_satset_brackets(self, capsys):
+        assert main(["check", "[[ MCS(MoT) & IS ]]"]) == 0
+        out = capsys.readouterr().out
+        assert "{H1, H5, IS}" in out
+
+    def test_error_reported_cleanly(self, capsys):
+        assert main(["check", "this is ! not (("]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAllSat:
+    def test_failed_view(self, capsys):
+        assert main(["allsat", "MCS(IWoS) & H4"]) == 0
+        out = capsys.readouterr().out
+        assert "{H1, H2, H4, IT, VW}" in out
+
+    def test_operational_view(self, capsys, fig1_file):
+        assert (
+            main(
+                [
+                    "allsat",
+                    "--tree",
+                    fig1_file,
+                    "MPS(CP/R)",
+                    "--view",
+                    "operational",
+                ]
+            )
+            == 0
+        )
+        assert "{IT, IW}" in capsys.readouterr().out
+
+
+class TestMinimalSets:
+    def test_mcs_default_element(self, capsys, fig1_file):
+        assert main(["mcs", "--tree", fig1_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 minimal cut sets for CP/R" in out
+        assert "{H3, IW}" in out
+
+    def test_mps_with_element(self, capsys):
+        assert main(["mps", "--element", "MoT"]) == 0
+        out = capsys.readouterr().out
+        assert "minimal path sets for MoT" in out
+
+    def test_covid_mps_count(self, capsys):
+        assert main(["mps"]) == 0
+        assert "12 minimal path sets" in capsys.readouterr().out
+
+
+class TestCounterexample:
+    def test_cex_output(self, capsys, fig1_file):
+        code = main(
+            [
+                "cex",
+                "--tree",
+                fig1_file,
+                "MCS(CP/R)",
+                "--failed",
+                "IW,H3,IT",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "changed basic events" in out
+
+    def test_cex_closest_method(self, capsys, fig1_file):
+        code = main(
+            [
+                "cex",
+                "--tree",
+                fig1_file,
+                "MCS(CP/R)",
+                "--bits",
+                "0,0,0,0",
+                "--method",
+                "closest",
+            ]
+        )
+        assert code == 0
+
+    def test_unsatisfiable_formula_errors(self, capsys, fig1_file):
+        code = main(
+            ["cex", "--tree", fig1_file, "CP & !CP", "--bits", "0,0,0,0"]
+        )
+        assert code == 2
+
+
+class TestShowAndDot:
+    def test_show(self, capsys):
+        assert main(["show"]) == 0
+        assert "IWoS (AND)" in capsys.readouterr().out
+
+    def test_show_with_failures(self, capsys, fig1_file):
+        assert main(["show", "--tree", fig1_file, "--failed", "IW"]) == 0
+        assert "[X]" in capsys.readouterr().out
+
+    def test_dot(self, capsys):
+        assert main(["dot", "--descriptions"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out and "Mode of transmission" in out
+
+
+class TestReport:
+    def test_covid_report(self, capsys):
+        assert main(["covid-report"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL MATCH" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestQuantitativeCommands:
+    def test_prob_value(self, capsys):
+        assert main(["prob", "IWoS", "--uniform", "0.1"]) == 0
+        assert "P = " in capsys.readouterr().out
+
+    def test_prob_query_holds(self, capsys):
+        assert main(["prob", "P(IWoS) <= 0.01", "--uniform", "0.1"]) == 0
+
+    def test_prob_query_fails_exit_code(self, capsys):
+        assert main(["prob", "P(IWoS) >= 0.5", "--uniform", "0.1"]) == 1
+
+    def test_prob_with_overrides(self, capsys, fig1_file):
+        code = main(
+            [
+                "prob",
+                "--tree",
+                fig1_file,
+                "CP",
+                "--probabilities",
+                "IW=0.5,H3=0.5,IT=0.1,H2=0.1",
+            ]
+        )
+        assert code == 0
+        assert "P = 0.25" in capsys.readouterr().out
+
+    def test_importance_table(self, capsys):
+        assert main(["importance", "--uniform", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Birnbaum" in out and "H1" in out
+
+    def test_modules(self, capsys):
+        assert main(["modules"]) == 0
+        out = capsys.readouterr().out
+        assert "IWoS" in out and "module" in out

@@ -1,0 +1,114 @@
+"""Golden tests: every number, verdict and set list of the paper's
+Sec. VII analysis must reproduce exactly."""
+
+import pytest
+
+from repro.casestudy import PROPERTIES, build_covid_tree, build_report, run_all
+from repro.casestudy.properties import P1_MCS, P5_MCS, P6_MPS, P7_MPS
+from repro.checker import ModelChecker
+from repro.logic import MinimalityScope
+
+
+@pytest.fixture(scope="module")
+def outcomes(covid_checker):
+    return {outcome.pid: outcome for outcome in run_all(covid_checker)}
+
+
+class TestAllProperties:
+    def test_every_claim_matches_the_paper(self, outcomes):
+        mismatches = [
+            (pid, record.description, record.expected, record.actual)
+            for pid, outcome in outcomes.items()
+            for record in outcome.records
+            if not record.matches
+        ]
+        assert mismatches == []
+
+    def test_nine_properties_defined(self):
+        assert [spec.pid for spec in PROPERTIES] == [
+            f"P{i}" for i in range(1, 10)
+        ]
+
+
+class TestIndividualHighlights:
+    def test_p1_single_mcs(self, covid_checker):
+        sets = covid_checker.satisfaction_set("MCS(MoT) & IS").failed_sets()
+        assert sets == P1_MCS == [frozenset({"H1", "H5", "IS"})]
+
+    def test_p4_twelve_mcss_with_human_errors(self, covid_checker):
+        query = " | ".join(f"(MCS(IWoS) & H{i})" for i in range(1, 6))
+        assert len(covid_checker.satisfaction_set(query).failed_sets()) == 12
+
+    def test_p5_exact_sets(self, covid_checker):
+        sets = covid_checker.satisfaction_set("MCS(IWoS) & H4").failed_sets()
+        assert sets == P5_MCS
+
+    def test_p7_exact_twelve_mps(self, covid_checker):
+        assert covid_checker.minimal_path_sets() == P7_MPS
+
+    def test_p6_counterexample_mpss(self, covid_checker):
+        human = {"H1", "H2", "H3", "H4", "H5"}
+        witnesses = [
+            ops
+            for ops in covid_checker.satisfaction_set(
+                "MPS(IWoS)"
+            ).operational_sets()
+            if ops <= human
+        ]
+        assert sorted(witnesses, key=lambda s: (len(s), sorted(s))) == P6_MPS
+
+    def test_p6_algorithm4_produces_a_pattern2_witness(self, covid_checker):
+        # The paper constructs the Property 6 counterexample with pattern 2:
+        # starting from "all human errors operational, everything else
+        # failed", Algorithm 4 must return a valid MPS vector.
+        tree = covid_checker.tree
+        vector = tree.vector_from_operational(["H1", "H2", "H3", "H4", "H5"])
+        assert not covid_checker.check("MPS(IWoS)", vector=vector)
+        cex = covid_checker.counterexample("MPS(IWoS)", vector=vector)
+        assert covid_checker.check("MPS(IWoS)", vector=cex.vector)
+        assert cex.def7_compliant
+
+    def test_all_12_mcs_contain_h1_and_vw(self, covid_checker):
+        for mcs in covid_checker.minimal_cut_sets():
+            assert "H1" in mcs and "VW" in mcs
+
+    def test_p8_explanation(self, covid_checker):
+        result = covid_checker.independence("CIO", "CIS")
+        assert result.left_influencers == frozenset({"IT", "H1", "H4"})
+        assert result.right_influencers == frozenset({"IS", "H1", "H5"})
+        assert result.shared == frozenset({"H1"})
+
+    def test_p9_pp_influences_the_top(self, covid_checker):
+        assert "PP" in covid_checker.influencing("IWoS")
+
+
+class TestReport:
+    def test_report_matches(self, covid_checker):
+        report = build_report(covid_checker)
+        assert report.all_match
+        assert report.mcs_count == 12
+        assert report.mps_count == 12
+
+    def test_render_contains_verdict(self, covid_checker):
+        from repro.casestudy import render_report
+
+        text = render_report(build_report(covid_checker))
+        assert "ALL MATCH" in text
+        assert "P1" in text and "P9" in text
+        assert "MISMATCH\n" not in text
+
+
+class TestScopeRobustness:
+    """The Sec. VII results happen to be scope-independent for the TLE
+    queries (all basic events influence IWoS): verify FULL scope agrees."""
+
+    @pytest.fixture(scope="class")
+    def full_checker(self):
+        return ModelChecker(build_covid_tree(), scope=MinimalityScope.FULL)
+
+    def test_p5_under_full_scope(self, full_checker):
+        sets = full_checker.satisfaction_set("MCS(IWoS) & H4").failed_sets()
+        assert sets == P5_MCS
+
+    def test_p7_under_full_scope(self, full_checker):
+        assert full_checker.minimal_path_sets() == P7_MPS

@@ -1,0 +1,124 @@
+"""Structure of the reconstructed Fig. 2 COVID-19 fault tree."""
+
+import pytest
+
+from repro.casestudy import (
+    BASIC_EVENT_DESCRIPTIONS,
+    GATE_DESCRIPTIONS,
+    HUMAN_ERRORS,
+    build_covid_tree,
+)
+from repro.ft import GateType
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_covid_tree()
+
+
+class TestShape:
+    def test_size(self, tree):
+        stats = tree.stats()
+        assert stats["basic_events"] == 13
+        assert stats["gates"] == 16
+        assert tree.top == "IWoS"
+
+    def test_top_is_the_ternary_and(self, tree):
+        assert tree.gate_type("IWoS") is GateType.AND
+        assert set(tree.children("IWoS")) == {"CP/R", "MoT", "SH"}
+
+    @pytest.mark.parametrize(
+        "gate,gate_type,children",
+        [
+            ("CP/R", GateType.OR, {"CP", "CR"}),
+            ("CP", GateType.AND, {"IW", "H3"}),
+            ("CR", GateType.AND, {"IT", "H2"}),
+            ("MoT", GateType.OR, {"CT", "DT", "AT", "CVT"}),
+            ("CT", GateType.OR, {"CIW", "CIO", "CIS"}),
+            ("CIW", GateType.AND, {"IW", "PP", "H1"}),
+            ("CIO", GateType.AND, {"IT", "MH1"}),
+            ("MH1", GateType.AND, {"H1", "H4"}),
+            ("CIS", GateType.AND, {"IS", "MH2"}),
+            ("MH2", GateType.AND, {"H1", "H5"}),
+            ("DT", GateType.AND, {"IW", "PP"}),
+            ("AT", GateType.AND, {"IW", "AM"}),
+            ("AM", GateType.OR, {"AB", "MV"}),
+            ("CVT", GateType.OR, {"UT"}),
+            ("SH", GateType.AND, {"VW", "H1"}),
+        ],
+    )
+    def test_gate_structure(self, tree, gate, gate_type, children):
+        assert tree.gate_type(gate) is gate_type
+        assert set(tree.children(gate)) == children
+
+    def test_repeated_basic_events_match_the_paper(self, tree):
+        # "IT, PP, H1 and IW occur at multiple places in the tree."
+        for name in ("IT", "PP", "H1", "IW"):
+            assert len(tree.parents(name)) > 1, name
+        assert len(tree.parents("H1")) == 4  # CIW, MH1, MH2, SH
+        assert len(tree.parents("IW")) == 4  # CP, CIW, DT, AT
+        assert len(tree.parents("PP")) == 2  # CIW, DT
+        assert len(tree.parents("IT")) == 2  # CR, CIO
+
+    def test_human_errors_present(self, tree):
+        assert set(HUMAN_ERRORS) <= set(tree.basic_events)
+
+    def test_descriptions_attached(self, tree):
+        for name, description in BASIC_EVENT_DESCRIPTIONS.items():
+            assert tree.describe(name) == description
+        for name, description in GATE_DESCRIPTIONS.items():
+            assert tree.describe(name) == description
+
+
+class TestFigure1Consistency:
+    """Fig. 1 is declared an excerpt of Fig. 2 — the shared gates must
+    coincide."""
+
+    def test_cpr_subtree_matches_figure1(self, tree):
+        from repro.ft import figure1_tree
+
+        fig1 = figure1_tree()
+        for gate in ("CP/R", "CP", "CR"):
+            assert tree.children(gate) == fig1.children(gate)
+            assert tree.gate_type(gate) == fig1.gate_type(gate)
+
+    def test_cpr_minimal_sets_match_figure1(self, tree):
+        from repro.ft import minimal_cut_sets, minimal_path_sets
+
+        assert minimal_cut_sets(tree, "CP/R") == [
+            frozenset({"H2", "IT"}),
+            frozenset({"H3", "IW"}),
+        ]
+        assert len(minimal_path_sets(tree, "CP/R")) == 4
+
+
+class TestSubtreeClaims:
+    """Structural claims the paper makes about Fig. 2 excerpts."""
+
+    def test_mot_mcs_count_is_six(self, tree):
+        from repro.ft import minimal_cut_sets
+
+        assert len(minimal_cut_sets(tree, "MoT")) == 6
+
+    def test_sh_single_mcs(self, tree):
+        from repro.ft import minimal_cut_sets
+
+        assert minimal_cut_sets(tree, "SH") == [frozenset({"H1", "VW"})]
+
+    def test_dt_and_at_need_no_human_error(self, tree):
+        from repro.ft import minimal_cut_sets
+
+        human = set(HUMAN_ERRORS)
+        for gate in ("DT", "AT", "CVT"):
+            for mcs in minimal_cut_sets(tree, gate):
+                assert not (mcs & human), (gate, mcs)
+
+    def test_cio_cis_require_h1(self, tree):
+        from repro.ft import minimal_cut_sets
+
+        assert minimal_cut_sets(tree, "CIO") == [
+            frozenset({"H1", "H4", "IT"})
+        ]
+        assert minimal_cut_sets(tree, "CIS") == [
+            frozenset({"H1", "H5", "IS"})
+        ]

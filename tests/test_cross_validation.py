@@ -1,0 +1,93 @@
+"""Cross-validation: the BDD model checker (Sec. V) against the
+enumerative reference semantics (Sec. III-B), on random trees and random
+formulae, under both minimality scopes.
+
+These are the strongest correctness guarantees in the suite: any
+disagreement between the two independent implementations of BFL's
+semantics fails here.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.logic import (
+    Exists,
+    Forall,
+    IDP,
+    MinimalityScope,
+    ReferenceSemantics,
+)
+from repro.checker import FormulaTranslator, ModelChecker, check, satisfying_vectors
+
+from .conftest import formulas_for, small_trees, vectors_for
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(data=st.data(), tree=small_trees(max_basic_events=4))
+@settings(**_SETTINGS)
+@pytest.mark.parametrize("scope", list(MinimalityScope))
+def test_layer1_check_agrees(data, tree, scope):
+    translator = FormulaTranslator(tree, scope=scope)
+    semantics = ReferenceSemantics(tree, scope=scope)
+    formula = data.draw(formulas_for(tree))
+    vector = data.draw(vectors_for(tree))
+    assert check(translator, formula, vector) == semantics.holds(
+        formula, vector
+    )
+
+
+@given(data=st.data(), tree=small_trees(max_basic_events=4))
+@settings(**_SETTINGS)
+@pytest.mark.parametrize("scope", list(MinimalityScope))
+def test_satisfying_vectors_agree(data, tree, scope):
+    translator = FormulaTranslator(tree, scope=scope)
+    semantics = ReferenceSemantics(tree, scope=scope)
+    formula = data.draw(formulas_for(tree))
+    bdd_vectors = {
+        tuple(sorted(v.items()))
+        for v in satisfying_vectors(translator, formula)
+    }
+    ref_vectors = {
+        tuple(sorted(v.items()))
+        for v in semantics.satisfying_vectors(formula)
+    }
+    assert bdd_vectors == ref_vectors
+
+
+@given(data=st.data(), tree=small_trees(max_basic_events=4))
+@settings(**_SETTINGS)
+def test_layer2_quantifiers_agree(data, tree):
+    checker = ModelChecker(tree)
+    semantics = ReferenceSemantics(tree)
+    formula = data.draw(formulas_for(tree))
+    assert checker.check(Exists(formula)) == semantics.holds(Exists(formula))
+    assert checker.check(Forall(formula)) == semantics.holds(Forall(formula))
+
+
+@given(data=st.data(), tree=small_trees(max_basic_events=4))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+def test_idp_agrees(data, tree):
+    checker = ModelChecker(tree)
+    semantics = ReferenceSemantics(tree)
+    left = data.draw(formulas_for(tree, allow_minimal_ops=False))
+    right = data.draw(formulas_for(tree, allow_minimal_ops=False))
+    assert checker.check(IDP(left, right)) == semantics.holds(IDP(left, right))
+
+
+@given(data=st.data(), tree=small_trees(max_basic_events=4))
+@settings(**_SETTINGS)
+def test_monotone_fast_path_agrees_with_reference(data, tree):
+    translator = FormulaTranslator(tree, monotone_fast_path=True)
+    semantics = ReferenceSemantics(tree)
+    formula = data.draw(formulas_for(tree))
+    vector = data.draw(vectors_for(tree))
+    assert check(translator, formula, vector) == semantics.holds(
+        formula, vector
+    )

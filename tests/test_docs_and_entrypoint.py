@@ -1,0 +1,99 @@
+"""Keep the documentation honest: README snippets, docs claims, and the
+installed ``bfl`` console entry point."""
+
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs_as_documented(self):
+        from repro import ModelChecker, build_covid_tree
+
+        checker = ModelChecker(build_covid_tree())
+        assert checker.check("forall (IS => MoT)") is False
+        sets = checker.satisfaction_set("MCS(MoT) & IS").failed_sets()
+        assert sets == [frozenset({"H1", "H5", "IS"})]
+        assert len(checker.minimal_path_sets()) == 12
+        description = checker.independence("CIO", "CIS").describe()
+        assert "H1" in description
+        cex = checker.counterexample(
+            "MCS(IWoS)", failed=["IW", "H3", "IT"]
+        )
+        assert cex.vector is not None
+
+    def test_scenario_snippet_runs_as_documented(self):
+        from repro import build_covid_tree
+        from repro.checker import ScenarioAnalyzer
+
+        scenarios = ScenarioAnalyzer(build_covid_tree())
+        assert scenarios.necessary_events() == ["H1", "VW"]
+        assert scenarios.cut_sets_given(failed=["H1", "VW"])
+        assert not scenarios.failure_bound_implies(
+            ">=", 2, ["H1", "H2", "H3", "H4", "H5"]
+        )
+
+    def test_top_level_exports_match_readme(self):
+        import repro
+
+        for name in (
+            "ModelChecker",
+            "build_covid_tree",
+            "FaultTreeBuilder",
+            "parse",
+            "MinimalityScope",
+        ):
+            assert hasattr(repro, name), name
+
+
+class TestDocsFilesExist:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "docs/dsl.md",
+            "docs/algorithms.md",
+        ],
+    )
+    def test_documentation_present_and_nonempty(self, path):
+        full = ROOT / path
+        assert full.is_file()
+        assert len(full.read_text(encoding="utf-8")) > 500
+
+    def test_design_records_the_verified_paper(self):
+        text = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        assert "Paper text verified" in text
+
+    def test_experiments_covers_all_nine_properties(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for pid in [f"P{i}" for i in range(1, 10)]:
+            assert f"| {pid}" in text, pid
+
+
+class TestConsoleEntryPoint:
+    @pytest.mark.skipif(
+        shutil.which("bfl") is None, reason="console script not on PATH"
+    )
+    def test_bfl_script_runs(self):
+        result = subprocess.run(
+            ["bfl", "--version"], capture_output=True, text=True, timeout=60
+        )
+        assert result.returncode == 0
+        assert "bfl" in result.stdout
+
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "mcs", "--element", "SH"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "{H1, VW}" in result.stdout

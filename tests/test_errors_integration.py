@@ -1,0 +1,115 @@
+"""Error hierarchy and end-to-end integration workflows."""
+
+import pytest
+
+from repro import errors
+from repro.casestudy import build_covid_tree
+from repro.checker import ModelChecker
+from repro.ft import dumps, loads
+from repro.logic import MinimalityScope, parse
+from repro.viz import counterexample_view, propagation_view
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.BDDError,
+            errors.VariableError,
+            errors.ManagerMismatchError,
+            errors.FaultTreeError,
+            errors.WellFormednessError,
+            errors.UnknownElementError,
+            errors.GateArityError,
+            errors.GalileoFormatError,
+            errors.LogicError,
+            errors.BFLSyntaxError,
+            errors.LayerError,
+            errors.StatusVectorError,
+            errors.CheckerError,
+            errors.NoCounterexampleError,
+            errors.SynthesisError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_unknown_element_is_also_a_key_error(self):
+        assert issubclass(errors.UnknownElementError, KeyError)
+
+    def test_syntax_error_carries_position(self):
+        error = errors.BFLSyntaxError("bad", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+
+class TestGalileoToAnalysisWorkflow:
+    """Author a tree as text, round-trip it, analyse it, explain a failure."""
+
+    TEXT = """
+    toplevel "plant";
+    "plant" and "power" "cooling";
+    "power" or "grid" "generator";
+    "cooling" 2of3 "pumpA" "pumpB" "pumpC";
+    "grid" prob=0.01;
+    "generator" prob=0.05;
+    """
+
+    def test_full_workflow(self):
+        tree = loads(self.TEXT)
+        tree = loads(dumps(tree))  # round-trip
+        checker = ModelChecker(tree)
+
+        # Qualitative analysis.
+        mcs = checker.minimal_cut_sets()
+        assert frozenset({"grid", "pumpA", "pumpB"}) in mcs
+        assert len(mcs) == 6  # {grid | generator} x one of three pump pairs
+
+        # What-if scenario: grid already lost.
+        conditioned = checker.satisfaction_set(
+            'MCS(plant)[grid := 1]'
+        )
+        assert conditioned
+
+        # A failed check, explained by a counterexample.
+        formula = parse('MCS(plant)')
+        vector = tree.vector_from_failed(
+            ["grid", "generator", "pumpA", "pumpB", "pumpC"]
+        )
+        assert not checker.check(formula, vector=vector)
+        cex = checker.counterexample(formula, vector=vector)
+        assert checker.check(formula, vector=cex.vector)
+        view = counterexample_view(tree, cex)
+        assert "counterexample" in view
+
+    def test_layer2_on_authored_tree(self):
+        tree = loads(self.TEXT)
+        checker = ModelChecker(tree)
+        assert checker.check("forall (plant => power)")
+        assert checker.check("IDP(power, cooling)")
+        assert not checker.check("SUP(pumpA)")
+
+
+class TestCovidEndToEnd:
+    def test_scenario_pipeline(self):
+        tree = build_covid_tree()
+        checker = ModelChecker(tree)
+
+        # Scenario: procedures respected (H1 operational) — the TLE becomes
+        # unreachable, matching the {H1} MPS.
+        assert not checker.check("exists (IWoS[H1 := 0])")
+
+        # Scenario: vulnerable worker removed.
+        assert not checker.check("exists (IWoS[VW := 0])")
+
+        # Propagation view for a concrete MCS.
+        mcs = checker.minimal_cut_sets()[0]
+        view = propagation_view(tree, tree.vector_from_failed(mcs))
+        assert "IWoS: FAILS" in view
+
+    def test_scope_switch_preserves_tle_results(self):
+        support = ModelChecker(build_covid_tree())
+        full = ModelChecker(
+            build_covid_tree(), scope=MinimalityScope.FULL
+        )
+        assert support.minimal_cut_sets() == full.minimal_cut_sets()

@@ -1,0 +1,179 @@
+"""Cut/path sets and minimal sets (Defs. 3-4): enumeration vs BDD."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ft import (
+    example_vot_tree,
+    figure1_tree,
+    is_cut_set,
+    is_minimal_cut_set,
+    is_minimal_path_set,
+    is_path_set,
+    minimal_cut_sets,
+    minimal_cut_sets_enum,
+    minimal_path_sets,
+    minimal_path_sets_enum,
+    minimize_sets,
+    structural_importance,
+    table1_tree,
+)
+
+from .conftest import small_trees
+
+
+def _as_sets(items):
+    return sorted(items, key=lambda s: (len(s), sorted(s)))
+
+
+class TestDefinitions:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return figure1_tree()
+
+    def test_cut_set_and_path_set_partition(self, tree):
+        vector = tree.vector_from_failed(["IW", "H3"])
+        assert is_cut_set(tree, vector)
+        assert not is_path_set(tree, vector)
+
+    def test_non_minimal_cut_set_detected(self, tree):
+        # The paper's Sec. VI example: {IW, H3, IT} is a cut set but not
+        # minimal.
+        vector = tree.vector_from_failed(["IW", "H3", "IT"])
+        assert is_cut_set(tree, vector)
+        assert not is_minimal_cut_set(tree, vector)
+        assert is_minimal_cut_set(tree, tree.vector_from_failed(["IW", "H3"]))
+
+    def test_minimal_path_set_detected(self, tree):
+        vector = tree.vector_from_operational(["IW", "IT"])
+        assert is_minimal_path_set(tree, vector)
+        bigger = tree.vector_from_operational(["IW", "IT", "H2"])
+        assert is_path_set(tree, bigger)
+        assert not is_minimal_path_set(tree, bigger)
+
+    def test_minimal_sets_for_intermediate_element(self, tree):
+        vector = tree.vector_from_failed(["IW", "H3"])
+        assert is_minimal_cut_set(tree, vector, "CP")
+
+
+class TestPaperExamples:
+    def test_figure1_minimal_sets(self):
+        tree = figure1_tree()
+        assert _as_sets(minimal_cut_sets(tree)) == _as_sets(
+            [frozenset({"IW", "H3"}), frozenset({"IT", "H2"})]
+        )
+        assert _as_sets(minimal_path_sets(tree)) == _as_sets(
+            [
+                frozenset({"IW", "IT"}),
+                frozenset({"IW", "H2"}),
+                frozenset({"H3", "IT"}),
+                frozenset({"H3", "H2"}),
+            ]
+        )
+
+    def test_table1_minimal_sets(self):
+        tree = table1_tree()
+        assert _as_sets(minimal_cut_sets(tree)) == _as_sets(
+            [frozenset({"e2", "e4"}), frozenset({"e2", "e5"})]
+        )
+        assert _as_sets(minimal_path_sets(tree)) == _as_sets(
+            [frozenset({"e2"}), frozenset({"e4", "e5"})]
+        )
+
+    def test_vot_tree_minimal_sets(self):
+        tree = example_vot_tree()
+        pairs = [
+            frozenset({"a", "b"}),
+            frozenset({"a", "c"}),
+            frozenset({"b", "c"}),
+        ]
+        assert _as_sets(minimal_cut_sets(tree)) == _as_sets(pairs)
+        assert _as_sets(minimal_path_sets(tree)) == _as_sets(pairs)
+
+    def test_intermediate_element_analysis(self):
+        tree = figure1_tree()
+        assert minimal_cut_sets(tree, "CP") == [frozenset({"H3", "IW"})]
+        assert _as_sets(minimal_path_sets(tree, "CP")) == _as_sets(
+            [frozenset({"IW"}), frozenset({"H3"})]
+        )
+
+
+class TestMinimizeSets:
+    def test_supersets_dropped(self):
+        sets = [frozenset("ab"), frozenset("abc"), frozenset("c")]
+        assert set(minimize_sets(sets)) == {frozenset("ab"), frozenset("c")}
+
+    def test_duplicates_collapse(self):
+        sets = [frozenset("a"), frozenset("a")]
+        assert minimize_sets(sets) == [frozenset("a")]
+
+    def test_empty_set_absorbs_everything(self):
+        sets = [frozenset(), frozenset("a")]
+        assert minimize_sets(sets) == [frozenset()]
+
+
+class TestCrossValidation:
+    @given(tree=small_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_bdd_equals_enumeration_mcs(self, tree):
+        assert _as_sets(minimal_cut_sets(tree)) == _as_sets(
+            minimal_cut_sets_enum(tree)
+        )
+
+    @given(tree=small_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_bdd_equals_enumeration_mps(self, tree):
+        assert _as_sets(minimal_path_sets(tree)) == _as_sets(
+            minimal_path_sets_enum(tree)
+        )
+
+    @given(tree=small_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_every_mcs_is_a_minimal_cut_set(self, tree):
+        for mcs in minimal_cut_sets(tree):
+            assert is_minimal_cut_set(tree, tree.vector_from_failed(mcs))
+
+    @given(tree=small_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_every_mps_is_a_minimal_path_set(self, tree):
+        for mps in minimal_path_sets(tree):
+            assert is_minimal_path_set(tree, tree.vector_from_operational(mps))
+
+
+class TestStructuralImportance:
+    def test_fig1_symmetric_events(self):
+        tree = figure1_tree()
+        assert structural_importance(tree, "IW") == structural_importance(
+            tree, "H3"
+        )
+        assert structural_importance(tree, "IW") == Fraction(3, 8)
+
+    def test_irrelevant_event_has_zero_importance(self):
+        from repro.ft import FaultTreeBuilder
+
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b")
+            .or_gate("g", "a", "b")
+            .and_gate("top", "g", "a")
+            .build("top")
+        )
+        # top == a, so b never matters.
+        assert structural_importance(tree, "b") == 0
+        assert structural_importance(tree, "a") == 1
+
+    def test_unknown_event_rejected(self):
+        tree = figure1_tree()
+        with pytest.raises(ValueError):
+            structural_importance(tree, "nope")
+
+
+class TestEnumerationGuard:
+    def test_large_tree_rejected(self):
+        from repro.ft import RandomTreeConfig, random_tree
+
+        tree = random_tree(0, RandomTreeConfig(n_basic_events=25))
+        with pytest.raises(ValueError):
+            minimal_cut_sets_enum(tree)

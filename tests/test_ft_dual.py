@@ -1,0 +1,77 @@
+"""Dual trees: the classical MCS/MPS duality (DESIGN.md deviation 1)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ft import (
+    FaultTreeBuilder,
+    dual_tree,
+    example_vot_tree,
+    figure1_tree,
+    minimal_cut_sets,
+    minimal_path_sets,
+    structure_function,
+)
+
+from .conftest import small_trees
+
+
+def _as_sets(items):
+    return sorted(items, key=lambda s: (len(s), sorted(s)))
+
+
+class TestDualConstruction:
+    def test_gate_types_swap(self):
+        tree = figure1_tree()
+        dual = dual_tree(tree)
+        assert dual.gate_type("CP/R").value == "and"
+        assert dual.gate_type("CP").value == "or"
+
+    def test_vot_threshold_maps_to_n_minus_k_plus_1(self):
+        tree = example_vot_tree()  # VOT(2/3)
+        dual = dual_tree(tree)
+        assert dual.gate("V").threshold == 2  # 3 - 2 + 1
+
+    def test_double_dual_is_identity(self):
+        tree = figure1_tree()
+        double = dual_tree(dual_tree(tree))
+        for name in tree.gate_names:
+            assert double.gate(name) == tree.gate(name)
+
+
+class TestDualSemantics:
+    def test_dual_structure_function(self):
+        tree = figure1_tree()
+        dual = dual_tree(tree)
+        names = tree.basic_events
+        for bits in itertools.product([False, True], repeat=len(names)):
+            vector = dict(zip(names, bits))
+            complement = {name: not value for name, value in vector.items()}
+            assert structure_function(dual, vector) is (
+                not structure_function(tree, complement)
+            )
+
+    def test_mcs_of_dual_is_mps_of_original_fig1(self):
+        tree = figure1_tree()
+        dual = dual_tree(tree)
+        assert _as_sets(minimal_cut_sets(dual)) == _as_sets(
+            minimal_path_sets(tree)
+        )
+
+    @given(tree=small_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_mcs_of_dual_is_mps_of_original_random(self, tree):
+        dual = dual_tree(tree)
+        assert _as_sets(minimal_cut_sets(dual)) == _as_sets(
+            minimal_path_sets(tree)
+        )
+
+    @given(tree=small_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_mps_of_dual_is_mcs_of_original_random(self, tree):
+        dual = dual_tree(tree)
+        assert _as_sets(minimal_path_sets(dual)) == _as_sets(
+            minimal_cut_sets(tree)
+        )

@@ -1,0 +1,74 @@
+"""Validation rules on basic events and gates (paper Def. 1)."""
+
+import pytest
+
+from repro.errors import GateArityError
+from repro.ft import BasicEvent, Gate, GateType
+
+
+class TestBasicEvent:
+    def test_minimal_construction(self):
+        be = BasicEvent("IW")
+        assert be.name == "IW"
+        assert be.description == ""
+        assert be.probability is None
+
+    def test_description_and_probability(self):
+        be = BasicEvent("IW", "Infected worker", probability=0.25)
+        assert be.description == "Infected worker"
+        assert be.probability == 0.25
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            BasicEvent("")
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_probability_out_of_range_rejected(self, bad):
+        with pytest.raises(ValueError):
+            BasicEvent("IW", probability=bad)
+
+    def test_is_immutable(self):
+        be = BasicEvent("IW")
+        with pytest.raises(AttributeError):
+            be.name = "other"
+
+
+class TestGate:
+    def test_and_gate(self):
+        gate = Gate("CP", GateType.AND, ("IW", "H3"))
+        assert gate.arity == 2
+        assert gate.describe_type() == "AND"
+
+    def test_or_gate_single_child_allowed(self):
+        # Def. 1 only requires ch(e) non-empty; CVT in Fig. 2 has one child.
+        gate = Gate("CVT", GateType.OR, ("UT",))
+        assert gate.arity == 1
+
+    def test_no_children_rejected(self):
+        with pytest.raises(GateArityError):
+            Gate("G", GateType.OR, ())
+
+    def test_duplicate_children_rejected(self):
+        with pytest.raises(GateArityError):
+            Gate("G", GateType.AND, ("a", "a"))
+
+    def test_vot_needs_threshold(self):
+        with pytest.raises(GateArityError):
+            Gate("V", GateType.VOT, ("a", "b"))
+
+    @pytest.mark.parametrize("k", [0, 4])
+    def test_vot_threshold_range(self, k):
+        with pytest.raises(GateArityError):
+            Gate("V", GateType.VOT, ("a", "b", "c"), threshold=k)
+
+    def test_vot_describe_type(self):
+        gate = Gate("V", GateType.VOT, ("a", "b", "c"), threshold=2)
+        assert gate.describe_type() == "VOT(2/3)"
+
+    def test_threshold_on_non_vot_rejected(self):
+        with pytest.raises(GateArityError):
+            Gate("G", GateType.AND, ("a", "b"), threshold=1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("", GateType.OR, ("a",))

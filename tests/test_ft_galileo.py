@@ -1,0 +1,119 @@
+"""Galileo format: parsing, serialisation, round-trips and error reporting."""
+
+import pytest
+
+from repro.casestudy import build_covid_tree
+from repro.errors import GalileoFormatError
+from repro.ft import GateType, dumps, loads
+from repro.ft.galileo import dump, load
+
+
+SAMPLE = """
+// COVID excerpt
+toplevel "CP/R";
+"CP/R" or "CP" "CR";
+"CP" and "IW" "H3";
+"CR" and "IT" "H2";
+"IW" prob=0.1;
+"H3";
+"IT";
+"H2";
+"""
+
+
+class TestParsing:
+    def test_basic_document(self):
+        tree = loads(SAMPLE)
+        assert tree.top == "CP/R"
+        assert tree.gate_type("CP/R") is GateType.OR
+        assert tree.children("CP") == ("IW", "H3")
+        assert tree.basic_event("IW").probability == 0.1
+
+    def test_unquoted_names(self):
+        tree = loads("toplevel top; top and a b; a; b;")
+        assert tree.top == "top"
+        assert set(tree.basic_events) == {"a", "b"}
+
+    def test_vot_gate(self):
+        tree = loads("toplevel v; v 2of3 a b c; a; b; c;")
+        gate = tree.gate("v")
+        assert gate.gate_type is GateType.VOT
+        assert gate.threshold == 2
+
+    def test_implicit_basic_events(self):
+        tree = loads("toplevel g; g and x y;")
+        assert set(tree.basic_events) == {"x", "y"}
+
+    def test_comments_stripped(self):
+        text = (
+            "// line comment\n"
+            "toplevel g; # hash comment\n"
+            "/* block\ncomment */ g or a; a;"
+        )
+        tree = loads(text)
+        assert tree.top == "g"
+
+    def test_other_attributes_ignored(self):
+        tree = loads("toplevel g; g or a; a lambda=0.5 dorm=0.1;")
+        assert tree.basic_event("a").probability is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "g or a; a;",  # missing toplevel
+            "toplevel g; toplevel h; g or a; a;",  # duplicate toplevel
+            "toplevel g; g or;",  # gate without children
+            "toplevel v; v 2of3 a b; a; b;",  # VOT arity mismatch
+            "toplevel g; g or a; a prob=xx;",  # bad probability
+            "toplevel g; g or a; a; a;",  # duplicate basic event
+            "toplevel;",  # malformed toplevel
+            "toplevel g; g or a; what is this;",  # unrecognised statement
+        ],
+    )
+    def test_rejected_documents(self, text):
+        with pytest.raises(GalileoFormatError):
+            loads(text)
+
+
+class TestRoundTrip:
+    def test_fig1_round_trip(self):
+        from repro.ft import figure1_tree
+
+        tree = figure1_tree()
+        reparsed = loads(dumps(tree))
+        assert reparsed.top == tree.top
+        assert set(reparsed.basic_events) == set(tree.basic_events)
+        for name in tree.gate_names:
+            assert reparsed.children(name) == tree.children(name)
+            assert reparsed.gate_type(name) == tree.gate_type(name)
+
+    def test_covid_round_trip(self):
+        tree = build_covid_tree()
+        reparsed = loads(dumps(tree))
+        assert reparsed.top == tree.top
+        assert set(reparsed.elements) == set(tree.elements)
+        for name in tree.gate_names:
+            assert reparsed.children(name) == tree.children(name)
+
+    def test_vot_round_trip(self):
+        from repro.ft import example_vot_tree
+
+        tree = example_vot_tree()
+        reparsed = loads(dumps(tree))
+        assert reparsed.gate("V").threshold == 2
+
+    def test_probability_round_trip(self):
+        tree = loads("toplevel g; g or a b; a prob=0.25; b;")
+        reparsed = loads(dumps(tree))
+        assert reparsed.basic_event("a").probability == 0.25
+        assert reparsed.basic_event("b").probability is None
+
+    def test_file_io(self, tmp_path):
+        tree = build_covid_tree()
+        path = tmp_path / "covid.dft"
+        dump(tree, str(path))
+        reparsed = load(str(path))
+        assert reparsed.top == "IWoS"

@@ -1,0 +1,91 @@
+"""Module detection and its connection to BFL's IDP operator."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.casestudy import build_covid_tree
+from repro.checker import ModelChecker
+from repro.ft import (
+    FaultTreeBuilder,
+    figure1_tree,
+    is_module,
+    modularization_report,
+    modules,
+)
+
+from .conftest import small_trees
+
+
+class TestCovidModules:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return build_covid_tree()
+
+    def test_exactly_the_self_contained_gates(self, tree):
+        # AM = OR(AB, MV) and CVT = OR(UT) touch events used nowhere else;
+        # every other gate shares IW / IT / H1 / PP with the rest of Fig. 2.
+        assert modules(tree) == frozenset({"AM", "CVT", "IWoS"})
+
+    def test_top_is_always_a_module(self, tree):
+        assert is_module(tree, tree.top)
+
+    def test_shared_leaf_is_not_a_module(self, tree):
+        assert not is_module(tree, "H1")
+        assert is_module(tree, "VW")  # occurs once
+
+    def test_report_lists_every_gate(self, tree):
+        report = modularization_report(tree)
+        assert len(report) == len(tree.gate_names)
+        assert any("module" in line for line in report)
+        assert any("shared" in line for line in report)
+
+
+class TestFig1Modules:
+    def test_every_gate_is_a_module(self):
+        # Fig. 1 has no repeated events, so all gates are modules.
+        tree = figure1_tree()
+        assert modules(tree) == frozenset({"CP", "CR", "CP/R"})
+
+
+class TestModulesImplyIndependence:
+    def test_disjoint_modules_are_idp(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b", "c", "d")
+            .and_gate("left", "a", "b")
+            .or_gate("right", "c", "d")
+            .or_gate("top", "left", "right")
+            .build("top")
+        )
+        assert is_module(tree, "left") and is_module(tree, "right")
+        checker = ModelChecker(tree)
+        assert checker.check("IDP(left, right)")
+
+    @given(tree=small_trees(max_basic_events=5))
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_modules_are_idp_random(self, tree):
+        found = [g for g in modules(tree) if g != tree.top]
+        checker = ModelChecker(tree)
+        for i, first in enumerate(found):
+            for second in found[i + 1:]:
+                below_first = tree.basic_descendants(first)
+                below_second = tree.basic_descendants(second)
+                if below_first & below_second:
+                    continue  # nested modules may share events
+                result = checker.check(f'IDP("{first}", "{second}")')
+                assert result, (first, second)
+
+
+class TestSharingBreaksModules:
+    def test_gate_sharing_a_leaf_is_not_a_module(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b", "c")
+            .and_gate("g1", "a", "b")
+            .and_gate("g2", "b", "c")
+            .or_gate("top", "g1", "g2")
+            .build("top")
+        )
+        assert not is_module(tree, "g1")
+        assert not is_module(tree, "g2")
+        assert modules(tree) == frozenset({"top"})

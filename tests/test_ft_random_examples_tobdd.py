@@ -1,0 +1,129 @@
+"""Random-tree generator, the paper's example trees, and Psi_FT (Def. 6)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager
+from repro.ft import (
+    RandomTreeConfig,
+    TreeTranslator,
+    figure1_tree,
+    figure3_or_tree,
+    random_tree,
+    structure_function,
+    table1_tree,
+    tree_to_bdd,
+)
+
+from .conftest import small_trees
+
+
+class TestRandomTrees:
+    def test_deterministic_for_a_seed(self):
+        config = RandomTreeConfig(n_basic_events=6)
+        a = random_tree(42, config)
+        b = random_tree(42, config)
+        assert a.elements == b.elements
+        for name in a.gate_names:
+            assert a.gate(name) == b.gate(name)
+
+    def test_different_seeds_differ(self):
+        config = RandomTreeConfig(n_basic_events=6)
+        trees = {tuple(random_tree(seed, config).elements) for seed in range(8)}
+        assert len(trees) > 1
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_always_well_formed(self, seed):
+        # FaultTree.__init__ re-validates Def. 1; surviving construction is
+        # the property.
+        tree = random_tree(seed, RandomTreeConfig(n_basic_events=7, p_share=0.4))
+        assert len(tree.basic_events) == 7
+        assert tree.top in tree.gate_names
+
+    def test_all_declared_events_connected(self):
+        tree = random_tree(3, RandomTreeConfig(n_basic_events=10))
+        reachable = tree.descendants(tree.top)
+        for name in tree.basic_events:
+            assert name in reachable
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_basic_events": 0},
+            {"max_children": 1},
+            {"p_vot": 1.5},
+            {"p_share": -0.1},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RandomTreeConfig(**kwargs)
+
+
+class TestExampleTrees:
+    def test_figure1_shape(self):
+        tree = figure1_tree()
+        assert tree.top == "CP/R"
+        assert tree.children("CP/R") == ("CP", "CR")
+        assert tree.describe("IW") == "Infected worker joining the team"
+
+    def test_figure3_shape(self):
+        tree = figure3_or_tree()
+        assert tree.children("Top") == ("e1", "e2")
+
+    def test_table1_shape(self):
+        tree = table1_tree()
+        # e1 = AND(e2, e3), e3 = OR(e4, e5) — reconstructed in DESIGN.md.
+        assert tree.children("e1") == ("e2", "e3")
+        assert tree.children("e3") == ("e4", "e5")
+        assert tree.basic_events == ("e2", "e4", "e5")
+
+
+class TestTreeToBDD:
+    def test_translation_matches_structure_function_fig1(self):
+        tree = figure1_tree()
+        manager = BDDManager(tree.basic_events)
+        root = tree_to_bdd(tree, manager)
+        for bits in itertools.product([False, True], repeat=4):
+            vector = dict(zip(tree.basic_events, bits))
+            assert manager.evaluate(root, vector) is structure_function(
+                tree, vector
+            )
+
+    @given(tree=small_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_translation_matches_structure_function_random(self, tree):
+        manager = BDDManager(tree.basic_events)
+        translator = TreeTranslator(tree, manager)
+        names = tree.basic_events
+        for element in tree.elements:
+            node = translator.element(element)
+            for bits in itertools.product([False, True], repeat=len(names)):
+                vector = dict(zip(names, bits))
+                assert manager.evaluate(
+                    node, {**vector, **{}}
+                ) is structure_function(tree, vector, element)
+
+    def test_translator_caches_elements(self):
+        tree = figure1_tree()
+        manager = BDDManager(tree.basic_events)
+        translator = TreeTranslator(tree, manager)
+        translator.element("CP/R")
+        # Translating the top fills the cache for every descendant.
+        assert set(translator.cached_elements) == set(tree.elements)
+        first = translator.element("CP")
+        assert translator.element("CP") is first
+
+    def test_fresh_manager_created_when_omitted(self):
+        tree = figure3_or_tree()
+        root = tree_to_bdd(tree)
+        assert root.count_nodes() == 4  # e1 node, e2 node, two terminals
+
+    def test_custom_order_respected(self):
+        tree = figure1_tree()
+        root = tree_to_bdd(tree, order=["H2", "IT", "H3", "IW"])
+        assert root is not None

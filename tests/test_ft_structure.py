@@ -1,0 +1,115 @@
+"""The structure function Phi_T (paper Def. 2), including VOT semantics."""
+
+import itertools
+
+import pytest
+
+from repro.errors import UnknownElementError
+from repro.ft import (
+    FaultTreeBuilder,
+    evaluate_all,
+    example_vot_tree,
+    figure1_tree,
+    structure_function,
+)
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return figure1_tree()
+
+    def test_or_of_ands(self, tree):
+        # CP/R fails iff (IW and H3) or (IT and H2) — Def. 2 on Fig. 1.
+        for bits in itertools.product([False, True], repeat=4):
+            vector = dict(zip(("IW", "H3", "IT", "H2"), bits))
+            expected = (vector["IW"] and vector["H3"]) or (
+                vector["IT"] and vector["H2"]
+            )
+            assert structure_function(tree, vector) is expected
+
+    def test_intermediate_elements(self, tree):
+        vector = tree.vector_from_failed(["IW", "H3"])
+        assert structure_function(tree, vector, "CP") is True
+        assert structure_function(tree, vector, "CR") is False
+
+    def test_basic_event_status_is_its_bit(self, tree):
+        vector = tree.vector_from_failed(["IT"])
+        assert structure_function(tree, vector, "IT") is True
+        assert structure_function(tree, vector, "IW") is False
+
+    def test_unknown_element_rejected(self, tree):
+        with pytest.raises(UnknownElementError):
+            structure_function(tree, tree.vector_from_failed([]), "nope")
+
+
+class TestVot:
+    def test_vot_2_of_3(self):
+        tree = example_vot_tree()
+        for bits in itertools.product([False, True], repeat=3):
+            vector = dict(zip(("a", "b", "c"), bits))
+            assert structure_function(tree, vector) is (sum(bits) >= 2)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_vot_k_of_4(self, k):
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b", "c", "d")
+            .vot_gate("top", k, "a", "b", "c", "d")
+            .build("top")
+        )
+        for bits in itertools.product([False, True], repeat=4):
+            vector = dict(zip(("a", "b", "c", "d"), bits))
+            assert structure_function(tree, vector) is (sum(bits) >= k)
+
+    def test_vot_1_behaves_like_or_and_vot_n_like_and(self):
+        names = ("a", "b", "c")
+        vot1 = (
+            FaultTreeBuilder()
+            .basic_events(*names)
+            .vot_gate("top", 1, *names)
+            .build("top")
+        )
+        votn = (
+            FaultTreeBuilder()
+            .basic_events(*names)
+            .vot_gate("top", 3, *names)
+            .build("top")
+        )
+        for bits in itertools.product([False, True], repeat=3):
+            vector = dict(zip(names, bits))
+            assert structure_function(vot1, vector) is any(bits)
+            assert structure_function(votn, vector) is all(bits)
+
+
+class TestEvaluateAll:
+    def test_returns_every_element(self):
+        tree = figure1_tree()
+        statuses = evaluate_all(tree, tree.vector_from_failed(["IT", "H2"]))
+        assert set(statuses) == set(tree.elements)
+        assert statuses["CR"] is True
+        assert statuses["CP"] is False
+        assert statuses["CP/R"] is True
+
+    def test_shared_subtrees_evaluated_once_consistently(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("x", "y")
+            .and_gate("shared", "x", "y")
+            .or_gate("left", "shared", "x")
+            .and_gate("top", "left", "shared")
+            .build("top")
+        )
+        statuses = evaluate_all(tree, {"x": True, "y": True})
+        assert statuses["shared"] is True
+        assert statuses["top"] is True
+
+    def test_deep_chain_does_not_hit_recursion_limit(self):
+        builder = FaultTreeBuilder().basic_events("leaf")
+        previous = "leaf"
+        for i in range(3000):
+            builder.or_gate(f"g{i}", previous)
+            previous = f"g{i}"
+        tree = builder.build(previous)
+        statuses = evaluate_all(tree, {"leaf": True})
+        assert statuses[previous] is True

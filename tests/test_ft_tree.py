@@ -1,0 +1,199 @@
+"""FaultTree construction, well-formedness (Def. 1), and graph queries."""
+
+import pytest
+
+from repro.errors import (
+    StatusVectorError,
+    UnknownElementError,
+    WellFormednessError,
+)
+from repro.ft import BasicEvent, FaultTree, FaultTreeBuilder, Gate, GateType
+
+
+def _gate(name, gate_type, children, threshold=None):
+    return Gate(name, gate_type, tuple(children), threshold=threshold)
+
+
+class TestWellFormedness:
+    def test_duplicate_basic_event_rejected(self):
+        with pytest.raises(WellFormednessError):
+            FaultTree(
+                [BasicEvent("a"), BasicEvent("a")],
+                [_gate("top", GateType.OR, ["a"])],
+                "top",
+            )
+
+    def test_duplicate_gate_rejected(self):
+        with pytest.raises(WellFormednessError):
+            FaultTree(
+                [BasicEvent("a")],
+                [
+                    _gate("top", GateType.OR, ["a"]),
+                    _gate("top", GateType.AND, ["a"]),
+                ],
+                "top",
+            )
+
+    def test_be_and_ie_must_be_disjoint(self):
+        with pytest.raises(WellFormednessError):
+            FaultTree(
+                [BasicEvent("a")],
+                [
+                    _gate("a", GateType.OR, ["a"]),
+                ],
+                "a",
+            )
+
+    def test_top_must_be_a_gate(self):
+        with pytest.raises(WellFormednessError):
+            FaultTree([BasicEvent("a")], [_gate("g", GateType.OR, ["a"])], "a")
+
+    def test_unknown_child_rejected(self):
+        with pytest.raises(WellFormednessError):
+            FaultTree(
+                [BasicEvent("a")],
+                [_gate("top", GateType.OR, ["a", "ghost"])],
+                "top",
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(WellFormednessError):
+            FaultTree(
+                [BasicEvent("a")],
+                [
+                    _gate("top", GateType.OR, ["g1", "a"]),
+                    _gate("g1", GateType.OR, ["g2"]),
+                    _gate("g2", GateType.OR, ["g1"]),
+                ],
+                "top",
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(WellFormednessError):
+            FaultTree(
+                [BasicEvent("a")],
+                [_gate("top", GateType.OR, ["top", "a"])],
+                "top",
+            )
+
+    def test_orphan_element_rejected(self):
+        # Def. 1: the top must be reachable *from* every element.
+        with pytest.raises(WellFormednessError):
+            FaultTree(
+                [BasicEvent("a"), BasicEvent("b")],
+                [
+                    _gate("top", GateType.OR, ["a"]),
+                    _gate("island", GateType.OR, ["b"]),
+                ],
+                "top",
+            )
+
+    def test_top_with_a_parent_rejected(self):
+        with pytest.raises(WellFormednessError):
+            FaultTree(
+                [BasicEvent("a")],
+                [
+                    _gate("top", GateType.OR, ["g", "a"]),
+                    _gate("g", GateType.OR, ["top"]),
+                ],
+                "top",
+            )
+
+    def test_shared_subtree_is_legal(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b")
+            .and_gate("g", "a", "b")
+            .or_gate("top", "g", "a")
+            .build("top")
+        )
+        assert tree.shared_elements() >= {"a"}
+
+
+class TestAccessors:
+    @pytest.fixture()
+    def tree(self):
+        return (
+            FaultTreeBuilder()
+            .basic_events("a", "b", "c")
+            .and_gate("g1", "a", "b")
+            .vot_gate("top", 1, "g1", "c")
+            .build("top")
+        )
+
+    def test_membership_and_len(self, tree):
+        assert "a" in tree and "g1" in tree and "zz" not in tree
+        assert len(tree) == 5
+
+    def test_elements_lists_bes_first(self, tree):
+        assert tree.elements[:3] == ("a", "b", "c")
+        assert set(tree.gate_names) == {"g1", "top"}
+
+    def test_children_and_parents(self, tree):
+        assert tree.children("g1") == ("a", "b")
+        assert tree.children("a") == ()
+        assert tree.parents("a") == ("g1",)
+        assert tree.parents("top") == ()
+
+    def test_unknown_element_raises(self, tree):
+        with pytest.raises(UnknownElementError):
+            tree.children("zz")
+        with pytest.raises(UnknownElementError):
+            tree.gate("a")
+        with pytest.raises(UnknownElementError):
+            tree.basic_event("g1")
+
+    def test_descendants(self, tree):
+        assert tree.descendants("top") == frozenset({"g1", "a", "b", "c"})
+        assert tree.basic_descendants("g1") == frozenset({"a", "b"})
+        assert tree.basic_descendants("a") == frozenset({"a"})
+
+    def test_depth(self, tree):
+        assert tree.depth("top") == 0
+        assert tree.depth("g1") == 1
+        assert tree.depth("a") == 2
+        assert tree.depth("c") == 1
+
+    def test_stats(self, tree):
+        stats = tree.stats()
+        assert stats["basic_events"] == 3
+        assert stats["gates"] == 2
+        assert stats["vot_gates"] == 1
+
+
+class TestStatusVectors:
+    @pytest.fixture()
+    def tree(self):
+        return (
+            FaultTreeBuilder()
+            .basic_events("a", "b")
+            .or_gate("top", "a", "b")
+            .build("top")
+        )
+
+    def test_vector_from_failed(self, tree):
+        assert tree.vector_from_failed(["a"]) == {"a": True, "b": False}
+
+    def test_vector_from_operational(self, tree):
+        assert tree.vector_from_operational(["a"]) == {"a": False, "b": True}
+
+    def test_vector_from_bits_matches_declaration_order(self, tree):
+        assert tree.vector_from_bits([0, 1]) == {"a": False, "b": True}
+
+    def test_bits_length_checked(self, tree):
+        with pytest.raises(StatusVectorError):
+            tree.vector_from_bits([0])
+
+    def test_unknown_event_in_failed_rejected(self, tree):
+        with pytest.raises(StatusVectorError):
+            tree.vector_from_failed(["zz"])
+
+    def test_failed_and_operational_sets(self, tree):
+        vector = {"a": True, "b": False}
+        assert tree.failed_set(vector) == frozenset({"a"})
+        assert tree.operational_set(vector) == frozenset({"b"})
+
+    def test_missing_key_rejected_extra_tolerated(self, tree):
+        with pytest.raises(StatusVectorError):
+            tree.check_vector({"a": True})
+        tree.check_vector({"a": True, "b": False, "extra": True})

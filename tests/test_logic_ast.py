@@ -1,0 +1,137 @@
+"""BFL AST: construction helpers, traversal, validation, layer separation."""
+
+import pytest
+
+from repro.errors import LayerError
+from repro.logic import (
+    MCS,
+    MPS,
+    SUP,
+    And,
+    Atom,
+    Constant,
+    Equiv,
+    Evidence,
+    Exists,
+    Forall,
+    IDP,
+    Implies,
+    Not,
+    NotEquiv,
+    Or,
+    Vot,
+    atom,
+    atoms,
+    conj,
+    disj,
+    require_layer1,
+)
+
+
+class TestConstruction:
+    def test_operator_overloading(self):
+        a, b = atom("A"), atom("B")
+        assert (a & b) == And(a, b)
+        assert (a | b) == Or(a, b)
+        assert (~a) == Not(a)
+        assert (a >> b) == Implies(a, b)
+
+    def test_named_combinators(self):
+        a, b = atom("A"), atom("B")
+        assert a.implies(b) == Implies(a, b)
+        assert a.equiv(b) == Equiv(a, b)
+        assert a.nequiv(b) == NotEquiv(a, b)
+
+    def test_string_coercion_in_combinators(self):
+        assert (atom("A") & "B") == And(Atom("A"), Atom("B"))
+        with pytest.raises(TypeError):
+            atom("A") & 42
+
+    def test_given_builds_evidence(self):
+        formula = atom("CP").given(H1=0, H2=1)
+        assert formula == Evidence(Atom("CP"), (("H1", False), ("H2", True)))
+
+    def test_atoms_helper(self):
+        assert atoms("A", "B") == (Atom("A"), Atom("B"))
+
+    def test_conj_disj(self):
+        a, b, c = atoms("A", "B", "C")
+        assert conj(a, b, c) == And(a, And(b, c))
+        assert disj(a, b) == Or(a, b)
+        assert conj() == Constant(True)
+        assert disj() == Constant(False)
+
+    def test_empty_atom_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("")
+
+    def test_evidence_requires_assignments(self):
+        with pytest.raises(ValueError):
+            Evidence(Atom("A"), ())
+
+
+class TestVotValidation:
+    def test_valid_vot(self):
+        v = Vot(">=", 2, atoms("A", "B", "C"))
+        assert v.threshold == 2
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Vot("!=", 1, atoms("A"))
+
+    def test_threshold_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Vot(">=", 4, atoms("A", "B"))
+
+    def test_no_operands_rejected(self):
+        with pytest.raises(ValueError):
+            Vot(">=", 0, ())
+
+
+class TestStructure:
+    def test_atoms_collects_evidence_targets(self):
+        formula = Evidence(And(Atom("A"), Atom("B")), (("C", True),))
+        assert formula.atoms() == frozenset({"A", "B", "C"})
+
+    def test_walk_is_preorder(self):
+        a, b = atoms("A", "B")
+        formula = And(Not(a), b)
+        nodes = list(formula.walk())
+        assert nodes[0] == formula
+        assert Not(a) in nodes and b in nodes
+
+    def test_formulae_are_hashable_cache_keys(self):
+        first = MCS(And(Atom("A"), Atom("B")))
+        second = MCS(And(Atom("A"), Atom("B")))
+        assert first == second
+        assert hash(first) == hash(second)
+        assert len({first, second}) == 1
+
+    def test_children(self):
+        v = Vot(">=", 1, atoms("A", "B"))
+        assert v.children() == atoms("A", "B")
+        assert Atom("A").children() == ()
+        assert MPS(Atom("A")).children() == (Atom("A"),)
+
+
+class TestLayers:
+    def test_require_layer1_accepts_formulae(self):
+        formula = MCS(Atom("A"))
+        assert require_layer1(formula) is formula
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            Exists(Atom("A")),
+            Forall(Atom("A")),
+            IDP(Atom("A"), Atom("B")),
+            SUP("A"),
+        ],
+    )
+    def test_require_layer1_rejects_queries(self, query):
+        with pytest.raises(LayerError):
+            require_layer1(query)
+
+    def test_sup_requires_element(self):
+        with pytest.raises(ValueError):
+            SUP("")

@@ -1,0 +1,179 @@
+"""The enumerative reference semantics (paper Sec. III-B)."""
+
+import pytest
+
+from repro.errors import LogicError, StatusVectorError
+from repro.ft import FaultTreeBuilder, figure1_tree
+from repro.logic import (
+    MCS,
+    MPS,
+    SUP,
+    And,
+    Atom,
+    Evidence,
+    Exists,
+    Forall,
+    IDP,
+    Not,
+    ReferenceSemantics,
+    Vot,
+    parse,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1_tree()
+
+
+@pytest.fixture(scope="module")
+def semantics(fig1):
+    return ReferenceSemantics(fig1)
+
+
+class TestLayer1:
+    def test_atom_uses_structure_function(self, fig1, semantics):
+        vector = fig1.vector_from_failed(["IW", "H3"])
+        assert semantics.holds(Atom("CP"), vector)
+        assert semantics.holds(Atom("CP/R"), vector)
+        assert not semantics.holds(Atom("CR"), vector)
+
+    def test_boolean_connectives(self, fig1, semantics):
+        vector = fig1.vector_from_failed(["IW"])
+        assert semantics.holds(parse("IW & !H3"), vector)
+        assert semantics.holds(parse("IW | H3"), vector)
+        assert semantics.holds(parse("H3 => IW"), vector)
+        assert semantics.holds(parse("IW <!> H3"), vector)
+
+    def test_evidence_overrides_vector(self, fig1, semantics):
+        vector = fig1.vector_from_failed([])
+        assert semantics.holds(parse("CP[IW := 1, H3 := 1]"), vector)
+
+    def test_paper_remark_evidence_is_not_conjunction(self, fig1, semantics):
+        # (not e)[e -> 0] is true everywhere; (not e) and (not e) is not.
+        vector = fig1.vector_from_failed(["IW"])
+        evidence = Evidence(Not(Atom("IW")), (("IW", False),))
+        conjunction = And(Not(Atom("IW")), Not(Atom("IW")))
+        assert semantics.holds(evidence, vector)
+        assert not semantics.holds(conjunction, vector)
+
+    def test_evidence_on_gate_rejected(self, fig1, semantics):
+        vector = fig1.vector_from_failed([])
+        with pytest.raises(LogicError):
+            semantics.holds(parse("CP[CR := 1]"), vector)
+
+    def test_unknown_atom_rejected(self, fig1, semantics):
+        with pytest.raises(LogicError):
+            semantics.holds(Atom("nope"), fig1.vector_from_failed([]))
+
+    def test_vector_required_for_layer1(self, semantics):
+        with pytest.raises(StatusVectorError):
+            semantics.holds(Atom("IW"))
+
+    def test_vot_counts_formulae(self, fig1, semantics):
+        vector = fig1.vector_from_failed(["IW", "IT"])
+        vot = Vot(">=", 2, (Atom("IW"), Atom("IT"), Atom("H2")))
+        assert semantics.holds(vot, vector)
+        assert not semantics.holds(
+            Vot(">=", 3, (Atom("IW"), Atom("IT"), Atom("H2"))), vector
+        )
+
+
+class TestMCSMPS:
+    def test_mcs_vectors_fig1(self, fig1, semantics):
+        assert semantics.holds(
+            MCS(Atom("CP/R")), fig1.vector_from_failed(["IW", "H3"])
+        )
+        assert not semantics.holds(
+            MCS(Atom("CP/R")), fig1.vector_from_failed(["IW", "H3", "IT"])
+        )
+        assert not semantics.holds(
+            MCS(Atom("CP/R")), fig1.vector_from_failed(["IW"])
+        )
+
+    def test_mps_vectors_fig1(self, fig1, semantics):
+        assert semantics.holds(
+            MPS(Atom("CP/R")), fig1.vector_from_operational(["IW", "IT"])
+        )
+        assert not semantics.holds(
+            MPS(Atom("CP/R")),
+            fig1.vector_from_operational(["IW", "IT", "H2"]),
+        )
+
+    def test_mcs_over_compound_formula(self, fig1, semantics):
+        # Minimal vectors satisfying CP and CR: all four events failed.
+        formula = MCS(And(Atom("CP"), Atom("CR")))
+        everything = fig1.vector_from_failed(["IW", "H3", "IT", "H2"])
+        assert semantics.holds(formula, everything)
+
+    def test_nested_minimal_operators(self, fig1, semantics):
+        # MCS(MPS(...)-free operand) nested inside evidence still evaluates.
+        formula = Evidence(MCS(Atom("CP")), (("IT", True),))
+        vector = fig1.vector_from_failed(["IW", "H3"])
+        assert semantics.holds(formula, vector)
+
+
+class TestLayer2:
+    def test_exists_forall(self, semantics):
+        assert semantics.holds(Exists(Atom("CP/R")))
+        assert not semantics.holds(Forall(Atom("CP/R")))
+        assert semantics.holds(Forall(parse("CP => CP/R")))
+
+    def test_idp_disjoint_subtrees(self, semantics):
+        assert semantics.holds(IDP(Atom("CP"), Atom("CR")))
+        assert not semantics.holds(IDP(Atom("CP"), Atom("CP/R")))
+
+    def test_sup(self, semantics):
+        assert not semantics.holds(SUP("IW"))
+
+    def test_sup_of_disconnected_influence(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b")
+            .or_gate("g", "a", "b")
+            .and_gate("top", "g", "a")
+            .build("top")
+        )
+        semantics = ReferenceSemantics(tree)
+        # top == a regardless of b, so b is superfluous.
+        assert semantics.holds(SUP("b"))
+        assert not semantics.holds(SUP("a"))
+
+
+class TestIBE:
+    def test_ibe_of_gate_is_its_relevant_leaves(self, semantics):
+        assert semantics.influencing_basic_events(Atom("CP")) == frozenset(
+            {"IW", "H3"}
+        )
+
+    def test_ibe_of_constant_is_empty(self, semantics):
+        assert semantics.influencing_basic_events(parse("true")) == frozenset()
+
+    def test_ibe_of_tautology_is_empty(self, semantics):
+        assert semantics.influencing_basic_events(
+            parse("IW | !IW")
+        ) == frozenset()
+
+    def test_ibe_cache_returns_same_result(self, semantics):
+        first = semantics.influencing_basic_events(Atom("CP/R"))
+        second = semantics.influencing_basic_events(Atom("CP/R"))
+        assert first == second == frozenset({"IW", "H3", "IT", "H2"})
+
+
+class TestSatisfyingVectors:
+    def test_fig1_mcs_satisfying_vectors(self, fig1, semantics):
+        vectors = semantics.satisfying_vectors(MCS(Atom("CP/R")))
+        failed = {
+            frozenset(n for n, v in vector.items() if v) for vector in vectors
+        }
+        assert failed == {
+            frozenset({"IW", "H3"}),
+            frozenset({"IT", "H2"}),
+        }
+
+    def test_too_many_basic_events_rejected(self):
+        from repro.ft import RandomTreeConfig, random_tree
+
+        big = random_tree(1, RandomTreeConfig(n_basic_events=23))
+        with pytest.raises(LogicError):
+            ReferenceSemantics(big)

@@ -1,0 +1,161 @@
+"""The paper's syntactic-sugar table: desugaring preserves semantics."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ft import figure1_tree
+from repro.logic import (
+    MCS,
+    MPS,
+    SUP,
+    And,
+    Atom,
+    Constant,
+    Equiv,
+    Evidence,
+    Exists,
+    Forall,
+    IDP,
+    Implies,
+    Not,
+    NotEquiv,
+    Or,
+    ReferenceSemantics,
+    Vot,
+    desugar,
+    desugar_statement,
+    expand_vot,
+    mps_literal_rewrite,
+)
+
+from .conftest import formulas_for, vectors_for
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1_tree()
+
+
+@pytest.fixture(scope="module")
+def semantics(fig1):
+    return ReferenceSemantics(fig1)
+
+
+class TestCoreRewrites:
+    def test_or_rewrite(self):
+        a, b = Atom("A"), Atom("B")
+        assert desugar(Or(a, b)) == Not(And(Not(a), Not(b)))
+
+    def test_implies_rewrite(self):
+        a, b = Atom("A"), Atom("B")
+        assert desugar(Implies(a, b)) == Not(And(a, Not(b)))
+
+    def test_equiv_rewrite_uses_implications(self):
+        a, b = Atom("A"), Atom("B")
+        result = desugar(Equiv(a, b))
+        assert result == And(
+            Not(And(a, Not(b))), Not(And(b, Not(a)))
+        )
+
+    def test_nequiv_is_negated_equiv(self):
+        a, b = Atom("A"), Atom("B")
+        assert desugar(NotEquiv(a, b)) == Not(desugar(Equiv(a, b)))
+
+    def test_core_nodes_untouched(self):
+        formula = MCS(And(Atom("A"), Not(Atom("B"))))
+        assert desugar(formula) == formula
+
+    def test_evidence_recurses(self):
+        formula = Evidence(Or(Atom("A"), Atom("B")), (("A", True),))
+        result = desugar(formula)
+        assert isinstance(result, Evidence)
+        assert isinstance(result.operand, Not)
+
+    def test_desugared_output_is_core_only(self, fig1):
+        formula = Vot(">=", 1, (Or(Atom("IW"), Atom("H3")), Atom("IT")))
+        core = desugar(formula)
+        for node in core.walk():
+            assert not isinstance(node, (Or, Implies, Equiv, NotEquiv, Vot))
+
+
+class TestSemanticPreservation:
+    @given(formula=formulas_for(figure1_tree(), allow_minimal_ops=True))
+    @settings(max_examples=60, deadline=None)
+    def test_desugar_preserves_satisfaction(self, formula):
+        tree = figure1_tree()
+        semantics = ReferenceSemantics(tree)
+        core = desugar(formula)
+        for bits in itertools.product([False, True], repeat=4):
+            vector = dict(zip(tree.basic_events, bits))
+            assert semantics.holds(formula, vector) == semantics.holds(
+                core, vector
+            )
+
+
+class TestVotExpansion:
+    @pytest.mark.parametrize("op", ["<", "<=", "=", ">=", ">"])
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_expansion_counts_correctly(self, fig1, semantics, op, k):
+        operands = tuple(Atom(n) for n in ("IW", "H3", "IT"))
+        vot = Vot(op, k, operands)
+        expanded = expand_vot(vot)
+        for bits in itertools.product([False, True], repeat=4):
+            vector = dict(zip(fig1.basic_events, bits))
+            assert semantics.holds(vot, vector) == semantics.holds(
+                expanded, vector
+            )
+
+    def test_unsatisfiable_comparison_is_false(self):
+        vot = Vot("<", 0, (Atom("A"),))
+        assert expand_vot(vot) == Constant(False)
+
+
+class TestStatements:
+    def test_sup_desugars_to_idp_with_top(self, fig1):
+        statement = desugar_statement(SUP("IW"), fig1.top)
+        assert statement == IDP(Atom("IW"), Atom("CP/R"))
+
+    def test_exists_forall_recurse(self, fig1):
+        statement = desugar_statement(Forall(Or(Atom("A"), Atom("B"))), fig1.top)
+        assert isinstance(statement, Forall)
+        assert isinstance(statement.operand, Not)
+        statement = desugar_statement(Exists(Implies(Atom("A"), Atom("B"))), fig1.top)
+        assert isinstance(statement, Exists)
+
+    def test_idp_recurse(self, fig1):
+        statement = desugar_statement(
+            IDP(Or(Atom("A"), Atom("B")), Atom("C")), fig1.top
+        )
+        assert isinstance(statement, IDP)
+        assert isinstance(statement.left, Not)
+
+
+class TestMPSLiteralReading:
+    """DESIGN.md deviation 1: the literal sugar contradicts the paper."""
+
+    def test_rewrite_shape(self):
+        formula = mps_literal_rewrite(MPS(Atom("CP/R")))
+        assert formula == MCS(Not(Atom("CP/R")))
+
+    def test_literal_reading_collapses_to_all_operational(self, fig1):
+        semantics = ReferenceSemantics(fig1)
+        literal = mps_literal_rewrite(MPS(Atom("CP/R")))
+        satisfying = semantics.satisfying_vectors(literal)
+        # Under the literal reading the ONLY "MPS vector" is all-zero ...
+        assert satisfying == [
+            {name: False for name in fig1.basic_events}
+        ]
+        # ... whereas the intended semantics yields the paper's four MPSs.
+        intended = semantics.satisfying_vectors(MPS(Atom("CP/R")))
+        operational = {
+            frozenset(n for n, v in vector.items() if not v)
+            for vector in intended
+        }
+        assert operational == {
+            frozenset({"IW", "IT"}),
+            frozenset({"IW", "H2"}),
+            frozenset({"H3", "IT"}),
+            frozenset({"H3", "H2"}),
+        }

@@ -1,0 +1,208 @@
+"""Tree simplification (structure-function preservation) and the
+scenario API (the paper intro's bullet-list use cases)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.casestudy import build_covid_tree
+from repro.checker import ScenarioAnalyzer
+from repro.ft import (
+    FaultTreeBuilder,
+    figure1_tree,
+    simplification_stats,
+    simplify,
+    structure_function,
+)
+
+from .conftest import small_trees
+
+
+class TestSimplify:
+    def test_single_child_gates_absorbed(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b")
+            .or_gate("wrap", "a")
+            .and_gate("top", "wrap", "b")
+            .build("top")
+        )
+        simplified = simplify(tree)
+        assert "wrap" not in simplified.gate_names
+        assert set(simplified.children("top")) == {"a", "b"}
+
+    def test_same_type_nesting_flattened(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b", "c")
+            .or_gate("inner", "a", "b")
+            .or_gate("top", "inner", "c")
+            .build("top")
+        )
+        simplified = simplify(tree)
+        assert set(simplified.children("top")) == {"a", "b", "c"}
+        assert simplified.gate_names == ("top",)
+
+    def test_mixed_types_not_flattened(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b", "c")
+            .and_gate("inner", "a", "b")
+            .or_gate("top", "inner", "c")
+            .build("top")
+        )
+        simplified = simplify(tree)
+        assert "inner" in simplified.gate_names
+
+    def test_shared_gates_not_flattened(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b", "c")
+            .or_gate("shared", "a", "b")
+            .or_gate("left", "shared", "c")
+            .and_gate("top", "left", "shared")
+            .build("top")
+        )
+        simplified = simplify(tree)
+        assert "shared" in simplified.gate_names
+
+    def test_keep_protects_gates(self):
+        tree = (
+            FaultTreeBuilder()
+            .basic_events("a", "b", "c")
+            .or_gate("inner", "a", "b")
+            .or_gate("top", "inner", "c")
+            .build("top")
+        )
+        simplified = simplify(tree, keep=["inner"])
+        assert "inner" in simplified.gate_names
+
+    def test_unknown_keep_rejected(self):
+        with pytest.raises(ValueError):
+            simplify(figure1_tree(), keep=["ghost"])
+
+    def test_vot_untouched(self):
+        from repro.ft import example_vot_tree
+
+        tree = example_vot_tree()
+        simplified = simplify(tree)
+        assert simplified.gate("V").threshold == 2
+
+    def test_covid_tree_flattens_cvt(self):
+        tree = build_covid_tree()
+        simplified = simplify(tree)
+        # CVT = OR(UT) is single-child, MoT is OR -> UT hangs off MoT.
+        assert "CVT" not in simplified.gate_names
+        assert "UT" in simplified.children("MoT")
+        stats = simplification_stats(tree, simplified)
+        assert stats["gates_removed"] >= 1
+
+    @given(tree=small_trees(max_basic_events=5))
+    @settings(max_examples=50, deadline=None)
+    def test_structure_function_preserved(self, tree):
+        simplified = simplify(tree)
+        names = tree.basic_events
+        for bits in itertools.product([False, True], repeat=len(names)):
+            vector = dict(zip(names, bits))
+            assert structure_function(simplified, vector) == (
+                structure_function(tree, vector)
+            )
+
+    @given(tree=small_trees(max_basic_events=5))
+    @settings(max_examples=30, deadline=None)
+    def test_surviving_gates_preserve_their_function(self, tree):
+        simplified = simplify(tree)
+        names = tree.basic_events
+        shared_gates = set(simplified.gate_names) & set(tree.gate_names)
+        for bits in itertools.product([False, True], repeat=len(names)):
+            vector = dict(zip(names, bits))
+            for gate in shared_gates:
+                assert structure_function(
+                    simplified, vector, gate
+                ) == structure_function(tree, vector, gate)
+
+
+class TestScenarioAnalyzer:
+    @pytest.fixture(scope="class")
+    def analyzer(self):
+        return ScenarioAnalyzer(build_covid_tree())
+
+    def test_necessary_events_are_the_singleton_mpss(self, analyzer):
+        assert analyzer.necessary_events() == ["H1", "VW"]
+
+    def test_no_single_point_of_failure(self, analyzer):
+        assert analyzer.single_points_of_failure() == []
+
+    def test_always_causes_failure_on_a_full_mcs(self, analyzer):
+        result = analyzer.always_causes_failure(
+            "IW", "H3", "IT", "H1", "H4", "VW"
+        )
+        assert result.holds
+        assert "forall" in result.statement
+
+    def test_partial_set_does_not_always_fail(self, analyzer):
+        assert not analyzer.always_causes_failure("IW", "H3")
+
+    def test_can_cause_failure(self, analyzer):
+        assert analyzer.can_cause_failure("IW", "H3")
+        # H1 operational makes the TLE unreachable, so requiring both is
+        # unsatisfiable through evidence-free conjunction:
+        assert analyzer.can_cause_failure("H1")
+
+    def test_failure_bounds(self, analyzer):
+        # Property 4 re-expressed through the scenario API.
+        assert not analyzer.failure_bound_implies(
+            ">=", 2, ["H1", "H2", "H3", "H4", "H5"]
+        )
+        # At most zero human errors can never fail the TLE (H1 in every
+        # cut set): Vot<=0 means no human error failed.
+        assert analyzer.failure_bound_implies(
+            "<=", 0, ["H1", "H2", "H3", "H4", "H5"], negate_target=True
+        )
+
+    def test_cut_sets_given_matches_paper_p5_projection(self, analyzer):
+        # Condition on H4 and H1 failed: the remaining minimal completions
+        # are the P5 sets minus the evidence events.
+        sets = analyzer.cut_sets_given(failed=["H4", "H1"])
+        assert frozenset({"IT", "H2", "VW"}) in sets
+
+    def test_path_sets_given(self, analyzer):
+        # With H1 forced failed, {H1} is no longer an MPS; {VW} remains.
+        sets = analyzer.path_sets_given(failed=["H1"])
+        assert frozenset({"VW"}) in sets
+        assert frozenset({"H1"}) not in sets
+
+    def test_independent_and_superfluous_passthrough(self, analyzer):
+        assert not analyzer.independent("CIO", "CIS")
+        assert not analyzer.superfluous("PP")
+        assert analyzer.independent("CP", "CR").statement == "IDP(CP, CR)"
+
+    def test_target_override(self):
+        analyzer = ScenarioAnalyzer(build_covid_tree(), element="MoT")
+        assert analyzer.always_causes_failure("UT").holds
+
+
+class TestCheckerInvarianceUnderSimplify:
+    """Model-checking verdicts are invariant under simplification for
+    formulae that only mention surviving elements."""
+
+    @given(tree=small_trees(max_basic_events=4))
+    @settings(max_examples=30, deadline=None)
+    def test_mcs_of_top_invariant(self, tree):
+        from repro.checker import ModelChecker
+
+        simplified = simplify(tree)
+        before = ModelChecker(tree).minimal_cut_sets()
+        after = ModelChecker(simplified).minimal_cut_sets(simplified.top)
+        assert before == after
+
+    @given(tree=small_trees(max_basic_events=4))
+    @settings(max_examples=30, deadline=None)
+    def test_mps_of_top_invariant(self, tree):
+        from repro.checker import ModelChecker
+
+        simplified = simplify(tree)
+        before = ModelChecker(tree).minimal_path_sets()
+        after = ModelChecker(simplified).minimal_path_sets(simplified.top)
+        assert before == after

@@ -1,0 +1,125 @@
+"""Rendering: ASCII trees, failure propagation, counterexample views, DOT."""
+
+import pytest
+
+from repro.bdd import BDDManager, to_dot
+from repro.casestudy import build_covid_tree
+from repro.ft import figure1_tree, table1_tree, tree_to_bdd
+from repro.checker import ModelChecker
+from repro.viz import (
+    counterexample_view,
+    propagation_view,
+    render_tree,
+    tree_to_dot,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1_tree()
+
+
+class TestRenderTree:
+    def test_plain_structure(self, fig1):
+        text = render_tree(fig1)
+        assert "CP/R (OR)" in text
+        assert "CP (AND)" in text
+        assert "IW (BE)" in text
+
+    def test_vector_marks(self, fig1):
+        text = render_tree(fig1, fig1.vector_from_failed(["IW", "H3"]))
+        assert "CP (AND) [X]" in text
+        assert "CR (AND) [ ]" in text
+        assert "IW (BE) [X]" in text
+
+    def test_subtree_rendering(self, fig1):
+        text = render_tree(fig1, root="CP")
+        assert "CP/R" not in text
+        assert "IW (BE)" in text
+
+    def test_descriptions_flag(self, fig1):
+        text = render_tree(fig1, show_descriptions=True)
+        assert "Infected worker joining the team" in text
+
+    def test_repeated_events_marked(self):
+        covid = build_covid_tree()
+        text = render_tree(covid)
+        assert " *" in text  # H1/IW/IT/PP occur repeatedly
+
+    def test_vot_gate_label(self):
+        from repro.ft import example_vot_tree
+
+        assert "V (VOT(2/3))" in render_tree(example_vot_tree())
+
+
+class TestPropagationView:
+    def test_failure_chain_reported(self, fig1):
+        text = propagation_view(fig1, fig1.vector_from_failed(["IW", "H3"]))
+        assert "failed basic events: {H3, IW}" in text
+        assert "CP/R: FAILS" in text
+        assert "failure propagates" in text
+
+    def test_operational_top(self, fig1):
+        text = propagation_view(fig1, fig1.vector_from_failed(["IW"]))
+        assert "stays operational" in text
+
+
+class TestCounterexampleView:
+    def test_changed_bits_and_gate_flips(self):
+        tree = table1_tree()
+        checker = ModelChecker(tree)
+        cex = checker.counterexample("MCS(e1)", bits=(0, 1, 0))
+        text = counterexample_view(tree, cex)
+        assert "changed basic events: e2: 0->1" in text
+        assert "every change necessary (Def. 7): yes" in text
+        assert "--- example b ---" in text
+        assert "--- counterexample b' ---" in text
+
+    def test_no_change_case(self):
+        tree = table1_tree()
+        checker = ModelChecker(tree)
+        cex = checker.counterexample("MCS(e1)", bits=(1, 1, 0))
+        text = counterexample_view(tree, cex)
+        assert "already satisfies" in text
+
+
+class TestTreeDot:
+    def test_shapes_and_edges(self, fig1):
+        dot = tree_to_dot(fig1)
+        assert "digraph" in dot
+        assert "shape=house" in dot  # OR gate
+        assert "shape=invhouse" in dot  # AND gates
+        assert '"CP/R" -> "CP";' in dot
+
+    def test_status_colouring(self, fig1):
+        dot = tree_to_dot(fig1, fig1.vector_from_failed(["IW", "H3"]))
+        assert "indianred1" in dot
+        assert "palegreen" in dot
+
+    def test_vot_label(self):
+        from repro.ft import example_vot_tree
+
+        dot = tree_to_dot(example_vot_tree())
+        assert "VOT(2/3)" in dot
+        assert "shape=diamond" in dot
+
+    def test_descriptions(self, fig1):
+        dot = tree_to_dot(fig1, show_descriptions=True)
+        assert "Infected worker joining the team" in dot
+
+
+class TestBDDDot:
+    def test_structure(self, fig1):
+        manager = BDDManager(fig1.basic_events)
+        root = tree_to_bdd(fig1, manager)
+        dot = to_dot(manager, root)
+        assert "digraph" in dot
+        assert 'label="IW"' in dot
+        assert "style=dashed" in dot and "style=solid" in dot
+
+    def test_highlighted_walk(self, fig1):
+        manager = BDDManager(fig1.basic_events)
+        root = tree_to_bdd(fig1, manager)
+        vector = fig1.vector_from_failed(["IW", "H3"])
+        dot = to_dot(manager, root, highlight_paths=[vector])
+        assert "color=red" in dot
