@@ -1,0 +1,139 @@
+"""Batch service amortisation: one shared BDD session vs fresh checkers.
+
+The battery below asks 24 layer-2 questions about the COVID-19 tree
+(Fig. 2).  They deliberately share expensive subformulas — ``MCS(IWoS)``,
+``MCS(MoT)`` and ``MPS(IWoS)`` each appear in several queries — which is
+exactly the workload shape of the paper's Sec. VII analysis.  The
+sequential baseline answers each question with a *fresh*
+:class:`ModelChecker` (every query pays full Algorithm-1 translation);
+the :class:`BatchAnalyzer` parses the battery up front, translates each
+distinct subformula once into one shared manager, and only then
+evaluates.
+
+Run directly for a self-checking amortisation report::
+
+    PYTHONPATH=src python benchmarks/bench_batch_service.py
+
+or through pytest-benchmark like the sibling benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.casestudy import build_covid_tree
+from repro.checker import ModelChecker
+from repro.service import BatchAnalyzer
+
+HUMAN_ERRORS = ("H1", "H2", "H3", "H4", "H5")
+
+
+def battery() -> list:
+    """24 check queries with heavily shared MCS/MPS subformulas."""
+    formulas = []
+    for h in HUMAN_ERRORS:
+        formulas.append(f"exists (MCS(IWoS) & {h})")
+        formulas.append(f"forall (MCS(IWoS) => {h})")
+        formulas.append(f"exists (MCS(MoT) & {h})")
+        formulas.append(f"exists (MPS(IWoS) & !{h})")
+    formulas += [
+        "forall (IS => MoT)",
+        "exists MCS(CP/R)",
+        "forall (MCS(SH) => (VW & H1))",
+        "exists (MPS(MoT) & !UT)",
+        # VOT goes through the manager's ternary ITE apply.
+        "exists (MCS(IWoS) & VOT(>= 3; H1, H2, H3, H4, H5))",
+        "forall (VOT(>= 4; H1, H2, H3, H4, H5) => MCS(IWoS))",
+    ]
+    assert len(formulas) >= 20
+    return formulas
+
+
+def run_sequential(tree, formulas) -> list:
+    """The pre-service workflow: a fresh checker (fresh BDD manager,
+    cold Algorithm-1 cache) for every single query."""
+    return [ModelChecker(tree).check(formula) for formula in formulas]
+
+
+def run_batch(tree, formulas):
+    analyzer = BatchAnalyzer(tree)
+    return analyzer.run(formulas)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (same harness as the sibling files)
+# ----------------------------------------------------------------------
+
+
+def bench_battery_sequential_fresh_checkers(benchmark):
+    tree = build_covid_tree()
+    formulas = battery()
+    answers = benchmark(run_sequential, tree, formulas)
+    assert answers[0] is True  # exists (MCS(IWoS) & H1)
+
+
+def bench_battery_batch_service(benchmark):
+    tree = build_covid_tree()
+    formulas = battery()
+    report = benchmark(run_batch, tree, formulas)
+    assert report.ok
+    assert [r.holds for r in report.results] == run_sequential(tree, formulas)
+
+
+# ----------------------------------------------------------------------
+# Stand-alone amortisation report
+# ----------------------------------------------------------------------
+
+
+def main() -> int:
+    tree = build_covid_tree()
+    formulas = battery()
+
+    start = time.perf_counter()
+    sequential_answers = run_sequential(tree, formulas)
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    report = run_batch(tree, formulas)
+    batch_s = time.perf_counter() - start
+
+    batch_answers = [result.holds for result in report.results]
+    assert batch_answers == sequential_answers, "batch must match sequential"
+
+    scenario = report.stats["scenarios"]["default"]
+    translation = scenario["translation"]
+    bdd = scenario["bdd"]
+    queries = report.stats["queries"]
+
+    print(f"battery size:              {len(formulas)} formulas")
+    print(f"sequential (fresh checkers): {sequential_s * 1000:8.1f} ms")
+    print(f"batch service (shared BDDs): {batch_s * 1000:8.1f} ms")
+    print(f"speedup:                     {sequential_s / batch_s:8.1f}x")
+    print()
+    print("cache statistics (batch run):")
+    print(
+        f"  translation cache:   {translation['formula_hits']} hits / "
+        f"{translation['formula_misses']} misses"
+    )
+    print(
+        f"  structural dedup:    {queries['structural_dedup']} of "
+        f"{queries['statements']} statements shared"
+    )
+    print(
+        f"  BDD op caches:       {bdd['hits']} hits / {bdd['misses']} misses "
+        f"(apply {bdd['apply_hits']}/{bdd['apply_misses']}, "
+        f"ite {bdd['ite_hits']}/{bdd['ite_misses']}, "
+        f"negate {bdd['negate_hits']}/{bdd['negate_misses']})"
+    )
+    print(f"  BDD nodes:           {scenario['bdd_nodes']}")
+
+    assert batch_s < sequential_s, (
+        f"BatchAnalyzer ({batch_s:.3f}s) should beat fresh sequential "
+        f"checkers ({sequential_s:.3f}s)"
+    )
+    print("\nOK: batch service beats sequential fresh checkers.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

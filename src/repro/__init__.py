@@ -11,6 +11,8 @@ The package bundles:
   enumerative reference semantics;
 * :mod:`repro.checker` — the model-checking algorithms (1-4), IDP/SUP,
   counterexample patterns and fault-tree synthesis;
+* :mod:`repro.service` — the batch analysis layer: many queries, shared
+  translation caches, one BDD session (the ``bfl batch`` engine);
 * :mod:`repro.casestudy` — the COVID-19 fault tree of Fig. 2 and the nine
   Sec. VII properties;
 * :mod:`repro.viz` — failure-propagation and DOT rendering;
@@ -31,8 +33,10 @@ from .checker import ModelChecker
 from .errors import ReproError
 from .ft import FaultTree, FaultTreeBuilder
 from .logic import MinimalityScope, atom, parse
+from .service import BatchAnalyzer
 
 __all__ = [
+    "BatchAnalyzer",
     "FaultTree",
     "FaultTreeBuilder",
     "MinimalityScope",

@@ -17,7 +17,7 @@ Public surface:
 
 from .allsat import all_models, any_model, count_cubes, iter_cubes, iter_models
 from .dot import to_dot
-from .manager import BDDManager
+from .manager import BDDManager, OperationCacheStats
 from .minimal import (
     is_monotone,
     maximal_assignments,
@@ -34,6 +34,7 @@ from .reorder import sift, transfer
 __all__ = [
     "BDDManager",
     "Node",
+    "OperationCacheStats",
     "all_models",
     "any_model",
     "count_cubes",

@@ -19,6 +19,7 @@ Because reduction is maintained incrementally by ``mk``, the textbook
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass, fields
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import ManagerMismatchError, VariableError
@@ -40,6 +41,67 @@ _OPS: Dict[str, Callable[[bool, bool], bool]] = {
 _COMMUTATIVE = frozenset({"and", "or", "xor", "xnor", "nand", "nor"})
 
 _manager_counter = itertools.count()
+
+
+@dataclass
+class OperationCacheStats:
+    """Hit/miss counters for the manager's memo tables.
+
+    A *miss* is a recursive call that had to compute its result; a *hit*
+    found it in the memo table.  Terminal short-circuits (e.g.
+    ``and(0, x)``) never consult a cache and count as neither.  The
+    counters only ever grow, so callers can snapshot/diff them to
+    attribute work to a batch of queries.
+    """
+
+    apply_hits: int = 0
+    apply_misses: int = 0
+    ite_hits: int = 0
+    ite_misses: int = 0
+    negate_hits: int = 0
+    negate_misses: int = 0
+    restrict_hits: int = 0
+    restrict_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total memo-table hits across all operations."""
+        return self.apply_hits + self.ite_hits + self.negate_hits + self.restrict_hits
+
+    @property
+    def misses(self) -> int:
+        """Total memo-table misses across all operations."""
+        return (
+            self.apply_misses
+            + self.ite_misses
+            + self.negate_misses
+            + self.restrict_misses
+        )
+
+    @property
+    def hit_ratio(self) -> float:
+        """``hits / (hits + misses)``, or 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy (per-op counters plus the totals)."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["hits"] = self.hits
+        data["misses"] = self.misses
+        return data
+
+    def delta(self, earlier: "OperationCacheStats") -> Dict[str, int]:
+        """Counter increments since ``earlier`` (an older snapshot view)."""
+        return {
+            f.name: getattr(self, f.name) - getattr(earlier, f.name)
+            for f in fields(self)
+        }
+
+    def copy(self) -> "OperationCacheStats":
+        return OperationCacheStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
 
 
 class BDDManager:
@@ -68,10 +130,13 @@ class BDDManager:
         # Memo tables.  They are kept per-operation so clearing one kind of
         # cache (e.g. after reordering) does not touch the others.
         self._apply_cache: Dict[Tuple[str, int, int], Node] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], Node] = {}
         self._negate_cache: Dict[int, Node] = {}
         self._restrict_cache: Dict[Tuple[int, int, bool], Node] = {}
         self._exists_cache: Dict[Tuple[int, frozenset], Node] = {}
         self._support_cache: Dict[int, frozenset] = {}
+        #: Hit/miss counters for the memo tables above (monotone).
+        self.op_stats = OperationCacheStats()
         for name in variables:
             self.declare(name)
 
@@ -236,7 +301,9 @@ class BDDManager:
         key = (op, u.uid, v.uid)
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self.op_stats.apply_hits += 1
             return cached
+        self.op_stats.apply_misses += 1
 
         top = min(u.level, v.level)
         u_low, u_high = (u.low, u.high) if u.level == top else (u, u)
@@ -290,7 +357,9 @@ class BDDManager:
             return self.constant(not u.value)
         cached = self._negate_cache.get(u.uid)
         if cached is not None:
+            self.op_stats.negate_hits += 1
             return cached
+        self.op_stats.negate_misses += 1
         result = self.mk(u.level, self.negate(u.low), self.negate(u.high))
         self._negate_cache[u.uid] = result
         # Negation is an involution; prime the cache both ways.
@@ -298,10 +367,54 @@ class BDDManager:
         return result
 
     def ite(self, cond: Node, then: Node, other: Node) -> Node:
-        """If-then-else: ``(cond and then) or (not cond and other)``."""
-        return self.or_(
-            self.and_(cond, then), self.and_(self.negate(cond), other)
+        """If-then-else ``(cond and then) or (not cond and other)`` as a
+        *ternary apply*.
+
+        A single memoised recursion over the three operands (Brace,
+        Rudell & Bryant's ``ITE``) instead of the two-``and``/one-``or``
+        composition: one cache lookup per co-factor triple, no
+        intermediate BDDs, and one shared memo table that every caller
+        (``compose``, ``threshold``, the service layer) amortises.
+        """
+        self._check_owned(cond, then, other)
+        return self._ite(cond, then, other)
+
+    def _ite(self, f: Node, g: Node, h: Node) -> Node:
+        # Terminal and absorption rules keep the recursion shallow.
+        if f is self.true:
+            return g
+        if f is self.false:
+            return h
+        if g is h:
+            return g
+        if g is self.true and h is self.false:
+            return f
+        if g is self.false and h is self.true:
+            return self.negate(f)
+        # ite(f, f, h) == ite(f, 1, h); ite(f, g, f) == ite(f, g, 0).
+        if f is g:
+            g = self.true
+        if f is h:
+            h = self.false
+
+        key = (f.uid, g.uid, h.uid)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            self.op_stats.ite_hits += 1
+            return cached
+        self.op_stats.ite_misses += 1
+
+        top = min(f.level, g.level, h.level)
+        f_low, f_high = (f.low, f.high) if f.level == top else (f, f)
+        g_low, g_high = (g.low, g.high) if g.level == top else (g, g)
+        h_low, h_high = (h.low, h.high) if h.level == top else (h, h)
+        result = self.mk(
+            top,
+            self._ite(f_low, g_low, h_low),
+            self._ite(f_high, g_high, h_high),
         )
+        self._ite_cache[key] = result
+        return result
 
     def threshold(self, operands: Sequence[Node], k: int) -> Node:
         """BDD for "at least ``k`` of ``operands`` hold".
@@ -345,7 +458,9 @@ class BDDManager:
         key = (u.uid, level, value)
         cached = self._restrict_cache.get(key)
         if cached is not None:
+            self.op_stats.restrict_hits += 1
             return cached
+        self.op_stats.restrict_misses += 1
         if u.level == level:
             result = u.high if value else u.low
         else:
@@ -488,9 +603,25 @@ class BDDManager:
         """Total number of live nodes in the unique table (plus terminals)."""
         return len(self._unique) + 2
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Operation-cache counters plus current table sizes.
+
+        The hit/miss counters are :attr:`op_stats` (monotone for the
+        manager's lifetime, even across :meth:`clear_caches`); the
+        ``*_cache_size`` entries are the live memo-table populations.
+        """
+        data = self.op_stats.snapshot()
+        data["apply_cache_size"] = len(self._apply_cache)
+        data["ite_cache_size"] = len(self._ite_cache)
+        data["negate_cache_size"] = len(self._negate_cache)
+        data["restrict_cache_size"] = len(self._restrict_cache)
+        data["unique_table_size"] = len(self._unique)
+        return data
+
     def clear_caches(self) -> None:
         """Drop all operation memo tables (the unique table is kept)."""
         self._apply_cache.clear()
+        self._ite_cache.clear()
         self._negate_cache.clear()
         self._restrict_cache.clear()
         self._exists_cache.clear()

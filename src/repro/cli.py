@@ -9,6 +9,7 @@ Sub-commands::
     bfl cex     --tree T.dft "MCS(e1)" --bits 0,1,0     counterexample
     bfl show    --tree T.dft [--failed IW,H3]           ASCII rendering
     bfl dot     --tree T.dft [--failed IW,H3]           Graphviz export
+    bfl batch   queries.json [--output report.json]     batch service run
     bfl covid-report                                    Sec. VII analysis
 
 ``--tree covid`` (the default) loads the built-in COVID-19 tree of Fig. 2;
@@ -158,6 +159,74 @@ def _cmd_covid_report(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Run a query file through the batch service and emit a JSON report.
+
+    Query-file format (JSON)::
+
+        {
+          "tree": "covid",                  // default scenario (optional)
+          "trees": {"fig1": "fig1.dft"},    // extra named scenarios
+          "scope": "support",
+          "queries": [
+            {"id": "p1", "formula": "forall (IS => MoT)"},
+            {"formula": "[[ MCS(MoT) & IS ]]"},
+            {"kind": "mcs", "element": "MoT"},
+            {"kind": "check", "formula": "MCS(TLE)", "failed": ["H1", "VW"]},
+            {"kind": "mps", "tree": "fig1"}
+          ]
+        }
+
+    Exit code 0 when every query succeeded, 1 when any individual query
+    errored (the report still lists all of them), 2 on a malformed file.
+    """
+    import json
+
+    from .service import BatchAnalyzer
+    from .service.queries import QuerySpecError
+
+    try:
+        with open(args.queries, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise QuerySpecError(f"cannot read query file: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise QuerySpecError(
+            f"query file {args.queries!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict) or "queries" not in data:
+        raise QuerySpecError(
+            "query file must be a JSON object with a 'queries' list"
+        )
+
+    extra_trees = data.get("trees", {})
+    if not isinstance(extra_trees, dict):
+        raise QuerySpecError(
+            "'trees' must map scenario names to tree specs"
+        )
+    scenarios = {"default": _load_tree(data.get("tree", args.tree))}
+    for name, spec in extra_trees.items():
+        scenarios[name] = _load_tree(spec)
+    try:
+        scope = MinimalityScope(data.get("scope", args.scope))
+    except ValueError as exc:
+        raise QuerySpecError(
+            f"unknown scope {data.get('scope')!r} (expected "
+            + " or ".join(s.value for s in MinimalityScope)
+            + ")"
+        ) from exc
+
+    analyzer = BatchAnalyzer(scenarios, scope=scope)
+    report = analyzer.run(data["queries"])
+    rendered = report.to_json(indent=2 if args.pretty else None)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    else:
+        print(rendered)
+    return 0 if report.ok else 1
+
+
 def _parse_probability(text: Optional[str]) -> dict:
     if not text:
         return {}
@@ -273,6 +342,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_dot.add_argument("--failed")
     p_dot.add_argument("--descriptions", action="store_true")
     p_dot.set_defaults(handler=_cmd_dot)
+
+    p_batch = sub.add_parser(
+        "batch", help="answer a JSON battery of queries via the service layer"
+    )
+    _add_tree_option(p_batch)
+    p_batch.add_argument("queries", help="JSON query file (see docs)")
+    p_batch.add_argument(
+        "--output", help="write the JSON report here instead of stdout"
+    )
+    p_batch.add_argument(
+        "--pretty", action="store_true", help="indent the JSON report"
+    )
+    p_batch.set_defaults(handler=_cmd_batch)
 
     p_report = sub.add_parser(
         "covid-report", help="regenerate the Sec. VII case-study analysis"

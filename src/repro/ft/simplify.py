@@ -44,6 +44,14 @@ def simplify(
             "keep names not in the tree: " + ", ".join(sorted(unknown))
         )
 
+    # VOT inputs keep their arity: absorbing a child gate may alias two
+    # inputs to the same element, which both violates the duplicate-child
+    # rule and changes the VOT(k/N) semantics (multiplicity matters).
+    for gate_name in tree.gate_names:
+        gate = tree.gate(gate_name)
+        if gate.gate_type is GateType.VOT:
+            protected.update(gate.children)
+
     # Resolution map: gate name -> the element that replaces it.
     replacement: Dict[str, str] = {}
 

@@ -1,0 +1,445 @@
+"""The batch analyzer: answer many BFL queries against shared BDD state.
+
+Where :class:`~repro.checker.engine.ModelChecker` answers one question at
+a time, :class:`BatchAnalyzer` is the query-serving engine for batteries:
+
+1. **Parse phase** — every query's DSL text is parsed up front, through a
+   per-scenario text cache (identical texts parse once).
+2. **Translate phase** — the *distinct* statements of each scenario are
+   pushed through Algorithm 1 once.  The translation cache is keyed on
+   formula *structure* (the AST nodes are frozen dataclasses), so two
+   queries sharing a subformula — ``MCS(TLE) & H1`` and ``MCS(TLE) & H2``
+   — build the expensive ``MCS(TLE)`` BDD a single time, and the cache
+   persists across :meth:`BatchAnalyzer.run` calls.
+3. **Evaluate phase** — each query is answered against the now-warm
+   translator; per-query wall time therefore measures the *marginal*
+   cost under sharing.
+
+One :class:`AnalysisSession` (tree + :class:`ModelChecker` + caches) is
+kept per scenario; all queries of a scenario run inside a single
+:class:`~repro.bdd.manager.BDDManager`, whose apply/ITE memo tables the
+whole battery amortises.  ``report.stats`` quantifies the effect with
+cache hit/miss deltas for the batch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..checker.engine import ModelChecker
+from ..errors import ReproError
+from ..ft.tree import FaultTree
+from ..logic.ast_nodes import (
+    MCS,
+    MPS,
+    SUP,
+    Atom,
+    Exists,
+    Forall,
+    Formula,
+    IDP,
+    Query,
+    Statement,
+)
+from ..logic.parser import format_statement, parse_request
+from ..logic.scope import MinimalityScope
+from .queries import (
+    DEFAULT_SCENARIO,
+    BatchReport,
+    QueryResult,
+    QuerySpec,
+    QuerySpecError,
+    sets_view,
+    specs_from_any,
+)
+
+
+class AnalysisSession:
+    """Persistent per-scenario state: one tree, one checker, one manager.
+
+    Attributes:
+        name: Scenario name.
+        checker: The wrapped :class:`ModelChecker` (its translator and
+            BDD manager live as long as the session).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tree: FaultTree,
+        scope: MinimalityScope = MinimalityScope.SUPPORT,
+        order: Optional[Sequence[str]] = None,
+        monotone_fast_path: bool = False,
+    ) -> None:
+        self.name = name
+        self.checker = ModelChecker(
+            tree,
+            scope=scope,
+            order=order,
+            monotone_fast_path=monotone_fast_path,
+        )
+        self._parse_cache: Dict[str, Statement] = {}
+        self.parse_hits = 0
+        self.parse_misses = 0
+        #: Statements already pushed through the translate phase (this is
+        #: the *cross-batch* record; within-batch dedup happens in run()).
+        self.warmed: set = set()
+
+    @property
+    def tree(self) -> FaultTree:
+        return self.checker.tree
+
+    def parse(self, formula: Union[str, Statement]) -> Statement:
+        """DSL text -> AST, memoised on the exact text."""
+        if not isinstance(formula, str):
+            return formula
+        text = formula.strip()
+        cached = self._parse_cache.get(text)
+        if cached is not None:
+            self.parse_hits += 1
+            return cached
+        self.parse_misses += 1
+        statement, _ = parse_request(text)
+        self._parse_cache[text] = statement
+        return statement
+
+    def prewarm(self, statement: Statement) -> None:
+        """Run Algorithm 1 for ``statement`` so evaluation only walks BDDs.
+
+        Layer-2 queries translate their operand(s); IDP/SUP additionally
+        need supports, which the evaluate phase derives from the same
+        cached BDDs.
+        """
+        translator = self.checker.translator
+        if isinstance(statement, Formula):
+            translator.bdd(statement)
+        elif isinstance(statement, (Exists, Forall)):
+            translator.bdd(statement.operand)
+        elif isinstance(statement, IDP):
+            translator.bdd(statement.left)
+            translator.bdd(statement.right)
+        elif isinstance(statement, SUP):
+            translator.bdd(Atom(statement.element))
+            translator.bdd(Atom(self.tree.top))
+        self.warmed.add(statement)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Cumulative cache counters (used for per-batch deltas)."""
+        translator = self.checker.translator
+        return {
+            "formula_hits": translator.stats.formula_hits,
+            "formula_misses": translator.stats.formula_misses,
+            "element_requests": translator.stats.element_requests,
+            "op": self.checker.manager.op_stats.copy(),
+            "parse_hits": self.parse_hits,
+            "parse_misses": self.parse_misses,
+        }
+
+
+class BatchAnalyzer:
+    """Serve batteries of BFL queries over one or more fault trees.
+
+    Args:
+        trees: A single tree (registered under the scenario name
+            ``"default"``) or a mapping of scenario name -> tree.
+        scope: MCS/MPS minimality scope, applied to every scenario.
+        monotone_fast_path: Passed through to each translator.
+
+    Example:
+        >>> from repro.ft import figure1_tree
+        >>> analyzer = BatchAnalyzer(figure1_tree())
+        >>> report = analyzer.run(["exists CP/R", {"kind": "mcs"}])
+        >>> [r.ok for r in report.results]
+        [True, True]
+    """
+
+    def __init__(
+        self,
+        trees: Union[FaultTree, Mapping[str, FaultTree]],
+        scope: MinimalityScope = MinimalityScope.SUPPORT,
+        monotone_fast_path: bool = False,
+    ) -> None:
+        self._scope = scope
+        self._monotone_fast_path = monotone_fast_path
+        self._sessions: Dict[str, AnalysisSession] = {}
+        if isinstance(trees, FaultTree):
+            self.add_scenario(DEFAULT_SCENARIO, trees)
+        else:
+            for name, tree in trees.items():
+                self.add_scenario(name, tree)
+        if not self._sessions:
+            raise QuerySpecError("BatchAnalyzer needs at least one tree")
+
+    # ------------------------------------------------------------------
+    # Scenarios
+    # ------------------------------------------------------------------
+
+    def add_scenario(self, name: str, tree: FaultTree) -> AnalysisSession:
+        """Register (or replace) a named scenario tree."""
+        session = AnalysisSession(
+            name,
+            tree,
+            scope=self._scope,
+            monotone_fast_path=self._monotone_fast_path,
+        )
+        self._sessions[name] = session
+        return session
+
+    @property
+    def scenarios(self) -> Tuple[str, ...]:
+        """Registered scenario names."""
+        return tuple(self._sessions)
+
+    def session(self, name: str = DEFAULT_SCENARIO) -> AnalysisSession:
+        """The persistent session behind scenario ``name``."""
+        try:
+            return self._sessions[name]
+        except KeyError:
+            raise QuerySpecError(
+                f"unknown scenario {name!r} "
+                f"(registered: {', '.join(sorted(self._sessions)) or 'none'})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # The batch pipeline
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        queries: Iterable[Union[QuerySpec, str, Statement, Mapping[str, Any]]],
+    ) -> BatchReport:
+        """Answer a battery of queries; see the module docstring for the
+        three-phase pipeline."""
+        batch_start = time.perf_counter()
+        specs = specs_from_any(queries)
+        before = {
+            name: session.snapshot() for name, session in self._sessions.items()
+        }
+
+        # Phase 1: parse everything up front.
+        parse_start = time.perf_counter()
+        parsed: List[Tuple[QuerySpec, Optional[Statement], Optional[str]]] = []
+        to_warm: Dict[str, List[Statement]] = {}
+        seen: Dict[str, set] = {}
+        statement_count = 0
+        for spec in specs:
+            try:
+                session = self.session(spec.tree)
+                statements = self._statements_for(spec, session)
+            except ReproError as error:
+                parsed.append((spec, None, str(error)))
+                continue
+            parsed.append((spec, statements[0] if statements else None, None))
+            statement_count += len(statements)
+            bucket = seen.setdefault(spec.tree, set())
+            for statement in statements:
+                if statement not in bucket:
+                    bucket.add(statement)
+                    to_warm.setdefault(spec.tree, []).append(statement)
+        parse_ms = (time.perf_counter() - parse_start) * 1000.0
+
+        # Phase 2: shared translation, one Algorithm 1 run per distinct
+        # statement per scenario.
+        translate_start = time.perf_counter()
+        translate_errors: Dict[Tuple[str, Statement], str] = {}
+        for name, statements in to_warm.items():
+            session = self._sessions[name]
+            for statement in statements:
+                try:
+                    session.prewarm(statement)
+                except ReproError as error:
+                    translate_errors[(name, statement)] = str(error)
+        translate_ms = (time.perf_counter() - translate_start) * 1000.0
+
+        # Phase 3: evaluate each query against the warm caches.
+        results: List[QueryResult] = []
+        for spec, statement, error in parsed:
+            if error is None and statement is not None:
+                error = translate_errors.get((spec.tree, statement))
+            if error is not None:
+                results.append(
+                    QueryResult(
+                        id=spec.id,
+                        kind=spec.kind,
+                        tree=spec.tree,
+                        formula=(
+                            spec.formula
+                            if isinstance(spec.formula, str)
+                            else None
+                        ),
+                        ok=False,
+                        elapsed_ms=0.0,
+                        error=error,
+                    )
+                )
+                continue
+            results.append(self._evaluate(spec, statement))
+
+        unique = sum(len(bucket) for bucket in seen.values())
+        elapsed_ms = (time.perf_counter() - batch_start) * 1000.0
+        stats: Dict[str, Any] = {
+            "queries": {
+                "total": len(specs),
+                "errors": sum(1 for r in results if not r.ok),
+                "statements": statement_count,
+                "unique_statements": unique,
+                "structural_dedup": statement_count - unique,
+            },
+            "phases": {
+                "parse_ms": round(parse_ms, 3),
+                "translate_ms": round(translate_ms, 3),
+            },
+            "scenarios": {
+                name: self._scenario_stats(session, before[name])
+                for name, session in self._sessions.items()
+                if name in seen
+            },
+        }
+        return BatchReport(
+            results=tuple(results), stats=stats, elapsed_ms=elapsed_ms
+        )
+
+    # Convenience wrappers -------------------------------------------------
+
+    def check_many(
+        self,
+        formulas: Iterable[Union[str, Statement]],
+        tree: str = DEFAULT_SCENARIO,
+    ) -> List[Optional[bool]]:
+        """Truth values for a battery of layer-2 checks (None on error)."""
+        report = self.run(
+            QuerySpec(id=f"q{i}", formula=formula, tree=tree)
+            for i, formula in enumerate(formulas, start=1)
+        )
+        return [result.holds for result in report.results]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _statements_for(
+        self, spec: QuerySpec, session: AnalysisSession
+    ) -> List[Statement]:
+        """The statement(s) a spec needs translated (element names are
+        resolved here so MCS/MPS specs share the same cache entries as
+        textual ``MCS(...)`` queries)."""
+        if spec.kind == "mcs":
+            target = spec.element if spec.element is not None else session.tree.top
+            return [MCS(Atom(target))]
+        if spec.kind == "mps":
+            target = spec.element if spec.element is not None else session.tree.top
+            return [MPS(Atom(target))]
+        statements = [session.parse(spec.formula)]
+        if spec.kind == "independence":
+            statements.append(session.parse(spec.other))
+        return statements
+
+    def _evaluate(
+        self, spec: QuerySpec, statement: Optional[Statement]
+    ) -> QueryResult:
+        session = self._sessions[spec.tree]
+        checker = session.checker
+        start = time.perf_counter()
+        holds = sets = vector_count = counterexample = independence = None
+        formula_text = (
+            format_statement(statement) if statement is not None else None
+        )
+        error: Optional[str] = None
+        try:
+            if spec.kind == "check":
+                # ModelChecker.check rejects a vector on a layer-2 query
+                # and a missing vector on a layer-1 formula; pass the
+                # spec's vector through so those diagnostics surface.
+                holds = checker.check(
+                    statement,
+                    failed=(
+                        list(spec.failed) if spec.failed is not None else None
+                    ),
+                    bits=list(spec.bits) if spec.bits is not None else None,
+                )
+            elif spec.kind == "satisfaction-set":
+                satset = checker.satisfaction_set(statement)
+                vector_count = len(satset)
+                holds = bool(satset)
+                sets = sets_view(
+                    satset.operational_sets()
+                    if spec.view == "operational"
+                    else satset.failed_sets()
+                )
+            elif spec.kind == "mcs":
+                sets = sets_view(
+                    checker.minimal_cut_sets(spec.element)
+                )
+            elif spec.kind == "mps":
+                sets = sets_view(
+                    checker.minimal_path_sets(spec.element)
+                )
+            elif spec.kind == "counterexample":
+                cex = checker.counterexample(
+                    statement,
+                    failed=(
+                        list(spec.failed) if spec.failed is not None else None
+                    ),
+                    bits=list(spec.bits) if spec.bits is not None else None,
+                    method=spec.method,
+                )
+                counterexample = {
+                    "original": dict(cex.original),
+                    "vector": dict(cex.vector),
+                    "changed": list(cex.changed),
+                    "def7_compliant": cex.def7_compliant,
+                }
+            elif spec.kind == "independence":
+                result = checker.independence(
+                    statement, session.parse(spec.other)
+                )
+                holds = result.independent
+                independence = {
+                    "independent": result.independent,
+                    "shared": sorted(result.shared),
+                    "left_influencers": sorted(result.left_influencers),
+                    "right_influencers": sorted(result.right_influencers),
+                }
+        except ReproError as exc:
+            error = str(exc)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return QueryResult(
+            id=spec.id,
+            kind=spec.kind,
+            tree=spec.tree,
+            formula=formula_text,
+            ok=error is None,
+            elapsed_ms=elapsed_ms,
+            holds=holds,
+            sets=sets,
+            vector_count=vector_count,
+            counterexample=counterexample,
+            independence=independence,
+            error=error,
+        )
+
+    def _scenario_stats(
+        self, session: AnalysisSession, before: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        after = session.snapshot()
+        op_delta = after["op"].delta(before["op"])
+        op_delta["hits"] = after["op"].hits - before["op"].hits
+        op_delta["misses"] = after["op"].misses - before["op"].misses
+        return {
+            "translation": {
+                "formula_hits": after["formula_hits"] - before["formula_hits"],
+                "formula_misses": (
+                    after["formula_misses"] - before["formula_misses"]
+                ),
+                "element_requests": (
+                    after["element_requests"] - before["element_requests"]
+                ),
+            },
+            "parse": {
+                "hits": after["parse_hits"] - before["parse_hits"],
+                "misses": after["parse_misses"] - before["parse_misses"],
+            },
+            "bdd": op_delta,
+            "bdd_nodes": session.checker.manager.node_count(),
+        }

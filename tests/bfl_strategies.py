@@ -1,0 +1,109 @@
+"""Shared hypothesis strategies for the test suite.
+
+Kept in a module of its own (rather than ``conftest.py``) because test
+modules import these helpers directly: pytest imports every ``conftest.py``
+under the top-level module name ``conftest``, so ``from conftest import ...``
+in ``tests/`` can resolve to ``benchmarks/conftest.py`` depending on
+collection order.  A uniquely named module has no such ambiguity.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.ft import FaultTree, RandomTreeConfig, random_tree
+from repro.logic.ast_nodes import (
+    MCS,
+    MPS,
+    And,
+    Atom,
+    Constant,
+    Equiv,
+    Evidence,
+    Formula,
+    Implies,
+    Not,
+    NotEquiv,
+    Or,
+    Vot,
+)
+
+
+def small_trees(max_basic_events: int = 5) -> st.SearchStrategy[FaultTree]:
+    """Random well-formed fault trees small enough for enumeration."""
+
+    def build(params) -> FaultTree:
+        seed, n_be, max_children, p_vot, p_share = params
+        config = RandomTreeConfig(
+            n_basic_events=n_be,
+            max_children=max_children,
+            p_vot=p_vot,
+            p_share=p_share,
+            max_depth=3,
+        )
+        return random_tree(seed, config)
+
+    return st.tuples(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=2, max_value=max_basic_events),
+        st.integers(min_value=2, max_value=3),
+        st.sampled_from([0.0, 0.2, 0.5]),
+        st.sampled_from([0.0, 0.25, 0.5]),
+    ).map(build)
+
+
+def vectors_for(tree: FaultTree) -> st.SearchStrategy[dict]:
+    """Status vectors over the tree's basic events."""
+    names = list(tree.basic_events)
+    return st.tuples(*[st.booleans() for _ in names]).map(
+        lambda bits: dict(zip(names, bits))
+    )
+
+
+def formulas_for(
+    tree: FaultTree,
+    max_depth: int = 3,
+    allow_minimal_ops: bool = True,
+) -> st.SearchStrategy[Formula]:
+    """Random BFL formulae over the tree's elements.
+
+    MCS/MPS operators are included (depth-limited) unless disabled; their
+    reference evaluation is exponential, so keep trees small.
+    """
+    element_atoms = st.sampled_from(
+        [Atom(name) for name in tree.elements]
+    )
+    constants = st.sampled_from([Constant(True), Constant(False)])
+    leaves = st.one_of(element_atoms, element_atoms, constants)
+
+    def extend(children: st.SearchStrategy[Formula]) -> st.SearchStrategy[Formula]:
+        be_names = list(tree.basic_events)
+        evidence = st.builds(
+            lambda operand, pairs: Evidence(operand, tuple(pairs)),
+            children,
+            st.lists(
+                st.tuples(st.sampled_from(be_names), st.booleans()),
+                min_size=1,
+                max_size=2,
+            ),
+        )
+        binary = st.one_of(
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Implies, children, children),
+            st.builds(Equiv, children, children),
+            st.builds(NotEquiv, children, children),
+        )
+        vot = st.builds(
+            lambda ops, op, k: Vot(op, min(k, len(ops)), tuple(ops)),
+            st.lists(children, min_size=1, max_size=3),
+            st.sampled_from(["<", "<=", "=", ">=", ">"]),
+            st.integers(min_value=0, max_value=3),
+        )
+        options = [st.builds(Not, children), binary, evidence, vot]
+        if allow_minimal_ops:
+            options.append(st.builds(MCS, children))
+            options.append(st.builds(MPS, children))
+        return st.one_of(*options)
+
+    return st.recursive(leaves, extend, max_leaves=max_depth * 2)

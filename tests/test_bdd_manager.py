@@ -208,3 +208,98 @@ class TestInspection:
         manager.clear_caches()
         g = manager.or_(manager.var("a"), manager.var("b"))
         assert f is g  # unique table survives a cache clear
+
+
+class TestIteTernaryApply:
+    """The memoised ternary ITE (Brace/Rudell/Bryant style)."""
+
+    def test_ite_equals_two_op_composition(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        for f in (a, manager.and_(a, b), manager.xor(b, c)):
+            for g in (b, manager.or_(a, c), manager.true):
+                for h in (c, manager.negate(b), manager.false):
+                    composed = manager.or_(
+                        manager.and_(f, g),
+                        manager.and_(manager.negate(f), h),
+                    )
+                    assert manager.ite(f, g, h) is composed
+
+    def test_terminal_and_absorption_rules(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert manager.ite(manager.true, a, b) is a
+        assert manager.ite(manager.false, a, b) is b
+        assert manager.ite(a, b, b) is b
+        assert manager.ite(a, manager.true, manager.false) is a
+        assert manager.ite(a, manager.false, manager.true) is manager.negate(a)
+        assert manager.ite(a, a, b) is manager.or_(a, b)
+        assert manager.ite(a, b, a) is manager.and_(a, b)
+
+    def test_ite_cross_manager_rejected(self, manager):
+        other = BDDManager(["a"])
+        with pytest.raises(ManagerMismatchError):
+            manager.ite(other.var("a"), manager.true, manager.false)
+
+    def test_ite_uses_its_memo_table(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        manager.ite(a, b, c)
+        misses = manager.op_stats.ite_misses
+        assert misses > 0
+        manager.ite(a, b, c)
+        assert manager.op_stats.ite_misses == misses
+        assert manager.op_stats.ite_hits > 0
+
+
+class TestOperationCacheStats:
+    def test_counters_are_monotone(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        snapshots = []
+        for node in (b, c, manager.xor(b, c)):
+            manager.ite(a, node, manager.negate(node))
+            manager.restrict(manager.and_(a, node), "a", True)
+            snapshots.append(manager.op_stats.snapshot())
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            for key, value in earlier.items():
+                assert later[key] >= value
+
+    def test_hit_ratio_and_totals(self, manager):
+        stats = manager.op_stats
+        assert stats.hit_ratio == 0.0
+        a, b = manager.var("a"), manager.var("b")
+        manager.and_(a, b)
+        manager.and_(a, b)  # terminal shortcuts never reach the cache...
+        f = manager.xor(a, b)
+        manager.xor(a, b)
+        assert stats.hits + stats.misses > 0
+        assert 0.0 <= stats.hit_ratio <= 1.0
+        assert stats.hits == (
+            stats.apply_hits + stats.ite_hits
+            + stats.negate_hits + stats.restrict_hits
+        )
+
+    def test_cache_stats_reports_sizes(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        manager.ite(manager.xor(a, b), b, c)
+        data = manager.cache_stats()
+        for key in (
+            "apply_cache_size", "ite_cache_size", "negate_cache_size",
+            "restrict_cache_size", "unique_table_size",
+            "hits", "misses", "ite_hits", "ite_misses",
+        ):
+            assert key in data
+        assert data["ite_cache_size"] > 0
+
+    def test_stats_survive_clear_caches(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        manager.ite(manager.xor(a, b), a, b)
+        before = manager.op_stats.snapshot()
+        manager.clear_caches()
+        assert manager.op_stats.snapshot() == before
+        assert manager.cache_stats()["ite_cache_size"] == 0
+
+    def test_delta_between_snapshots(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        earlier = manager.op_stats.copy()
+        manager.xor(a, b)
+        delta = manager.op_stats.delta(earlier)
+        assert all(value >= 0 for value in delta.values())
+        assert delta["apply_misses"] > 0

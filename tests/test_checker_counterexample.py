@@ -15,7 +15,7 @@ from repro.checker import (
     verify_def7,
 )
 
-from .conftest import formulas_for, small_trees, vectors_for
+from bfl_strategies import formulas_for, small_trees, vectors_for
 from hypothesis import strategies as st
 
 

@@ -14,7 +14,7 @@ from repro.checker import (
     superfluous,
 )
 
-from .conftest import formulas_for, small_trees
+from bfl_strategies import formulas_for, small_trees
 
 
 @pytest.fixture()

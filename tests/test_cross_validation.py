@@ -20,7 +20,7 @@ from repro.logic import (
 )
 from repro.checker import FormulaTranslator, ModelChecker, check, satisfying_vectors
 
-from .conftest import formulas_for, small_trees, vectors_for
+from bfl_strategies import formulas_for, small_trees, vectors_for
 
 _SETTINGS = dict(
     max_examples=40,

@@ -70,3 +70,10 @@ def test_quantitative_analysis():
     assert "exact (BDD Shannon)" in out
     assert "P(IWoS[H1 := 0]) = 0" in out
     assert "Importance measures:" in out
+
+
+def test_batch_analysis():
+    out = _run("batch_analysis.py")
+    assert "Per-query results" in out
+    assert "Sharing statistics" in out
+    assert "0 translation misses" in out  # the warm re-run

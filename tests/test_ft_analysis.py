@@ -21,7 +21,7 @@ from repro.ft import (
     table1_tree,
 )
 
-from .conftest import small_trees
+from bfl_strategies import small_trees
 
 
 def _as_sets(items):

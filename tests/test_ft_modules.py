@@ -13,7 +13,7 @@ from repro.ft import (
     modules,
 )
 
-from .conftest import small_trees
+from bfl_strategies import small_trees
 
 
 class TestCovidModules:

@@ -18,7 +18,7 @@ from repro.ft import (
     tree_to_bdd,
 )
 
-from .conftest import small_trees
+from bfl_strategies import small_trees
 
 
 class TestRandomTrees:

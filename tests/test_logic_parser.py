@@ -29,7 +29,7 @@ from repro.logic import (
     parse_request,
 )
 
-from .conftest import formulas_for
+from bfl_strategies import formulas_for
 
 
 class TestBasics:

@@ -30,7 +30,7 @@ from repro.logic import (
     mps_literal_rewrite,
 )
 
-from .conftest import formulas_for, vectors_for
+from bfl_strategies import formulas_for, vectors_for
 
 
 @pytest.fixture(scope="module")

@@ -16,7 +16,7 @@ from repro.ft import (
     structure_function,
 )
 
-from .conftest import small_trees
+from bfl_strategies import small_trees
 
 
 class TestSimplify:
