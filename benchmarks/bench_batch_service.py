@@ -14,15 +14,25 @@ Run directly for a self-checking amortisation report::
 
     PYTHONPATH=src python benchmarks/bench_batch_service.py
 
-or through pytest-benchmark like the sibling benchmarks.
+or through pytest-benchmark like the sibling benchmarks.  Direct runs
+also append a machine-readable record (wall times, node counts, cache
+hit ratios, O(1)-negation counts) to
+``benchmarks/results/BENCH_batch_service.json`` keyed by ``BENCH_LABEL``
+so the perf trajectory is tracked across PRs; set ``BENCH_MIN_SPEEDUP``
+(CI uses 2) to fail the run when batch amortisation regresses.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
+from bench_json import record_run
+
+from repro.bdd import BDDManager
 from repro.casestudy import build_covid_tree
 from repro.checker import ModelChecker
+from repro.ft.to_bdd import tree_to_bdd
 from repro.service import BatchAnalyzer
 
 HUMAN_ERRORS = ("H1", "H2", "H3", "H4", "H5")
@@ -81,6 +91,41 @@ def bench_battery_batch_service(benchmark):
 
 
 # ----------------------------------------------------------------------
+# Negation-heavy microbenchmark (the complement-edge kernel's best case)
+# ----------------------------------------------------------------------
+
+
+def run_negation_heavy(tree, rounds: int = 1) -> dict:
+    """Negate many *distinct* functions (cofactors of the top event).
+
+    Only the negations are timed — the target functions (restrictions
+    and their conjunctions with the root) are built beforehand.  The
+    pre-refactor pointer kernel rebuilt each negated DAG (O(n) time,
+    ~2x live nodes); the complement-edge kernel flips one bit per call.
+    """
+    manager = BDDManager(tree.basic_events)
+    root = tree_to_bdd(tree, manager)
+    targets = [root]
+    for name in tree.basic_events:
+        for value in (False, True):
+            restricted = manager.restrict(root, name, value)
+            targets.append(restricted)
+            targets.append(manager.and_(restricted, root))
+    nodes_before = manager.node_count()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for target in targets:
+            manager.negate(target)
+    wall_s = time.perf_counter() - start
+    return {
+        "negations": rounds * len(targets),
+        "wall_ms": round(wall_s * 1000.0, 4),
+        "nodes_before": nodes_before,
+        "nodes_after": manager.node_count(),
+    }
+
+
+# ----------------------------------------------------------------------
 # Stand-alone amortisation report
 # ----------------------------------------------------------------------
 
@@ -104,11 +149,13 @@ def main() -> int:
     translation = scenario["translation"]
     bdd = scenario["bdd"]
     queries = report.stats["queries"]
+    speedup = sequential_s / batch_s
+    negation = run_negation_heavy(tree)
 
     print(f"battery size:              {len(formulas)} formulas")
     print(f"sequential (fresh checkers): {sequential_s * 1000:8.1f} ms")
     print(f"batch service (shared BDDs): {batch_s * 1000:8.1f} ms")
-    print(f"speedup:                     {sequential_s / batch_s:8.1f}x")
+    print(f"speedup:                     {speedup:8.1f}x")
     print()
     print("cache statistics (batch run):")
     print(
@@ -123,15 +170,45 @@ def main() -> int:
         f"  BDD op caches:       {bdd['hits']} hits / {bdd['misses']} misses "
         f"(apply {bdd['apply_hits']}/{bdd['apply_misses']}, "
         f"ite {bdd['ite_hits']}/{bdd['ite_misses']}, "
-        f"negate {bdd['negate_hits']}/{bdd['negate_misses']})"
+        f"free negations {bdd['negations']})"
     )
-    print(f"  BDD nodes:           {scenario['bdd_nodes']}")
+    print(
+        f"  BDD nodes:           {scenario['bdd_nodes']} live / "
+        f"{scenario['bdd_peak_nodes']} peak "
+        f"(unique table {scenario['bdd_unique_table']})"
+    )
+    print(
+        f"  negation-heavy:      {negation['negations']} distinct negations "
+        f"in {negation['wall_ms']} ms, nodes {negation['nodes_before']} -> "
+        f"{negation['nodes_after']}"
+    )
 
-    assert batch_s < sequential_s, (
-        f"BatchAnalyzer ({batch_s:.3f}s) should beat fresh sequential "
-        f"checkers ({sequential_s:.3f}s)"
+    total = bdd["hits"] + bdd["misses"]
+    path = record_run(
+        "batch_service",
+        {
+            "battery_size": len(formulas),
+            "sequential_ms": round(sequential_s * 1000.0, 3),
+            "batch_ms": round(batch_s * 1000.0, 3),
+            "speedup": round(speedup, 2),
+            "bdd_nodes": scenario["bdd_nodes"],
+            "bdd_peak_nodes": scenario["bdd_peak_nodes"],
+            "bdd_unique_table": scenario["bdd_unique_table"],
+            "cache_hits": bdd["hits"],
+            "cache_misses": bdd["misses"],
+            "cache_hit_ratio": round(bdd["hits"] / total, 4) if total else 0.0,
+            "negations": bdd["negations"],
+            "negation_heavy": negation,
+        },
     )
-    print("\nOK: batch service beats sequential fresh checkers.")
+    print(f"\nrecorded -> {path}")
+
+    min_speedup = float(os.environ.get("BENCH_MIN_SPEEDUP", "1"))
+    assert speedup >= min_speedup, (
+        f"BatchAnalyzer speedup {speedup:.2f}x regressed below the "
+        f"{min_speedup:.1f}x floor over fresh sequential checkers"
+    )
+    print(f"OK: batch service beats sequential fresh checkers (>= {min_speedup:g}x).")
     return 0
 
 

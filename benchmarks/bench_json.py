@@ -1,0 +1,66 @@
+"""Machine-readable benchmark records (``BENCH_*.json``).
+
+Benchmarks that want their numbers tracked across PRs call
+:func:`record_run` with a flat-ish dict of measurements.  Records land in
+``benchmarks/results/BENCH_<name>.json`` as::
+
+    {
+      "benchmark": "<name>",
+      "runs": [
+        {"label": "pr1-node-kernel", ...},
+        {"label": "pr2-complement-kernel", ...}
+      ]
+    }
+
+One run per *label*: re-running under the same label (``BENCH_LABEL`` env
+var, default ``"dev"``) replaces that run in place, so local experiments
+don't pile up while the committed per-PR labels form the perf
+trajectory.  CI runs under the label ``"ci"``, which is likewise
+replaced on every pass and never committed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict
+
+#: Where the JSON records live (committed to the repo).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_label(default: str = "dev") -> str:
+    """The label for this run (``BENCH_LABEL`` env var)."""
+    return os.environ.get("BENCH_LABEL", default)
+
+
+def record_run(name: str, run: Dict[str, Any], label: str = None) -> Path:
+    """Insert (or replace, by label) ``run`` into ``BENCH_<name>.json``.
+
+    Args:
+        name: Benchmark name; file is ``BENCH_<name>.json``.
+        run: The measurements.  A ``"label"`` key is added/overwritten.
+        label: Run label; defaults to :func:`bench_label`.
+
+    Returns:
+        The path written.
+    """
+    label = label if label is not None else bench_label()
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    data: Dict[str, Any] = {"benchmark": name, "runs": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            loaded = None  # a corrupt file is rebuilt from scratch
+        if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+            data = loaded
+    runs = [
+        r for r in data["runs"] if isinstance(r, dict) and r.get("label") != label
+    ]
+    runs.append({"label": label, **run})
+    data = {"benchmark": name, "runs": runs}
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return path

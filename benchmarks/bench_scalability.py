@@ -6,9 +6,21 @@ claim on random trees of growing size: the reference semantics enumerates
 all 2^n vectors, the BDD checker does not.  Expected shape: comparable at
 tiny n, BDD wins by orders of magnitude from n ~ 14 on (the enumeration
 arm is capped at n = 14 to keep the harness fast).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_scalability.py``)
+for a machine-readable sweep: per-size wall time, live/peak node counts
+and cache hit ratios land in
+``benchmarks/results/BENCH_scalability.json`` keyed by ``BENCH_LABEL``,
+so kernel changes leave a perf trail across PRs.  Set ``BENCH_SMALL=1``
+(CI does) to cap the sweep for smoke runs.
 """
 
+import os
+import time
+
 import pytest
+
+from bench_json import record_run
 
 from repro.ft import RandomTreeConfig, random_tree
 from repro.logic import MCS, Atom, ReferenceSemantics
@@ -78,3 +90,48 @@ def bench_agreement_check(benchmark, n):
 
     bdd_sets, ref_sets = benchmark.pedantic(run, rounds=1, iterations=1)
     assert bdd_sets == ref_sets
+
+
+# ----------------------------------------------------------------------
+# Stand-alone machine-readable sweep
+# ----------------------------------------------------------------------
+
+
+def main() -> int:
+    sizes = BDD_SIZES[:4] if os.environ.get("BENCH_SMALL") else BDD_SIZES
+    sweep = []
+    for n in sizes:
+        tree = _tree(n)
+        formula = MCS(Atom(tree.top))
+        start = time.perf_counter()
+        translator = FormulaTranslator(tree)
+        cubes = satisfying_cubes(translator, formula)
+        wall_s = time.perf_counter() - start
+        assert cubes  # every tree has at least one minimal cut set
+        stats = translator.manager.cache_stats()
+        total = stats["hits"] + stats["misses"]
+        entry = {
+            "n_basic_events": n,
+            "wall_ms": round(wall_s * 1000.0, 4),
+            "mcs_count": len(cubes),
+            "live_nodes": stats["live_nodes"],
+            "peak_nodes": stats["peak_live_nodes"],
+            "unique_table": stats["unique_table_size"],
+            "cache_hits": stats["hits"],
+            "cache_misses": stats["misses"],
+            "cache_hit_ratio": round(stats["hits"] / total, 4) if total else 0.0,
+            "negations": stats["negations"],
+        }
+        sweep.append(entry)
+        print(
+            f"[scalability] n={n}: {entry['wall_ms']:.2f} ms, "
+            f"{entry['mcs_count']} MCSs, {entry['live_nodes']} nodes, "
+            f"hit ratio {entry['cache_hit_ratio']:.2f}"
+        )
+    path = record_run("scalability", {"sweep": sweep})
+    print(f"recorded -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,8 +2,9 @@
 
 Public surface:
 
-* :class:`BDDManager` / :class:`Node` — hash-consed reduced ordered BDDs
-  with Apply, Restrict, Compose, Rename and inspection helpers;
+* :class:`BDDManager` / :class:`Ref` — complement-edge reduced ordered
+  BDDs (integer-handle kernel) with Apply, Restrict, Compose, Rename and
+  inspection helpers; ``Node`` remains as a deprecated alias of ``Ref``;
 * :mod:`quantify <repro.bdd.quantify>` — existential/universal quantification
   (textbook and one-pass variants);
 * :mod:`allsat <repro.bdd.allsat>` — cube and total-model enumeration
@@ -26,14 +27,16 @@ from .minimal import (
     minimal_assignments_monotone,
     prime_name,
 )
-from .node import Node
 from .ordering import HEURISTICS, bfs_order, dfs_order, random_order, weight_order
 from .quantify import exists, exists_textbook, forall, is_satisfiable, is_tautology
+from .ref import TERMINAL_LEVEL, Node, Ref
 from .reorder import sift, transfer
 
 __all__ = [
     "BDDManager",
     "Node",
+    "Ref",
+    "TERMINAL_LEVEL",
     "OperationCacheStats",
     "all_models",
     "any_model",

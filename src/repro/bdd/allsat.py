@@ -15,13 +15,13 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from .manager import BDDManager
-from .node import Node
+from .ref import Ref
 
 #: A cube maps variable names to booleans; absent variables are don't-cares.
 Cube = Dict[str, bool]
 
 
-def iter_cubes(manager: BDDManager, u: Node) -> Iterator[Cube]:
+def iter_cubes(manager: BDDManager, u: Ref) -> Iterator[Cube]:
     """Yield one cube per root-to-``1`` path (depth-first, low edge first).
 
     The generator is lazy, so callers may stop after the first witness.
@@ -45,14 +45,14 @@ def iter_cubes(manager: BDDManager, u: Node) -> Iterator[Cube]:
         stack.append((node.low, {**partial, name: False}))
 
 
-def count_cubes(manager: BDDManager, u: Node) -> int:
+def count_cubes(manager: BDDManager, u: Ref) -> int:
     """Number of distinct root-to-``1`` paths."""
     return sum(1 for _ in iter_cubes(manager, u))
 
 
 def iter_models(
     manager: BDDManager,
-    u: Node,
+    u: Ref,
     over: Sequence[str],
     fixed: Optional[Mapping[str, bool]] = None,
 ) -> Iterator[Dict[str, bool]]:
@@ -90,14 +90,14 @@ def _expand(
 
 
 def all_models(
-    manager: BDDManager, u: Node, over: Sequence[str]
+    manager: BDDManager, u: Ref, over: Sequence[str]
 ) -> List[Dict[str, bool]]:
     """Eager version of :func:`iter_models` (handy in tests)."""
     return list(iter_models(manager, u, over))
 
 
 def any_model(
-    manager: BDDManager, u: Node, over: Sequence[str]
+    manager: BDDManager, u: Ref, over: Sequence[str]
 ) -> Optional[Dict[str, bool]]:
     """One satisfying total assignment, or ``None`` if unsatisfiable."""
     for model in iter_models(manager, u, over):

@@ -9,12 +9,12 @@ from __future__ import annotations
 from typing import Iterable, List, Mapping, Optional
 
 from .manager import BDDManager
-from .node import Node
+from .ref import Ref
 
 
 def to_dot(
     manager: BDDManager,
-    u: Node,
+    u: Ref,
     name: str = "bdd",
     highlight_paths: Optional[Iterable[Mapping[str, bool]]] = None,
 ) -> str:

@@ -1,55 +1,75 @@
-"""Hash-consed ROBDD manager: unique table, Apply, Restrict, Compose, Rename.
+"""Complement-edge ROBDD kernel: integer handles, Apply, Restrict, Compose.
 
-This is the computational substrate of the whole library (paper Sec. V-A).
-The manager owns a totally ordered set of named variables (Def. 5 requires
-``Vars`` to carry a total order ``<``) and guarantees the three ROBDD
-invariants:
+This is the computational substrate of the whole library (paper Sec. V-A),
+rebuilt in the style of CUDD/BuDDy: nodes are integer indices into
+manager-owned parallel arrays (:attr:`_level`, :attr:`_low`,
+:attr:`_high`), and an *edge* is a tagged integer ``(index << 1) | c``
+whose low bit ``c`` marks complementation.  Consequences:
+
+* **one terminal** — the constant ``1`` lives at index 0; ``0`` is its
+  complemented edge.  The classical "exactly two terminals" invariant
+  becomes "exactly two terminal *edges*";
+* **negation is free** — complementing a function flips the low bit of
+  its handle.  No traversal, no memo table, no unique-table insertions
+  (:meth:`BDDManager.negate`, counted in ``op_stats.negations``);
+* **canonical form** — every *stored* high edge is regular
+  (uncomplemented).  ``mk`` pushes a complemented high edge onto both
+  children and returns a complemented handle instead, so each function
+  has exactly one representation and identity tests keep working.
+
+The manager still owns a totally ordered set of named variables (Def. 5
+requires ``Vars`` to carry a total order ``<``) and guarantees the ROBDD
+invariants on top of the complement-edge form:
 
 * *ordered* — on every root-to-terminal path variables appear in strictly
   increasing level order (``mk`` enforces ``level < child levels``);
-* *reduced* — no node has identical children (``mk`` short-circuits) and no
-  two distinct nodes share ``(level, low, high)`` (the unique table);
-* exactly two terminals ``0`` and ``1``.
+* *reduced* — no node has identical children (``mk`` short-circuits) and
+  no two distinct indices share ``(level, low, high)`` (the int-tuple
+  keyed unique table).
 
-Because reduction is maintained incrementally by ``mk``, the textbook
-``Apply``+``Reduce`` pipeline referenced by the paper (Ben-Ari Algs. 5.15 and
-5.3) collapses into the single memoised :meth:`BDDManager.apply`.
+The public currency is the interned :class:`~repro.bdd.ref.Ref` handle;
+all recursions below run on raw integer edges and only wrap at the API
+boundary.  Because reduction is maintained incrementally by ``mk``, the
+textbook ``Apply``+``Reduce`` pipeline referenced by the paper (Ben-Ari
+Algs. 5.15 and 5.3) collapses into the memoised binary cores plus the
+standard-triple-normalised :meth:`BDDManager.ite`.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, fields
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import ManagerMismatchError, VariableError
-from .node import TERMINAL_LEVEL, Node
+from .ref import TERMINAL_LEVEL, Ref
+
+#: The two terminal edges: index 0 is the stored ``1`` terminal.
+_TRUE = 0
+_FALSE = 1
+
+#: Opcodes for the int-tuple-keyed binary operation cache.  Only AND and
+#: XOR run a recursion; every other connective is an O(1) complement
+#: rewrite of one of them (De Morgan and friends).
+_OP_AND = 0
+_OP_XOR = 1
 
 #: Binary Boolean connectives supported by :meth:`BDDManager.apply`.
-_OPS: Dict[str, Callable[[bool, bool], bool]] = {
-    "and": lambda a, b: a and b,
-    "or": lambda a, b: a or b,
-    "xor": lambda a, b: a != b,
-    "xnor": lambda a, b: a == b,
-    "nand": lambda a, b: not (a and b),
-    "nor": lambda a, b: not (a or b),
-    "implies": lambda a, b: (not a) or b,
-}
-
-#: Connectives for which ``apply(op, u, v) == apply(op, v, u)``; their cache
-#: keys are normalised so both argument orders hit the same entry.
-_COMMUTATIVE = frozenset({"and", "or", "xor", "xnor", "nand", "nor"})
+_OP_NAMES = ("and", "or", "xor", "xnor", "nand", "nor", "implies")
 
 _manager_counter = itertools.count()
 
 
 @dataclass
 class OperationCacheStats:
-    """Hit/miss counters for the manager's memo tables.
+    """Counters for the manager's memo tables and free negations.
 
     A *miss* is a recursive call that had to compute its result; a *hit*
     found it in the memo table.  Terminal short-circuits (e.g.
-    ``and(0, x)``) never consult a cache and count as neither.  The
+    ``and(0, x)``) never consult a cache and count as neither.
+    ``negations`` counts O(1) complement-bit flips — the operation that
+    used to be a cached recursive rebuild and is now free; it is kept
+    separate from the hit/miss totals because no table is involved.  The
     counters only ever grow, so callers can snapshot/diff them to
     attribute work to a batch of queries.
     """
@@ -58,25 +78,20 @@ class OperationCacheStats:
     apply_misses: int = 0
     ite_hits: int = 0
     ite_misses: int = 0
-    negate_hits: int = 0
-    negate_misses: int = 0
     restrict_hits: int = 0
     restrict_misses: int = 0
+    #: O(1) complement flips (never a lookup, never an insertion).
+    negations: int = 0
 
     @property
     def hits(self) -> int:
         """Total memo-table hits across all operations."""
-        return self.apply_hits + self.ite_hits + self.negate_hits + self.restrict_hits
+        return self.apply_hits + self.ite_hits + self.restrict_hits
 
     @property
     def misses(self) -> int:
         """Total memo-table misses across all operations."""
-        return (
-            self.apply_misses
-            + self.ite_misses
-            + self.negate_misses
-            + self.restrict_misses
-        )
+        return self.apply_misses + self.ite_misses + self.restrict_misses
 
     @property
     def hit_ratio(self) -> float:
@@ -105,8 +120,8 @@ class OperationCacheStats:
 
 
 class BDDManager:
-    """Factory and owner of ROBDD nodes over a named, totally ordered
-    variable set.
+    """Factory and owner of complement-edge ROBDDs over a named, totally
+    ordered variable set.
 
     Args:
         variables: Initial variable names, in order (level 0 first).
@@ -122,23 +137,56 @@ class BDDManager:
         self._id = next(_manager_counter)
         self._order: List[str] = []
         self._levels: Dict[str, int] = {}
-        self._uid_counter = itertools.count()
-        self.false = self._make_terminal(False)
-        self.true = self._make_terminal(True)
-        # Unique table: (level, low uid, high uid) -> Node.
-        self._unique: Dict[Tuple[int, int, int], Node] = {}
-        # Memo tables.  They are kept per-operation so clearing one kind of
-        # cache (e.g. after reordering) does not touch the others.
-        self._apply_cache: Dict[Tuple[str, int, int], Node] = {}
-        self._ite_cache: Dict[Tuple[int, int, int], Node] = {}
-        self._negate_cache: Dict[int, Node] = {}
-        self._restrict_cache: Dict[Tuple[int, int, bool], Node] = {}
-        self._exists_cache: Dict[Tuple[int, frozenset], Node] = {}
-        self._support_cache: Dict[int, frozenset] = {}
+        # Parallel node arrays.  Index 0 is the `1` terminal; its child
+        # slots are unused placeholders.
+        self._level: List[int] = [TERMINAL_LEVEL]
+        self._low: List[int] = [0]
+        self._high: List[int] = [0]
+        # Unique table: (level, low edge, regular high edge) -> index.
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        # Memo tables, all keyed on int tuples.  They are kept
+        # per-operation so clearing one kind of cache (e.g. after
+        # reordering) does not touch the others.
+        self._apply_cache: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._restrict_cache: Dict[Tuple[int, int, int], int] = {}
+        self._exists_cache: Dict[Tuple[int, FrozenSet[int]], int] = {}
+        self._support_cache: Dict[int, FrozenSet[int]] = {}
+        # Ref interning: one Ref object per live edge, so identity
+        # comparison (`u is manager.false`) works across the public API.
+        self._refs: Dict[int, Ref] = {}
+        self.true = self._wrap(_TRUE)
+        self.false = self._wrap(_FALSE)
+        #: High-water mark of stored nodes (== the live count until
+        #: garbage collection lands).
+        self._peak_nodes = 1
         #: Hit/miss counters for the memo tables above (monotone).
         self.op_stats = OperationCacheStats()
         for name in variables:
             self.declare(name)
+
+    # ------------------------------------------------------------------
+    # Handle plumbing
+    # ------------------------------------------------------------------
+
+    def _wrap(self, edge: int) -> Ref:
+        """The interned :class:`Ref` for ``edge``."""
+        ref = self._refs.get(edge)
+        if ref is None:
+            ref = Ref(self, edge)
+            self._refs[edge] = ref
+        return ref
+
+    def _unwrap(self, ref: Ref) -> int:
+        """Edge of ``ref``, verifying ownership."""
+        try:
+            if ref.manager is self:
+                return ref.edge
+        except AttributeError:
+            raise TypeError(f"expected a BDD Ref, got {ref!r}") from None
+        raise ManagerMismatchError(
+            "combining nodes that belong to different BDD managers"
+        )
 
     # ------------------------------------------------------------------
     # Variables
@@ -177,246 +225,338 @@ class BDDManager:
         except IndexError:
             raise VariableError(f"no variable at level {level}") from None
 
-    def var(self, name: str) -> Node:
+    def var(self, name: str) -> Ref:
         """Elementary BDD ``B(v)`` with ``Low = 0`` and ``High = 1``
         (the building block of Def. 6)."""
-        return self.mk(self.level_of(name), self.false, self.true)
+        return self._wrap(self._mk(self.level_of(name), _FALSE, _TRUE))
 
-    def nvar(self, name: str) -> Node:
-        """Elementary negated BDD for ``not name``."""
-        return self.mk(self.level_of(name), self.true, self.false)
+    def nvar(self, name: str) -> Ref:
+        """Elementary negated BDD for ``not name`` (one bit-flip away)."""
+        return self._wrap(self._mk(self.level_of(name), _FALSE, _TRUE) ^ 1)
 
-    def constant(self, value: bool) -> Node:
-        """The ``0`` or ``1`` terminal."""
+    def constant(self, value: bool) -> Ref:
+        """The ``0`` or ``1`` terminal edge."""
         return self.true if value else self.false
 
     # ------------------------------------------------------------------
     # Node construction
     # ------------------------------------------------------------------
 
-    def _make_terminal(self, value: bool) -> Node:
-        return Node(
-            uid=next(self._uid_counter),
-            level=TERMINAL_LEVEL,
-            low=None,
-            high=None,
-            value=value,
-            manager_id=self._id,
-        )
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """The unique reduced edge for ``(level, low, high)``.
 
-    def mk(self, level: int, low: Node, high: Node) -> Node:
-        """Return the unique reduced node ``(level, low, high)``.
-
-        Applies both reduction rules: identical children collapse to the
-        child, and structurally equal nodes are shared via the unique table.
+        Applies both reduction rules (identical children collapse;
+        structurally equal nodes are shared via the unique table) and the
+        complement-edge canonical form: a complemented high edge is pushed
+        onto both children, and the complement bit returns on the handle.
 
         Raises:
             VariableError: If the node would violate the variable order.
         """
-        if low is high:
+        if low == high:
             return low
-        if not level < low.level or not level < high.level:
-            raise VariableError(
-                f"node at level {level} must precede its children "
-                f"(levels {low.level}, {high.level})"
-            )
-        key = (level, low.uid, high.uid)
-        node = self._unique.get(key)
-        if node is None:
-            node = Node(
-                uid=next(self._uid_counter),
-                level=level,
-                low=low,
-                high=high,
-                value=None,
-                manager_id=self._id,
-            )
-            self._unique[key] = node
-        return node
-
-    def _check_owned(self, *nodes: Node) -> None:
-        for node in nodes:
-            if node.manager_id != self._id:
-                raise ManagerMismatchError(
-                    "combining nodes that belong to different BDD managers"
+        c = high & 1
+        if c:
+            # Canonical form: stored high edges are regular.
+            low ^= 1
+            high ^= 1
+        key = (level, low, high)
+        index = self._unique.get(key)
+        if index is None:
+            if (
+                level >= self._level[low >> 1]
+                or level >= self._level[high >> 1]
+            ):
+                raise VariableError(
+                    f"node at level {level} must precede its children "
+                    f"(levels {self._level[low >> 1]}, "
+                    f"{self._level[high >> 1]})"
                 )
+            index = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = index
+            if index + 1 > self._peak_nodes:
+                self._peak_nodes = index + 1
+        return (index << 1) | c
+
+    def mk(self, level: int, low: Ref, high: Ref) -> Ref:
+        """Public ``mk``: unique reduced node over :class:`Ref` handles."""
+        return self._wrap(self._mk(level, self._unwrap(low), self._unwrap(high)))
 
     # ------------------------------------------------------------------
-    # Boolean combinators (Apply + implicit Reduce)
+    # Core recursions (raw integer edges)
     # ------------------------------------------------------------------
 
-    def apply(self, op: str, u: Node, v: Node) -> Node:
-        """Ben-Ari's ``Apply`` with memoisation; result is reduced by
-        construction.
+    def _top_key(self, edge: int) -> Tuple[int, int]:
+        """Sort key (level, index) for standard-triple normalisation."""
+        index = edge >> 1
+        return (self._level[index], index)
 
-        Args:
-            op: One of ``and or xor xnor nand nor implies``.
-            u: Left operand.
-            v: Right operand.
-        """
-        try:
-            fn = _OPS[op]
-        except KeyError:
-            raise ValueError(f"unknown BDD operator {op!r}") from None
-        self._check_owned(u, v)
-        return self._apply(op, fn, u, v)
-
-    def _apply(self, op: str, fn: Callable[[bool, bool], bool], u: Node, v: Node) -> Node:
-        # Terminal short-cuts keep the recursion (and the cache) small.
-        if u.is_terminal and v.is_terminal:
-            return self.constant(fn(u.value, v.value))
-        if op == "and":
-            if u is self.false or v is self.false:
-                return self.false
-            if u is self.true:
-                return v
-            if v is self.true:
-                return u
-            if u is v:
-                return u
-        elif op == "or":
-            if u is self.true or v is self.true:
-                return self.true
-            if u is self.false:
-                return v
-            if v is self.false:
-                return u
-            if u is v:
-                return u
-        elif op == "xor":
-            if u is self.false:
-                return v
-            if v is self.false:
-                return u
-            if u is v:
-                return self.false
-        elif op == "implies":
-            if u is self.false or v is self.true:
-                return self.true
-            if u is self.true:
-                return v
-
-        if op in _COMMUTATIVE and u.uid > v.uid:
+    def _and_e(self, u: int, v: int) -> int:
+        """Conjunction core (the only binary AND-family recursion)."""
+        # Terminal / absorption short-cuts keep the cache small.
+        if u == v:
+            return u
+        if u ^ v == 1:  # f and not f
+            return _FALSE
+        if u == _TRUE:
+            return v
+        if v == _TRUE:
+            return u
+        if u == _FALSE or v == _FALSE:
+            return _FALSE
+        if u > v:  # commutative: one cache entry per unordered pair
             u, v = v, u
-        key = (op, u.uid, v.uid)
+        key = (_OP_AND, u, v)
         cached = self._apply_cache.get(key)
         if cached is not None:
             self.op_stats.apply_hits += 1
             return cached
         self.op_stats.apply_misses += 1
 
-        top = min(u.level, v.level)
-        u_low, u_high = (u.low, u.high) if u.level == top else (u, u)
-        v_low, v_high = (v.low, v.high) if v.level == top else (v, v)
-        result = self.mk(
-            top,
-            self._apply(op, fn, u_low, v_low),
-            self._apply(op, fn, u_high, v_high),
-        )
+        level = self._level
+        ui, vi = u >> 1, v >> 1
+        lu, lv = level[ui], level[vi]
+        top = lu if lu < lv else lv
+        if lu == top:
+            uc = u & 1
+            u0, u1 = self._low[ui] ^ uc, self._high[ui] ^ uc
+        else:
+            u0 = u1 = u
+        if lv == top:
+            vc = v & 1
+            v0, v1 = self._low[vi] ^ vc, self._high[vi] ^ vc
+        else:
+            v0 = v1 = v
+        result = self._mk(top, self._and_e(u0, v0), self._and_e(u1, v1))
         self._apply_cache[key] = result
         return result
 
-    def and_(self, u: Node, v: Node) -> Node:
-        """Conjunction of two BDDs."""
-        return self.apply("and", u, v)
-
-    def or_(self, u: Node, v: Node) -> Node:
-        """Disjunction of two BDDs."""
-        return self.apply("or", u, v)
-
-    def xor(self, u: Node, v: Node) -> Node:
-        """Exclusive or of two BDDs."""
-        return self.apply("xor", u, v)
-
-    def implies(self, u: Node, v: Node) -> Node:
-        """Implication ``u => v``."""
-        return self.apply("implies", u, v)
-
-    def equiv(self, u: Node, v: Node) -> Node:
-        """Bi-implication ``u <=> v``."""
-        return self.apply("xnor", u, v)
-
-    def conjoin(self, nodes: Iterable[Node]) -> Node:
-        """AND of arbitrarily many BDDs (empty conjunction is ``1``)."""
-        result = self.true
-        for node in nodes:
-            result = self.and_(result, node)
-        return result
-
-    def disjoin(self, nodes: Iterable[Node]) -> Node:
-        """OR of arbitrarily many BDDs (empty disjunction is ``0``)."""
-        result = self.false
-        for node in nodes:
-            result = self.or_(result, node)
-        return result
-
-    def negate(self, u: Node) -> Node:
-        """Complement a BDD (swap its terminals)."""
-        self._check_owned(u)
-        if u.is_terminal:
-            return self.constant(not u.value)
-        cached = self._negate_cache.get(u.uid)
+    def _xor_e(self, u: int, v: int) -> int:
+        """Exclusive-or core; complements of both operands normalise out."""
+        # xor(~a, b) == xor(a, ~b) == ~xor(a, b): strip the bits up front.
+        out = (u ^ v) & 1
+        u &= -2
+        v &= -2
+        if u == v:
+            return _FALSE ^ out
+        if u == _TRUE:  # a stripped terminal is the 1 constant
+            return v ^ 1 ^ out
+        if v == _TRUE:
+            return u ^ 1 ^ out
+        if u > v:
+            u, v = v, u
+        key = (_OP_XOR, u, v)
+        cached = self._apply_cache.get(key)
         if cached is not None:
-            self.op_stats.negate_hits += 1
-            return cached
-        self.op_stats.negate_misses += 1
-        result = self.mk(u.level, self.negate(u.low), self.negate(u.high))
-        self._negate_cache[u.uid] = result
-        # Negation is an involution; prime the cache both ways.
-        self._negate_cache[result.uid] = u
-        return result
+            self.op_stats.apply_hits += 1
+            return cached ^ out
+        self.op_stats.apply_misses += 1
 
-    def ite(self, cond: Node, then: Node, other: Node) -> Node:
+        level = self._level
+        ui, vi = u >> 1, v >> 1
+        lu, lv = level[ui], level[vi]
+        top = lu if lu < lv else lv
+        if lu == top:
+            u0, u1 = self._low[ui], self._high[ui]
+        else:
+            u0 = u1 = u
+        if lv == top:
+            v0, v1 = self._low[vi], self._high[vi]
+        else:
+            v0 = v1 = v
+        result = self._mk(top, self._xor_e(u0, v0), self._xor_e(u1, v1))
+        self._apply_cache[key] = result
+        return result ^ out
+
+    def _or_e(self, u: int, v: int) -> int:
+        """Disjunction by De Morgan over the AND core (no extra table)."""
+        return self._and_e(u ^ 1, v ^ 1) ^ 1
+
+    def _ite_e(self, f: int, g: int, h: int) -> int:
+        """If-then-else with Brace/Rudell/Bryant standard-triple
+        normalisation over complement edges."""
+        # Terminal and absorption rules keep the recursion shallow.
+        if f == _TRUE:
+            return g
+        if f == _FALSE:
+            return h
+        if g == h:
+            return g
+        if g == f:  # ite(f, f, h) == ite(f, 1, h)
+            g = _TRUE
+        elif g == f ^ 1:  # ite(f, ~f, h) == ite(f, 0, h)
+            g = _FALSE
+        if h == f:  # ite(f, g, f) == ite(f, g, 0)
+            h = _FALSE
+        elif h == f ^ 1:  # ite(f, g, ~f) == ite(f, g, 1)
+            h = _TRUE
+        if g == h:
+            return g
+        if g == _TRUE and h == _FALSE:
+            return f
+        if g == _FALSE and h == _TRUE:
+            return f ^ 1
+
+        # Standard triples: rewrite equivalent calls to one representative
+        # so e.g. or(f, h) and or(h, f) share a cache line.
+        if g == _TRUE:  # or(f, h) == or(h, f)
+            if self._top_key(h) < self._top_key(f):
+                f, h = h, f
+        elif h == _FALSE:  # and(f, g) == and(g, f)
+            if self._top_key(g) < self._top_key(f):
+                f, g = g, f
+        elif g == _FALSE:  # ite(f, 0, h) == ite(~h, 0, ~f)
+            if self._top_key(h) < self._top_key(f):
+                f, h = h ^ 1, f ^ 1
+        elif h == _TRUE:  # ite(f, g, 1) == ite(~g, ~f, 1)
+            if self._top_key(g) < self._top_key(f):
+                f, g = g ^ 1, f ^ 1
+
+        # Canonical complement form: regular condition, regular then-branch.
+        if f & 1:  # ite(~f, g, h) == ite(f, h, g)
+            f ^= 1
+            g, h = h, g
+        out = g & 1
+        if out:  # ite(f, ~g, h) == ~ite(f, g, ~h)
+            g ^= 1
+            h ^= 1
+
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            self.op_stats.ite_hits += 1
+            return cached ^ out
+        self.op_stats.ite_misses += 1
+
+        level = self._level
+        fi, gi, hi = f >> 1, g >> 1, h >> 1
+        top = min(level[fi], level[gi], level[hi])
+        if level[fi] == top:
+            f0, f1 = self._low[fi], self._high[fi]  # f is regular here
+        else:
+            f0 = f1 = f
+        if level[gi] == top:
+            g0, g1 = self._low[gi], self._high[gi]  # g is regular here
+        else:
+            g0 = g1 = g
+        if level[hi] == top:
+            hc = h & 1
+            h0, h1 = self._low[hi] ^ hc, self._high[hi] ^ hc
+        else:
+            h0 = h1 = h
+        result = self._mk(
+            top, self._ite_e(f0, g0, h0), self._ite_e(f1, g1, h1)
+        )
+        self._ite_cache[key] = result
+        return result ^ out
+
+    # ------------------------------------------------------------------
+    # Boolean combinators (public surface)
+    # ------------------------------------------------------------------
+
+    def apply(self, op: str, u: Ref, v: Ref) -> Ref:
+        """Ben-Ari's ``Apply``; result is reduced by construction.
+
+        Only ``and`` and ``xor`` run a recursion; the other connectives
+        are O(1) complement rewrites of those two cores, which is the
+        complement-edge kernel's structural win over the old per-operator
+        recursions.
+
+        Args:
+            op: One of ``and or xor xnor nand nor implies``.
+            u: Left operand.
+            v: Right operand.
+        """
+        a = self._unwrap(u)
+        b = self._unwrap(v)
+        if op == "and":
+            return self._wrap(self._and_e(a, b))
+        if op == "or":
+            return self._wrap(self._or_e(a, b))
+        if op == "xor":
+            return self._wrap(self._xor_e(a, b))
+        if op == "xnor":
+            return self._wrap(self._xor_e(a, b) ^ 1)
+        if op == "nand":
+            return self._wrap(self._and_e(a, b) ^ 1)
+        if op == "nor":
+            return self._wrap(self._or_e(a, b) ^ 1)
+        if op == "implies":
+            return self._wrap(self._and_e(a, b ^ 1) ^ 1)
+        raise ValueError(f"unknown BDD operator {op!r}")
+
+    def and_(self, u: Ref, v: Ref) -> Ref:
+        """Conjunction of two BDDs."""
+        return self._wrap(self._and_e(self._unwrap(u), self._unwrap(v)))
+
+    def or_(self, u: Ref, v: Ref) -> Ref:
+        """Disjunction of two BDDs."""
+        return self._wrap(self._or_e(self._unwrap(u), self._unwrap(v)))
+
+    def xor(self, u: Ref, v: Ref) -> Ref:
+        """Exclusive or of two BDDs."""
+        return self._wrap(self._xor_e(self._unwrap(u), self._unwrap(v)))
+
+    def implies(self, u: Ref, v: Ref) -> Ref:
+        """Implication ``u => v`` (``not (u and not v)``)."""
+        return self._wrap(
+            self._and_e(self._unwrap(u), self._unwrap(v) ^ 1) ^ 1
+        )
+
+    def equiv(self, u: Ref, v: Ref) -> Ref:
+        """Bi-implication ``u <=> v``."""
+        return self._wrap(self._xor_e(self._unwrap(u), self._unwrap(v)) ^ 1)
+
+    def conjoin(self, nodes: Iterable[Ref]) -> Ref:
+        """AND of arbitrarily many BDDs (empty conjunction is ``1``)."""
+        result = _TRUE
+        for node in nodes:
+            result = self._and_e(result, self._unwrap(node))
+        return self._wrap(result)
+
+    def disjoin(self, nodes: Iterable[Ref]) -> Ref:
+        """OR of arbitrarily many BDDs (empty disjunction is ``0``).
+
+        Folded through De Morgan: the accumulator holds the complement of
+        the disjunction so far, one AND per operand, one final bit-flip.
+        """
+        acc = _TRUE
+        for node in nodes:
+            acc = self._and_e(acc, self._unwrap(node) ^ 1)
+        return self._wrap(acc ^ 1)
+
+    def negate(self, u: Ref) -> Ref:
+        """Complement a BDD: flip the handle's complement bit.
+
+        O(1) — no traversal, no cache lookup, and crucially **no
+        unique-table insertions**: negating never grows the node store
+        (the old pointer-linked kernel rebuilt the whole DAG).  The flip
+        count is tracked in ``op_stats.negations``.
+        """
+        edge = self._unwrap(u)
+        self.op_stats.negations += 1
+        return self._wrap(edge ^ 1)
+
+    def ite(self, cond: Ref, then: Ref, other: Ref) -> Ref:
         """If-then-else ``(cond and then) or (not cond and other)`` as a
         *ternary apply*.
 
         A single memoised recursion over the three operands (Brace,
-        Rudell & Bryant's ``ITE``) instead of the two-``and``/one-``or``
-        composition: one cache lookup per co-factor triple, no
-        intermediate BDDs, and one shared memo table that every caller
-        (``compose``, ``threshold``, the service layer) amortises.
+        Rudell & Bryant's ``ITE``) with standard-triple normalisation:
+        the condition and then-branch of every cached triple are regular
+        edges, and commuting forms (``or``, ``and`` expressed as ITE) are
+        rewritten to one representative before the lookup.
         """
-        self._check_owned(cond, then, other)
-        return self._ite(cond, then, other)
-
-    def _ite(self, f: Node, g: Node, h: Node) -> Node:
-        # Terminal and absorption rules keep the recursion shallow.
-        if f is self.true:
-            return g
-        if f is self.false:
-            return h
-        if g is h:
-            return g
-        if g is self.true and h is self.false:
-            return f
-        if g is self.false and h is self.true:
-            return self.negate(f)
-        # ite(f, f, h) == ite(f, 1, h); ite(f, g, f) == ite(f, g, 0).
-        if f is g:
-            g = self.true
-        if f is h:
-            h = self.false
-
-        key = (f.uid, g.uid, h.uid)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            self.op_stats.ite_hits += 1
-            return cached
-        self.op_stats.ite_misses += 1
-
-        top = min(f.level, g.level, h.level)
-        f_low, f_high = (f.low, f.high) if f.level == top else (f, f)
-        g_low, g_high = (g.low, g.high) if g.level == top else (g, g)
-        h_low, h_high = (h.low, h.high) if h.level == top else (h, h)
-        result = self.mk(
-            top,
-            self._ite(f_low, g_low, h_low),
-            self._ite(f_high, g_high, h_high),
+        return self._wrap(
+            self._ite_e(
+                self._unwrap(cond), self._unwrap(then), self._unwrap(other)
+            )
         )
-        self._ite_cache[key] = result
-        return result
 
-    def threshold(self, operands: Sequence[Node], k: int) -> Node:
+    def threshold(self, operands: Sequence[Ref], k: int) -> Ref:
         """BDD for "at least ``k`` of ``operands`` hold".
 
         Implements the VOT(k/N) semantics of Def. 2 / Def. 6 by dynamic
@@ -428,66 +568,77 @@ class BDDManager:
             return self.true
         if k > n:
             return self.false
-        # rows[j] = BDD for "at least j of the operands seen so far hold",
-        # folded right-to-left.
-        rows: List[Node] = [self.true] + [self.false] * k
-        for operand in reversed(operands):
-            new_rows = [self.true]
+        edges = [self._unwrap(operand) for operand in operands]
+        # rows[j] = edge for "at least j of the operands seen so far
+        # hold", folded right-to-left.
+        rows: List[int] = [_TRUE] + [_FALSE] * k
+        for operand in reversed(edges):
+            new_rows = [_TRUE]
             for j in range(1, k + 1):
-                new_rows.append(self.ite(operand, rows[j - 1], rows[j]))
+                new_rows.append(self._ite_e(operand, rows[j - 1], rows[j]))
             rows = new_rows
-        return rows[k]
+        return self._wrap(rows[k])
 
     # ------------------------------------------------------------------
     # Restrict / Compose / Rename
     # ------------------------------------------------------------------
 
-    def restrict(self, u: Node, name: str, value: bool) -> Node:
+    def restrict(self, u: Ref, name: str, value: bool) -> Ref:
         """Ben-Ari's ``Restrict``: fix variable ``name`` to ``value``.
 
         This implements the BFL evidence operator ``phi[e -> value]``
         (Algorithm 1).
         """
-        self._check_owned(u)
-        return self._restrict(u, self.level_of(name), value)
+        return self._wrap(
+            self._restrict_e(self._unwrap(u), self.level_of(name), int(value))
+        )
 
-    def _restrict(self, u: Node, level: int, value: bool) -> Node:
-        if u.level > level:
+    def _restrict_e(self, u: int, level: int, value: int) -> int:
+        # Restriction commutes with complement; cache on the regular edge.
+        c = u & 1
+        u ^= c
+        if self._level[u >> 1] > level:
             # Terminals and nodes below `level` cannot mention the variable.
-            return u
-        key = (u.uid, level, value)
+            return u ^ c
+        key = (u, level, value)
         cached = self._restrict_cache.get(key)
         if cached is not None:
             self.op_stats.restrict_hits += 1
-            return cached
+            return cached ^ c
         self.op_stats.restrict_misses += 1
-        if u.level == level:
-            result = u.high if value else u.low
+        index = u >> 1
+        if self._level[index] == level:
+            result = self._high[index] if value else self._low[index]
         else:
-            result = self.mk(
-                u.level,
-                self._restrict(u.low, level, value),
-                self._restrict(u.high, level, value),
+            result = self._mk(
+                self._level[index],
+                self._restrict_e(self._low[index], level, value),
+                self._restrict_e(self._high[index], level, value),
             )
         self._restrict_cache[key] = result
-        return result
+        return result ^ c
 
-    def restrict_many(self, u: Node, assignment: Mapping[str, bool]) -> Node:
+    def restrict_many(self, u: Ref, assignment: Mapping[str, bool]) -> Ref:
         """Restrict several variables at once."""
-        result = u
+        edge = self._unwrap(u)
         for name, value in assignment.items():
-            result = self.restrict(result, name, value)
-        return result
+            edge = self._restrict_e(edge, self.level_of(name), int(value))
+        return self._wrap(edge)
 
-    def compose(self, u: Node, name: str, g: Node) -> Node:
+    def compose(self, u: Ref, name: str, g: Ref) -> Ref:
         """Substitute BDD ``g`` for variable ``name`` in ``u``
         (Shannon expansion: ``ite(g, u[name:=1], u[name:=0])``)."""
-        self._check_owned(u, g)
-        return self.ite(
-            g, self.restrict(u, name, True), self.restrict(u, name, False)
+        ue = self._unwrap(u)
+        level = self.level_of(name)
+        return self._wrap(
+            self._ite_e(
+                self._unwrap(g),
+                self._restrict_e(ue, level, 1),
+                self._restrict_e(ue, level, 0),
+            )
         )
 
-    def rename(self, u: Node, mapping: Mapping[str, str]) -> Node:
+    def rename(self, u: Ref, mapping: Mapping[str, str]) -> Ref:
         """Rename variables (the paper's ``B[V -> V']`` primed copy).
 
         The mapping must be *monotone*: if ``a`` is ordered before ``b`` then
@@ -498,7 +649,7 @@ class BDDManager:
         Raises:
             VariableError: If the mapping is not monotone.
         """
-        self._check_owned(u)
+        edge = self._unwrap(u)
         level_map: Dict[int, int] = {
             self.level_of(src): self.level_of(dst) for src, dst in mapping.items()
         }
@@ -508,53 +659,80 @@ class BDDManager:
                 raise VariableError(
                     "rename mapping must preserve the variable order"
                 )
-        cache: Dict[int, Node] = {}
-        return self._rename(u, level_map, cache)
+        cache: Dict[int, int] = {}
+        return self._wrap(self._rename_e(edge, level_map, cache))
 
-    def _rename(self, u: Node, level_map: Dict[int, int], cache: Dict[int, Node]) -> Node:
-        if u.is_terminal:
-            return u
-        cached = cache.get(u.uid)
+    def _rename_e(
+        self, u: int, level_map: Dict[int, int], cache: Dict[int, int]
+    ) -> int:
+        # Renaming commutes with complement; cache on the regular edge.
+        c = u & 1
+        u ^= c
+        index = u >> 1
+        if index == 0:
+            return u ^ c
+        cached = cache.get(u)
         if cached is not None:
-            return cached
-        new_level = level_map.get(u.level, u.level)
-        result = self.mk(
-            new_level,
-            self._rename(u.low, level_map, cache),
-            self._rename(u.high, level_map, cache),
+            return cached ^ c
+        result = self._mk(
+            level_map.get(self._level[index], self._level[index]),
+            self._rename_e(self._low[index], level_map, cache),
+            self._rename_e(self._high[index], level_map, cache),
         )
-        cache[u.uid] = result
-        return result
+        cache[u] = result
+        return result ^ c
 
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
 
-    def support(self, u: Node) -> Set[str]:
+    def support(self, u: Ref) -> Set[str]:
         """``VarB``: the set of variables occurring in the BDD.
 
         On a reduced BDD this is exactly the set of variables the function
         *depends on*, which is why Algorithm 1 may implement ``IDP`` via
-        support intersection.
+        support intersection.  Iterative (explicit stack), so deep BDDs
+        never hit Python's recursion limit.
         """
-        self._check_owned(u)
-        return {self.name_of(level) for level in self._support_levels(u)}
+        return {
+            self.name_of(level)
+            for level in self._support_levels(self._unwrap(u))
+        }
 
-    def _support_levels(self, u: Node) -> frozenset:
-        if u.is_terminal:
+    def _support_levels(self, edge: int) -> FrozenSet[int]:
+        # Support ignores complement bits entirely: work on indices.
+        root = edge >> 1
+        if root == 0:
             return frozenset()
-        cached = self._support_cache.get(u.uid)
+        cache = self._support_cache
+        cached = cache.get(root)
         if cached is not None:
             return cached
-        result = (
-            frozenset({u.level})
-            | self._support_levels(u.low)
-            | self._support_levels(u.high)
-        )
-        self._support_cache[u.uid] = result
-        return result
+        # Collect the uncached part of the DAG, then fold it bottom-up.
+        # Children sit at strictly greater levels, so a level-descending
+        # sweep is a valid reverse topological order.
+        pending: List[int] = []
+        seen = {root}
+        stack = [root]
+        while stack:
+            index = stack.pop()
+            if index == 0 or index in cache:
+                continue
+            pending.append(index)
+            for child_edge in (self._low[index], self._high[index]):
+                child = child_edge >> 1
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        for index in sorted(pending, key=lambda i: -self._level[i]):
+            cache[index] = (
+                frozenset({self._level[index]})
+                | cache.get(self._low[index] >> 1, frozenset())
+                | cache.get(self._high[index] >> 1, frozenset())
+            )
+        return cache[root]
 
-    def evaluate(self, u: Node, assignment: Mapping[str, bool]) -> bool:
+    def evaluate(self, u: Ref, assignment: Mapping[str, bool]) -> bool:
         """Walk from the root following ``assignment`` (Algorithm 2's loop).
 
         Variables missing from ``assignment`` may only be skipped if the BDD
@@ -563,66 +741,133 @@ class BDDManager:
         Raises:
             KeyError: If the walk reaches a variable not in ``assignment``.
         """
-        self._check_owned(u)
-        node = u
-        while not node.is_terminal:
-            name = self.name_of(node.level)
-            node = node.high if assignment[name] else node.low
-        return bool(node.value)
+        edge = self._unwrap(u)
+        while edge >> 1:
+            index = edge >> 1
+            name = self.name_of(self._level[index])
+            child = self._high[index] if assignment[name] else self._low[index]
+            edge = child ^ (edge & 1)
+        return edge == _TRUE
 
-    def sat_count(self, u: Node, over: Optional[Sequence[str]] = None) -> int:
+    def sat_count(self, u: Ref, over: Optional[Sequence[str]] = None) -> int:
         """Number of satisfying assignments over the variables ``over``
-        (default: the manager's full variable set)."""
-        self._check_owned(u)
+        (default: the manager's full variable set).
+
+        Iterative: reachable nodes are counted in one level-descending
+        sweep, so deep BDDs never hit Python's recursion limit.  Counts
+        of complemented edges fall out of ``|~f| = 2^k - |f|``.
+        """
+        root = self._unwrap(u)
         names = list(over) if over is not None else list(self._order)
         levels = sorted(self.level_of(name) for name in names)
         position = {level: i for i, level in enumerate(levels)}
         n = len(levels)
-        cache: Dict[int, int] = {}
 
-        def count(node: Node, from_pos: int) -> int:
-            # Number of assignments to levels[from_pos:] under `node`.
-            if node.is_terminal:
-                return (2 ** (n - from_pos)) if node.value else 0
-            if node.level not in position:
+        # Phase 1: collect reachable indices (complement bits irrelevant).
+        seen = {root >> 1}
+        stack = [root >> 1]
+        reachable: List[int] = []
+        while stack:
+            index = stack.pop()
+            if index == 0:
+                continue
+            if self._level[index] not in position:
                 raise VariableError(
-                    f"BDD mentions {self.name_of(node.level)!r}, "
+                    f"BDD mentions {self.name_of(self._level[index])!r}, "
                     "which is outside the counting scope"
                 )
-            pos = position[node.level]
-            key = node.uid
-            cached = cache.get(key)
-            if cached is None:
-                cached = count(node.low, pos + 1) + count(node.high, pos + 1)
-                cache[key] = cached
-            return cached * 2 ** (pos - from_pos)
+            reachable.append(index)
+            for child_edge in (self._low[index], self._high[index]):
+                child = child_edge >> 1
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
 
-        return count(u, 0)
+        # counts[i] = satisfying assignments of the *regular* edge of node
+        # i over levels[position(i):].
+        counts: Dict[int, int] = {}
+
+        def edge_count(edge: int, from_pos: int) -> int:
+            if edge == _TRUE:
+                return 1 << (n - from_pos)
+            if edge == _FALSE:
+                return 0
+            index = edge >> 1
+            pos = position[self._level[index]]
+            value = counts[index] << (pos - from_pos)
+            if edge & 1:
+                value = (1 << (n - from_pos)) - value
+            return value
+
+        # Phase 2: children live at strictly greater levels, so a
+        # level-descending sweep resolves them before their parents.
+        for index in sorted(reachable, key=lambda i: -self._level[i]):
+            pos = position[self._level[index]]
+            counts[index] = edge_count(self._low[index], pos + 1) + edge_count(
+                self._high[index], pos + 1
+            )
+        return edge_count(root, 0)
 
     def node_count(self) -> int:
-        """Total number of live nodes in the unique table (plus terminals)."""
-        return len(self._unique) + 2
+        """Number of stored nodes (unique table plus the ``1`` terminal).
+
+        With complement edges a function and its negation share every
+        node, so this is typically about half the size the pre-refactor
+        pointer kernel reported for negation-heavy workloads.
+        """
+        return len(self._level)
+
+    def peak_node_count(self) -> int:
+        """High-water mark of :meth:`node_count` (identical until garbage
+        collection lands; tracked separately so GC can be added without
+        changing the reporting surface)."""
+        return self._peak_nodes
+
+    def check_invariants(self) -> None:
+        """Verify the kernel's canonical-form invariants; raise
+        ``AssertionError`` on violation.
+
+        Checked for every stored node: the high edge is regular
+        (complement bits only ever sit on low edges and external
+        handles), children are distinct, levels strictly increase towards
+        the leaves, and the unique table maps back to the node.  Used by
+        the property-test suite; cheap enough to call in debugging
+        sessions (O(nodes)).
+        """
+        for index in range(1, len(self._level)):
+            low, high = self._low[index], self._high[index]
+            assert high & 1 == 0, f"node {index} stores a complemented high edge"
+            assert low != high, f"node {index} has identical children"
+            level = self._level[index]
+            assert level < self._level[low >> 1], f"node {index} breaks the order"
+            assert level < self._level[high >> 1], f"node {index} breaks the order"
+            assert self._unique.get((level, low, high)) == index, (
+                f"node {index} missing from the unique table"
+            )
+        assert len(self._unique) == len(self._level) - 1
 
     def cache_stats(self) -> Dict[str, int]:
         """Operation-cache counters plus current table sizes.
 
         The hit/miss counters are :attr:`op_stats` (monotone for the
         manager's lifetime, even across :meth:`clear_caches`); the
-        ``*_cache_size`` entries are the live memo-table populations.
+        ``*_cache_size`` entries are the live memo-table populations, and
+        ``unique_table_size`` / ``live_nodes`` / ``peak_live_nodes``
+        describe the node store itself.
         """
         data = self.op_stats.snapshot()
         data["apply_cache_size"] = len(self._apply_cache)
         data["ite_cache_size"] = len(self._ite_cache)
-        data["negate_cache_size"] = len(self._negate_cache)
         data["restrict_cache_size"] = len(self._restrict_cache)
         data["unique_table_size"] = len(self._unique)
+        data["live_nodes"] = len(self._level)
+        data["peak_live_nodes"] = self._peak_nodes
         return data
 
     def clear_caches(self) -> None:
         """Drop all operation memo tables (the unique table is kept)."""
         self._apply_cache.clear()
         self._ite_cache.clear()
-        self._negate_cache.clear()
         self._restrict_cache.clear()
         self._exists_cache.clear()
         self._support_cache.clear()

@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence
 
 from .manager import BDDManager
-from .node import Node
+from .ref import Ref
 from .quantify import exists
 
 #: Suffix used to derive the primed copy of a variable name.
@@ -59,7 +59,7 @@ def ensure_primed(manager: BDDManager, scope: Sequence[str]) -> Dict[str, str]:
 
 def strict_subset_relation(
     manager: BDDManager, scope: Sequence[str], mapping: Dict[str, str]
-) -> Node:
+) -> Ref:
     """BDD for ``V' subset-of V`` over ``scope``:
     ``(AND v' => v) and (OR v' != v)``."""
     all_below = manager.conjoin(
@@ -75,7 +75,7 @@ def strict_subset_relation(
 
 def strict_superset_relation(
     manager: BDDManager, scope: Sequence[str], mapping: Dict[str, str]
-) -> Node:
+) -> Ref:
     """BDD for ``V' superset-of V`` over ``scope`` (the MPS dual)."""
     all_above = manager.conjoin(
         manager.implies(manager.var(name), manager.var(mapping[name]))
@@ -89,8 +89,8 @@ def strict_superset_relation(
 
 
 def _relational_extreme(
-    manager: BDDManager, u: Node, scope: Sequence[str], superset: bool
-) -> Node:
+    manager: BDDManager, u: Ref, scope: Sequence[str], superset: bool
+) -> Ref:
     if not scope:
         return u
     mapping = ensure_primed(manager, scope)
@@ -107,22 +107,22 @@ def _relational_extreme(
     return manager.and_(u, manager.negate(witness))
 
 
-def minimal_assignments(manager: BDDManager, u: Node, scope: Sequence[str]) -> Node:
+def minimal_assignments(manager: BDDManager, u: Ref, scope: Sequence[str]) -> Ref:
     """Paper construction: satisfying vectors with no strictly smaller
     satisfying vector (comparison over ``scope``; other variables are
     untouched don't-cares)."""
     return _relational_extreme(manager, u, scope, superset=False)
 
 
-def maximal_assignments(manager: BDDManager, u: Node, scope: Sequence[str]) -> Node:
+def maximal_assignments(manager: BDDManager, u: Ref, scope: Sequence[str]) -> Ref:
     """Satisfying vectors with no strictly larger satisfying vector; this is
     the MPS-side construction (see DESIGN.md deviation 1)."""
     return _relational_extreme(manager, u, scope, superset=True)
 
 
 def minimal_assignments_monotone(
-    manager: BDDManager, u: Node, scope: Sequence[str]
-) -> Node:
+    manager: BDDManager, u: Ref, scope: Sequence[str]
+) -> Ref:
     """Monotone fast path: ``u and AND_x (not x or not u[x:=0])``.
 
     For a monotone ``u`` a vector is globally minimal iff no *single* failed
@@ -138,8 +138,8 @@ def minimal_assignments_monotone(
 
 
 def maximal_assignments_monotone(
-    manager: BDDManager, u: Node, scope: Sequence[str]
-) -> Node:
+    manager: BDDManager, u: Ref, scope: Sequence[str]
+) -> Ref:
     """Monotone fast path for maximality: ``u and AND_x (x or not u[x:=1])``."""
     result = u
     for name in scope:
@@ -150,7 +150,7 @@ def maximal_assignments_monotone(
     return result
 
 
-def is_monotone(manager: BDDManager, u: Node, scope: Iterable[str] = ()) -> bool:
+def is_monotone(manager: BDDManager, u: Ref, scope: Iterable[str] = ()) -> bool:
     """True iff ``u`` is monotone (non-decreasing) in every scope variable.
 
     With an empty ``scope`` the BDD's own support is checked, which decides

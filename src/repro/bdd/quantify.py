@@ -10,6 +10,11 @@ The paper (Sec. V-B) defines existential quantification via Ben-Ari's
 is an equivalent single-pass recursion that quantifies a whole variable set
 at once (the standard optimisation).  Both are exercised against each other
 in the test suite.
+
+The single-pass variant runs on the manager's raw integer edges.  Unlike
+negation or restriction, existential quantification does **not** commute
+with complement (``exists v. ~f != ~exists v. f``), so its memo key is the
+full tagged edge — complement bit included.
 """
 
 from __future__ import annotations
@@ -17,10 +22,10 @@ from __future__ import annotations
 from typing import Iterable
 
 from .manager import BDDManager
-from .node import Node
+from .ref import Ref
 
 
-def exists_textbook(manager: BDDManager, u: Node, names: Iterable[str]) -> Node:
+def exists_textbook(manager: BDDManager, u: Ref, names: Iterable[str]) -> Ref:
     """Existential quantification exactly as defined in the paper."""
     result = u
     for name in names:
@@ -31,41 +36,51 @@ def exists_textbook(manager: BDDManager, u: Node, names: Iterable[str]) -> Node:
     return result
 
 
-def exists(manager: BDDManager, u: Node, names: Iterable[str]) -> Node:
+def exists(manager: BDDManager, u: Ref, names: Iterable[str]) -> Ref:
     """Existentially quantify all of ``names`` in one memoised pass."""
     levels = frozenset(manager.level_of(name) for name in names)
+    edge = manager._unwrap(u)
     if not levels:
         return u
-    return _exists(manager, u, levels)
+    return manager._wrap(_exists_e(manager, edge, levels, max(levels)))
 
 
-def _exists(manager: BDDManager, u: Node, levels: frozenset) -> Node:
-    if u.is_terminal or u.level > max(levels):
-        return u
-    key = (u.uid, levels)
+def _exists_e(
+    manager: BDDManager, edge: int, levels: frozenset, deepest: int
+) -> int:
+    index = edge >> 1
+    if index == 0 or manager._level[index] > deepest:
+        return edge
+    key = (edge, levels)
     cached = manager._exists_cache.get(key)
     if cached is not None:
         return cached
-    low = _exists(manager, u.low, levels)
-    high = _exists(manager, u.high, levels)
-    if u.level in levels:
-        result = manager.or_(low, high)
+    c = edge & 1
+    low = _exists_e(manager, manager._low[index] ^ c, levels, deepest)
+    high = _exists_e(manager, manager._high[index] ^ c, levels, deepest)
+    level = manager._level[index]
+    if level in levels:
+        result = manager._or_e(low, high)
     else:
-        result = manager.mk(u.level, low, high)
+        result = manager._mk(level, low, high)
     manager._exists_cache[key] = result
     return result
 
 
-def forall(manager: BDDManager, u: Node, names: Iterable[str]) -> Node:
-    """Universal quantification: ``forall V. B == not exists V. not B``."""
+def forall(manager: BDDManager, u: Ref, names: Iterable[str]) -> Ref:
+    """Universal quantification: ``forall V. B == not exists V. not B``.
+
+    Both negations are O(1) complement flips on the new kernel, so this
+    costs exactly one ``exists`` sweep.
+    """
     return manager.negate(exists(manager, manager.negate(u), names))
 
 
-def is_tautology(manager: BDDManager, u: Node) -> bool:
+def is_tautology(manager: BDDManager, u: Ref) -> bool:
     """True iff the BDD is the constant ``1`` (used for layer-2 ``forall``)."""
     return u is manager.true
 
 
-def is_satisfiable(manager: BDDManager, u: Node) -> bool:
+def is_satisfiable(manager: BDDManager, u: Ref) -> bool:
     """True iff the BDD is not the constant ``0`` (layer-2 ``exists``)."""
     return u is not manager.false

@@ -13,22 +13,22 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from .manager import BDDManager
-from .node import Node
+from .ref import Ref
 
 #: A builder takes a variable order and returns (manager, root) built in it.
-Builder = Callable[[Sequence[str]], Tuple[BDDManager, Node]]
+Builder = Callable[[Sequence[str]], Tuple[BDDManager, Ref]]
 
 
-def transfer(source: BDDManager, u: Node, target: BDDManager) -> Node:
+def transfer(source: BDDManager, u: Ref, target: BDDManager) -> Ref:
     """Rebuild ``u`` (owned by ``source``) inside ``target``.
 
     Works for any pair of variable orders because it re-applies the Shannon
     expansion in the target manager: ``ite(x, transfer(high), transfer(low))``.
     All variables in the support of ``u`` must be declared in ``target``.
     """
-    cache: Dict[int, Node] = {}
+    cache: Dict[int, Ref] = {}
 
-    def walk(node: Node) -> Node:
+    def walk(node: Ref) -> Ref:
         if node.is_terminal:
             return target.constant(bool(node.value))
         cached = cache.get(node.uid)

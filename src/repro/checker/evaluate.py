@@ -10,13 +10,13 @@ from __future__ import annotations
 from typing import Mapping
 
 from ..bdd.manager import BDDManager
-from ..bdd.node import Node
+from ..bdd.ref import Ref
 from ..errors import StatusVectorError
 from ..logic.ast_nodes import Formula
 from .translate import FormulaTranslator
 
 
-def walk(manager: BDDManager, root: Node, vector: Mapping[str, bool]) -> bool:
+def walk(manager: BDDManager, root: Ref, vector: Mapping[str, bool]) -> bool:
     """The BDD walk at the heart of Algorithm 2.
 
     Args:

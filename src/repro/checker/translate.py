@@ -30,7 +30,7 @@ from ..bdd.minimal import (
     minimal_assignments,
     minimal_assignments_monotone,
 )
-from ..bdd.node import Node
+from ..bdd.ref import Ref
 from ..errors import LogicError
 from ..ft.to_bdd import TreeTranslator
 from ..ft.tree import FaultTree
@@ -113,11 +113,11 @@ class FormulaTranslator:
         self.monotone_fast_path = monotone_fast_path
         self.tree_translator = TreeTranslator(tree, manager)
         self.stats = CacheStats()
-        self._cache: Dict[Formula, Node] = {}
+        self._cache: Dict[Formula, Ref] = {}
 
     # ------------------------------------------------------------------
 
-    def bdd(self, formula: Formula) -> Node:
+    def bdd(self, formula: Formula) -> Ref:
         """``BT(formula)`` with memoisation."""
         cached = self._cache.get(formula)
         if cached is not None:
@@ -128,7 +128,7 @@ class FormulaTranslator:
         self._cache[formula] = result
         return result
 
-    def _translate(self, formula: Formula) -> Node:
+    def _translate(self, formula: Formula) -> Ref:
         manager = self.manager
         if isinstance(formula, Atom):
             return self._element(formula.name)
@@ -178,13 +178,13 @@ class FormulaTranslator:
 
     # ------------------------------------------------------------------
 
-    def _element(self, name: str) -> Node:
+    def _element(self, name: str) -> Ref:
         if name not in self.tree:
             raise LogicError(f"formula mentions unknown element {name!r}")
         self.stats.element_requests += 1
         return self.tree_translator.element(name)
 
-    def _vot(self, operands: List[Node], operator: str, k: int) -> Node:
+    def _vot(self, operands: List[Ref], operator: str, k: int) -> Ref:
         manager = self.manager
         at_least_k = manager.threshold(operands, k)
         if operator == ">=":
@@ -200,13 +200,13 @@ class FormulaTranslator:
             at_least_k, manager.negate(manager.threshold(operands, k + 1))
         )
 
-    def _minimality_scope(self, inner: Node) -> List[str]:
+    def _minimality_scope(self, inner: Ref) -> List[str]:
         if self.scope is MinimalityScope.FULL:
             return list(self.tree.basic_events)
         support = self.manager.support(inner)
         return [name for name in self.tree.basic_events if name in support]
 
-    def _is_monotone(self, inner: Node, scope: Sequence[str]) -> bool:
+    def _is_monotone(self, inner: Ref, scope: Sequence[str]) -> bool:
         from ..bdd.minimal import is_monotone
 
         return is_monotone(self.manager, inner, scope)

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..bdd.manager import BDDManager
-from ..bdd.node import Node
+from ..bdd.ref import Ref
 from .elements import GateType
 from .tree import FaultTree
 
@@ -37,9 +37,9 @@ class TreeTranslator:
         missing = [be for be in tree.basic_events if be not in declared]
         if missing:
             manager.declare(*missing)
-        self._cache: Dict[str, Node] = {}
+        self._cache: Dict[str, Ref] = {}
 
-    def element(self, name: str) -> Node:
+    def element(self, name: str) -> Ref:
         """``Psi_FT(name)`` with memoisation."""
         cached = self._cache.get(name)
         if cached is not None:
@@ -63,7 +63,7 @@ class TreeTranslator:
             self._cache[current] = self._combine(current)
         return self._cache[name]
 
-    def _combine(self, name: str) -> Node:
+    def _combine(self, name: str) -> Ref:
         gate = self.tree.gate(name)
         operands = [self._cache[child] for child in gate.children]
         if gate.gate_type is GateType.OR:
@@ -72,7 +72,7 @@ class TreeTranslator:
             return self.manager.conjoin(operands)
         return self.manager.threshold(operands, gate.threshold)
 
-    def top(self) -> Node:
+    def top(self) -> Ref:
         """BDD of the top level event."""
         return self.element(self.tree.top)
 
@@ -87,7 +87,7 @@ def tree_to_bdd(
     manager: Optional[BDDManager] = None,
     element: Optional[str] = None,
     order: Optional[Sequence[str]] = None,
-) -> Node:
+) -> Ref:
     """One-shot convenience wrapper around :class:`TreeTranslator`.
 
     Args:

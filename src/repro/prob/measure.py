@@ -22,7 +22,7 @@ import itertools
 from typing import Dict, Mapping, Optional
 
 from ..bdd.manager import BDDManager
-from ..bdd.node import Node
+from ..bdd.ref import Ref
 from ..errors import FaultTreeError
 from ..ft.analysis import minimal_cut_sets
 from ..ft.structure import structure_function
@@ -70,7 +70,7 @@ def event_probabilities(
 
 
 def bdd_probability(
-    manager: BDDManager, node: Node, probabilities: Mapping[str, float]
+    manager: BDDManager, node: Ref, probabilities: Mapping[str, float]
 ) -> float:
     """P(f = 1) for independent variables, by Shannon expansion.
 
@@ -79,7 +79,7 @@ def bdd_probability(
     """
     cache: Dict[int, float] = {}
 
-    def walk(current: Node) -> float:
+    def walk(current: Ref) -> float:
         if current.is_terminal:
             return 1.0 if current.value else 0.0
         cached = cache.get(current.uid)
@@ -121,8 +121,8 @@ def enumeration_probability(
 
 def conditional_probability(
     manager: BDDManager,
-    node: Node,
-    evidence: Node,
+    node: Ref,
+    evidence: Ref,
     probabilities: Mapping[str, float],
 ) -> float:
     """P(node | evidence) = P(node and evidence) / P(evidence)."""

@@ -426,6 +426,7 @@ class BatchAnalyzer:
         op_delta = after["op"].delta(before["op"])
         op_delta["hits"] = after["op"].hits - before["op"].hits
         op_delta["misses"] = after["op"].misses - before["op"].misses
+        manager = session.checker.manager
         return {
             "translation": {
                 "formula_hits": after["formula_hits"] - before["formula_hits"],
@@ -441,5 +442,8 @@ class BatchAnalyzer:
                 "misses": after["parse_misses"] - before["parse_misses"],
             },
             "bdd": op_delta,
-            "bdd_nodes": session.checker.manager.node_count(),
+            "bdd_nodes": manager.node_count(),
+            "bdd_peak_nodes": manager.peak_node_count(),
+            # node store == unique table + the one stored terminal
+            "bdd_unique_table": manager.node_count() - 1,
         }

@@ -272,8 +272,7 @@ class TestOperationCacheStats:
         assert stats.hits + stats.misses > 0
         assert 0.0 <= stats.hit_ratio <= 1.0
         assert stats.hits == (
-            stats.apply_hits + stats.ite_hits
-            + stats.negate_hits + stats.restrict_hits
+            stats.apply_hits + stats.ite_hits + stats.restrict_hits
         )
 
     def test_cache_stats_reports_sizes(self, manager):
@@ -281,12 +280,15 @@ class TestOperationCacheStats:
         manager.ite(manager.xor(a, b), b, c)
         data = manager.cache_stats()
         for key in (
-            "apply_cache_size", "ite_cache_size", "negate_cache_size",
+            "apply_cache_size", "ite_cache_size",
             "restrict_cache_size", "unique_table_size",
+            "live_nodes", "peak_live_nodes", "negations",
             "hits", "misses", "ite_hits", "ite_misses",
         ):
             assert key in data
         assert data["ite_cache_size"] > 0
+        assert data["live_nodes"] == data["unique_table_size"] + 1
+        assert data["peak_live_nodes"] == data["live_nodes"]
 
     def test_stats_survive_clear_caches(self, manager):
         a, b = manager.var("a"), manager.var("b")

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bdd import BDDManager, iter_cubes
-from repro.bdd.node import TERMINAL_LEVEL
+from repro.bdd.ref import TERMINAL_LEVEL
 
 NAMES = ["v1", "v2", "v3", "v4"]
 
@@ -82,6 +82,8 @@ def test_robdd_invariants(ops):
         key = (node.level, node.low.uid, node.high.uid)
         assert key not in seen
         seen[key] = node
+    # The stored form additionally keeps every high edge regular.
+    manager.check_invariants()
 
 
 @given(ops=ops_strategy, seed=st.integers(0, 999))
