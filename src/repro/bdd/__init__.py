@@ -12,7 +12,9 @@ Public surface:
 * :mod:`minimal <repro.bdd.minimal>` — minimal/maximal satisfying vectors
   (the MCS/MPS machinery of Algorithm 1);
 * :mod:`ordering <repro.bdd.ordering>` / :mod:`reorder <repro.bdd.reorder>` —
-  static variable-ordering heuristics and sifting-style search;
+  static variable-ordering heuristics (sifting seeds), manager-to-manager
+  transfer, and Rudell sifting on the in-place swap kernel (the
+  historical rebuild-based search survives as ``sift_rebuild``);
 * :mod:`dot <repro.bdd.dot>` — Graphviz export.
 """
 
@@ -23,14 +25,16 @@ from .minimal import (
     is_monotone,
     maximal_assignments,
     maximal_assignments_monotone,
+    maximal_assignments_monotone_restrict,
     minimal_assignments,
     minimal_assignments_monotone,
+    minimal_assignments_monotone_restrict,
     prime_name,
 )
 from .ordering import HEURISTICS, bfs_order, dfs_order, random_order, weight_order
 from .quantify import exists, exists_textbook, forall, is_satisfiable, is_tautology
 from .ref import TERMINAL_LEVEL, Node, Ref
-from .reorder import sift, transfer
+from .reorder import sift, sift_rebuild, transfer
 
 __all__ = [
     "BDDManager",
@@ -47,8 +51,10 @@ __all__ = [
     "is_monotone",
     "maximal_assignments",
     "maximal_assignments_monotone",
+    "maximal_assignments_monotone_restrict",
     "minimal_assignments",
     "minimal_assignments_monotone",
+    "minimal_assignments_monotone_restrict",
     "prime_name",
     "HEURISTICS",
     "bfs_order",
@@ -61,5 +67,6 @@ __all__ = [
     "is_satisfiable",
     "is_tautology",
     "sift",
+    "sift_rebuild",
     "transfer",
 ]

@@ -21,28 +21,52 @@ from .ref import Ref
 Cube = Dict[str, bool]
 
 
+#: Path-stack frame opcodes for the mutate-and-undo DFS below.
+_VISIT = 0
+_SET = 1
+_UNSET = 2
+
+
 def iter_cubes(manager: BDDManager, u: Ref) -> Iterator[Cube]:
     """Yield one cube per root-to-``1`` path (depth-first, low edge first).
 
     The generator is lazy, so callers may stop after the first witness.
+
+    One shared partial-assignment dict is mutated along the path and
+    undone on backtrack (the explicit-stack analogue of recursive
+    ``partial[name] = v; recurse(); del partial[name]``).  The previous
+    implementation copied the dict on every edge push — O(depth) fresh
+    allocations per node on the MCS-enumeration hot path; only the
+    yielded cubes are materialised now.
     """
     if u is manager.false:
         return
     if u is manager.true:
         yield {}
         return
-    # Iterative DFS carrying the partial assignment built so far.
-    stack: List[tuple] = [(u, {})]
+    partial: Cube = {}
+    stack: List[tuple] = [(_VISIT, u)]
     while stack:
-        node, partial = stack.pop()
-        if node.is_terminal:
-            if node.value:
-                yield dict(partial)
-            continue
-        name = manager.name_of(node.level)
-        # Push high first so low-edge paths (smaller vectors) come out first.
-        stack.append((node.high, {**partial, name: True}))
-        stack.append((node.low, {**partial, name: False}))
+        op, arg = stack.pop()
+        if op == _SET:
+            name, value = arg
+            partial[name] = value
+        elif op == _UNSET:
+            del partial[arg]
+        else:
+            node = arg
+            if node.is_terminal:
+                if node.value:
+                    yield dict(partial)
+                continue
+            name = manager.name_of(node.level)
+            # Frames pop LIFO: set name=False, walk low, set name=True,
+            # walk high, then undo — so low-edge paths come out first.
+            stack.append((_UNSET, name))
+            stack.append((_VISIT, node.high))
+            stack.append((_SET, (name, True)))
+            stack.append((_VISIT, node.low))
+            stack.append((_SET, (name, False)))
 
 
 def count_cubes(manager: BDDManager, u: Ref) -> int:
@@ -81,12 +105,22 @@ def iter_models(
 def _expand(
     partial: Mapping[str, bool], free: Sequence[str], scope: Sequence[str]
 ) -> Iterator[Dict[str, bool]]:
+    """Expand the don't-cares of one cube into total assignments.
+
+    One working dict is mutated through all ``2^len(free)`` combinations
+    (earlier free variables are the most significant bits, so the output
+    order matches the old recursive expansion, False before True) instead
+    of copying the partial assignment at every recursion level.
+    """
+    current = dict(partial)
     if not free:
-        yield {name: partial[name] for name in scope}
+        yield {name: current[name] for name in scope}
         return
-    head, rest = free[0], free[1:]
-    for value in (False, True):
-        yield from _expand({**partial, head: value}, rest, scope)
+    n = len(free)
+    for mask in range(1 << n):
+        for i, name in enumerate(free):
+            current[name] = bool((mask >> (n - 1 - i)) & 1)
+        yield {name: current[name] for name in scope}
 
 
 def all_models(

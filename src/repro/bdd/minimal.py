@@ -12,11 +12,15 @@ Two constructions are provided:
 
 * the paper's **primed-relation** construction (general: works for any
   formula BDD), :func:`minimal_assignments` / :func:`maximal_assignments`;
-* a **restriction-based** construction valid for monotone functions only
-  (fault-tree structure functions are monotone), in the spirit of Rauzy's
-  direct minimal-solution algorithms — one conjunction per variable, no
-  primed copies: :func:`minimal_assignments_monotone` /
-  :func:`maximal_assignments_monotone`.
+* a **single-pass minsol** construction intended for monotone functions
+  (fault-tree structure functions are monotone), in the spirit of
+  Rauzy's direct minimal-solution algorithms — one memoised recursion
+  over the BDD, no primed copies: :func:`minimal_assignments_monotone` /
+  :func:`maximal_assignments_monotone`.  The historical
+  restrict+conjoin formulation is retained as the equivalence oracle
+  (:func:`minimal_assignments_monotone_restrict` /
+  :func:`maximal_assignments_monotone_restrict`); both build canonically
+  identical BDDs for *any* input, monotone or not.
 
 Benchmark ``bench_mcs_algorithms`` compares the two; the test suite proves
 them equivalent on monotone inputs.
@@ -24,9 +28,10 @@ them equivalent on monotone inputs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
-from .manager import BDDManager
+from ..errors import VariableError
+from .manager import _FALSE, _TRUE, BDDManager
 from .ref import Ref
 from .quantify import exists
 
@@ -88,6 +93,40 @@ def strict_superset_relation(
     return manager.and_(all_above, some_differ)
 
 
+def _substitute_fresh(
+    manager: BDDManager, u: Ref, mapping: Dict[str, str]
+) -> Ref:
+    """Rename ``u``'s variables to fresh (independent) targets under *any*
+    level order.
+
+    :meth:`BDDManager.rename` is a linear-time rebuild but demands a
+    monotone mapping; in-place dynamic reordering can legally break the
+    interleaved original/primed layout, so the primed copy falls back to
+    a Shannon-expansion rebuild (``ite(target, walk(high), walk(low))``)
+    whenever the current order is no longer monotone.  Correct because
+    every target variable is outside the support of ``u``.
+    """
+    try:
+        return manager.rename(u, mapping)
+    except VariableError:
+        pass
+    cache: Dict[int, Ref] = {}
+
+    def walk(node: Ref) -> Ref:
+        if node.is_terminal:
+            return node
+        cached = cache.get(node.uid)
+        if cached is not None:
+            return cached
+        name = manager.name_of(node.level)
+        target = manager.var(mapping.get(name, name))
+        result = manager.ite(target, walk(node.high), walk(node.low))
+        cache[node.uid] = result
+        return result
+
+    return walk(u)
+
+
 def _relational_extreme(
     manager: BDDManager, u: Ref, scope: Sequence[str], superset: bool
 ) -> Ref:
@@ -98,7 +137,7 @@ def _relational_extreme(
         relation = strict_superset_relation(manager, scope, mapping)
     else:
         relation = strict_subset_relation(manager, scope, mapping)
-    shifted = manager.rename(u, mapping)
+    shifted = _substitute_fresh(manager, u, mapping)
     witness = exists(
         manager,
         manager.and_(relation, shifted),
@@ -120,14 +159,123 @@ def maximal_assignments(manager: BDDManager, u: Ref, scope: Sequence[str]) -> Re
     return _relational_extreme(manager, u, scope, superset=True)
 
 
+def _extreme_monotone_e(
+    manager: BDDManager,
+    edge: int,
+    scope_levels: Sequence[int],
+    k: int,
+    maximal: bool,
+    memo: Dict[Tuple[int, int], int],
+) -> int:
+    """Single-pass Rauzy-style ``minsol`` recursion on raw kernel edges.
+
+    Computes the same BDD as the restrict+conjoin constructions below, in
+    one memoised sweep.  With ``u = x ? u1 : u0`` and ``x`` in scope::
+
+        minsol(u) = x ? (minsol(u1) and not u0) : minsol(u0)
+        maxsol(u) = x ? maxsol(u1) : (maxsol(u0) and not u1)
+
+    Scope variables the BDD skips over (it does not branch on them) are
+    forced to their extreme value — 0 for minimality, 1 for maximality —
+    by a chain of fresh nodes above the recursive core; scope variables
+    outside the sub-call's window (``scope_levels[k:]``) belong to an
+    ancestor.  Memoised on ``(edge, k)``, so shared subgraphs are visited
+    once instead of once per enclosing restrict as in the old
+    construction.
+    """
+    key = (edge, k)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    if edge == _FALSE:
+        memo[key] = _FALSE
+        return _FALSE
+    top = manager._level[edge >> 1]
+    nlev = len(scope_levels)
+    j = k
+    while j < nlev and scope_levels[j] < top:
+        j += 1
+    if edge == _TRUE:
+        core = _TRUE
+    else:
+        index = edge >> 1
+        c = edge & 1
+        u0 = manager._low[index] ^ c
+        u1 = manager._high[index] ^ c
+        if j < nlev and scope_levels[j] == top:
+            m0 = _extreme_monotone_e(
+                manager, u0, scope_levels, j + 1, maximal, memo
+            )
+            m1 = _extreme_monotone_e(
+                manager, u1, scope_levels, j + 1, maximal, memo
+            )
+            if maximal:
+                core = manager._mk(top, manager._and_e(m0, u1 ^ 1), m1)
+            else:
+                core = manager._mk(top, m0, manager._and_e(m1, u0 ^ 1))
+        else:
+            core = manager._mk(
+                top,
+                _extreme_monotone_e(manager, u0, scope_levels, j, maximal, memo),
+                _extreme_monotone_e(manager, u1, scope_levels, j, maximal, memo),
+            )
+    # Skipped scope variables: an extreme vector cannot waste a bit the
+    # function ignores, so pin them (0 for minimal, 1 for maximal).
+    for lvl in reversed(scope_levels[k:j]):
+        if maximal:
+            core = manager._mk(lvl, _FALSE, core)  # x and core
+        else:
+            core = manager._mk(lvl, core, _FALSE)  # (not x) and core
+    memo[key] = core
+    return core
+
+
+def _extreme_monotone(
+    manager: BDDManager, u: Ref, scope: Sequence[str], maximal: bool
+) -> Ref:
+    # Dedup: a repeated scope name contributes the same conjunct twice in
+    # the restrict formulation (idempotent), so one visit per level keeps
+    # the constructions identical — and the pin loop must never see the
+    # same level twice.
+    levels = sorted({manager.level_of(name) for name in scope})
+    memo: Dict[Tuple[int, int], int] = {}
+    return manager._wrap(
+        _extreme_monotone_e(
+            manager, manager._unwrap(u), levels, 0, maximal, memo
+        )
+    )
+
+
 def minimal_assignments_monotone(
     manager: BDDManager, u: Ref, scope: Sequence[str]
 ) -> Ref:
     """Monotone fast path: ``u and AND_x (not x or not u[x:=0])``.
 
     For a monotone ``u`` a vector is globally minimal iff no *single* failed
-    bit can be cleared, which is what each conjunct states.
+    bit can be cleared, which is what each conjunct states.  Computed by
+    the single-pass :func:`_extreme_monotone_e` recursion, which builds
+    canonically the same BDD as the |scope| restrict+conjoin round-trips
+    of :func:`minimal_assignments_monotone_restrict` (the test suite pins
+    the identity) without materialising any of the intermediate
+    conjunctions.
     """
+    return _extreme_monotone(manager, u, scope, maximal=False)
+
+
+def maximal_assignments_monotone(
+    manager: BDDManager, u: Ref, scope: Sequence[str]
+) -> Ref:
+    """Monotone fast path for maximality: ``u and AND_x (x or not u[x:=1])``
+    via the single-pass dual of :func:`minimal_assignments_monotone`."""
+    return _extreme_monotone(manager, u, scope, maximal=True)
+
+
+def minimal_assignments_monotone_restrict(
+    manager: BDDManager, u: Ref, scope: Sequence[str]
+) -> Ref:
+    """The historical restrict+conjoin construction (one ``u[x:=0]``
+    round-trip per scope variable), kept as the equivalence oracle for
+    :func:`minimal_assignments_monotone`."""
     result = u
     for name in scope:
         off = manager.restrict(u, name, False)
@@ -137,10 +285,10 @@ def minimal_assignments_monotone(
     return result
 
 
-def maximal_assignments_monotone(
+def maximal_assignments_monotone_restrict(
     manager: BDDManager, u: Ref, scope: Sequence[str]
 ) -> Ref:
-    """Monotone fast path for maximality: ``u and AND_x (x or not u[x:=1])``."""
+    """Restrict+conjoin oracle for :func:`maximal_assignments_monotone`."""
     result = u
     for name in scope:
         on = manager.restrict(u, name, True)

@@ -43,9 +43,15 @@ class Ref:
     Users never construct refs directly; they obtain them from a manager
     (``var``, ``apply``, ``ite``, ...).  All attributes are read-only in
     spirit: mutating a ref corrupts the manager's interning table.
+
+    Refs participate in the kernel's garbage collector: the manager
+    interns them weakly and keeps an external reference count per node
+    index, decremented by a ``weakref.finalize`` hook when the last
+    handle for an edge dies (hence the ``__weakref__`` slot).  A node is
+    reclaimable exactly when no live Ref can reach it.
     """
 
-    __slots__ = ("manager", "edge")
+    __slots__ = ("manager", "edge", "__weakref__")
 
     def __init__(self, manager: "BDDManager", edge: int) -> None:
         self.manager = manager

@@ -1,11 +1,19 @@
-"""Static reordering utilities: transfer between managers and sifting search.
+"""Reordering utilities: transfer between managers and sifting search.
 
-The library's managers hash-cons immutable nodes, so instead of in-place
-level swaps we *rebuild*: :func:`transfer` re-expresses a BDD inside another
-manager (with any variable order) and :func:`sift` hill-climbs over orders by
-rebuilding and measuring, in the spirit of Rudell's sifting.  Rebuilding is
-quadratic in the worst case but entirely adequate at fault-tree scale, and
-it keeps the core engine simple and immutable.
+:func:`transfer` re-expresses a BDD inside another manager (with any
+variable order) by re-applying the Shannon expansion there; it remains
+the tool for *static* order experiments and for cross-validating the
+in-place machinery.
+
+:func:`sift` is Rudell's sifting.  Until PR 3 it *rebuilt* the entire
+BDD from scratch for every candidate position of every variable — O(n²)
+full reconstructions.  It now drives
+:meth:`~repro.bdd.manager.BDDManager.sift_inplace`, which moves one
+variable at a time through the order with adjacent-level swaps that
+rewire only the two affected levels.  The old rebuild-based search is
+kept as :func:`sift_rebuild` — it is the baseline arm of
+``benchmarks/bench_reorder_gc.py``, which gates the in-place variant at
+a ≥5x speedup on the COVID tree.
 """
 
 from __future__ import annotations
@@ -53,10 +61,35 @@ def sift(
     order: Sequence[str],
     max_rounds: int = 2,
 ) -> Tuple[List[str], int]:
-    """Sifting-style search for a small BDD.
+    """Rudell sifting for a small BDD, on the in-place kernel.
 
-    One round moves each variable in turn to its best position (measuring by
-    rebuilding); rounds repeat until no improvement or ``max_rounds``.
+    The BDD is built *once* under ``order``; every candidate position is
+    then reached by adjacent-level swaps inside that manager (dead
+    cofactor nodes are reclaimed as they arise, so memory stays flat).
+    Same contract as the historical rebuild-based search: one round moves
+    each variable in turn to its best position; rounds repeat until no
+    improvement or ``max_rounds``.
+
+    Returns:
+        ``(best_order, best_size)`` where ``best_size`` counts the root's
+        semantic DAG (both constants included), the same metric
+        :func:`sift_rebuild` reports.
+    """
+    manager, root = builder(order)
+    manager.sift_inplace(max_rounds=max_rounds)
+    return list(manager.variables), root.count_nodes()
+
+
+def sift_rebuild(
+    builder: Builder,
+    order: Sequence[str],
+    max_rounds: int = 2,
+) -> Tuple[List[str], int]:
+    """The pre-PR-3 rebuild-based sifting search (benchmark baseline).
+
+    One round moves each variable in turn to its best position, measuring
+    every candidate order by rebuilding the whole BDD from scratch —
+    O(n²) reconstructions per round.
 
     Returns:
         ``(best_order, best_size)``.

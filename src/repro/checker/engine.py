@@ -57,8 +57,15 @@ class ModelChecker:
         scope: MCS/MPS minimality scope (default SUPPORT; DESIGN.md dev. 2).
         order: Optional BDD variable order (basic-event names); defaults to
             declaration order.
-        monotone_fast_path: Use the restriction-based MCS/MPS construction
+        monotone_fast_path: Use the single-pass minsol MCS/MPS construction
             for monotone operands (ablation arm; results are identical).
+        auto_gc: Arm automatic BDD garbage collection on the session's
+            manager (reclaims dead intermediate BDDs at translation safe
+            points; see ``BDDManager.collect``).
+        auto_reorder: Arm automatic in-place variable reordering (Rudell
+            sifting) when live nodes grow past the manager's trigger.
+        gc_trigger: Optional live-node count arming the first collection.
+        reorder_trigger: Optional live-node count arming the first sift.
     """
 
     def __init__(
@@ -67,6 +74,10 @@ class ModelChecker:
         scope: MinimalityScope = MinimalityScope.SUPPORT,
         order: Optional[Sequence[str]] = None,
         monotone_fast_path: bool = False,
+        auto_gc: bool = False,
+        auto_reorder: bool = False,
+        gc_trigger: Optional[int] = None,
+        reorder_trigger: Optional[int] = None,
     ) -> None:
         self.tree = tree
         self.translator = FormulaTranslator(
@@ -74,6 +85,10 @@ class ModelChecker:
             scope=scope,
             order=order,
             monotone_fast_path=monotone_fast_path,
+            auto_gc=auto_gc,
+            auto_reorder=auto_reorder,
+            gc_trigger=gc_trigger,
+            reorder_trigger=reorder_trigger,
         )
 
     # ------------------------------------------------------------------

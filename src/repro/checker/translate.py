@@ -75,9 +75,18 @@ class FormulaTranslator:
             events (declaration order, or ``order``) is created if omitted.
         scope: Minimality scope for MCS/MPS (DESIGN.md deviation 2).
         monotone_fast_path: When True, MCS/MPS of *monotone* operands use
-            the restriction-based construction instead of the paper's
+            the single-pass minsol construction instead of the paper's
             primed-relation construction (both are implemented; the
             ablation benchmark compares them).
+        auto_gc: Arm the manager's automatic garbage collection (fires at
+            translation safe points; see ``BDDManager.checkpoint``).
+        auto_reorder: Arm automatic in-place sifting.  The primed-relation
+            MCS/MPS construction no longer depends on the interleaved
+            original/primed layout staying monotone — its primed copy
+            falls back to a Shannon rebuild when sifting has moved the
+            pairs apart (see ``repro.bdd.minimal._substitute_fresh``).
+        gc_trigger: Optional live-node count arming the first collection.
+        reorder_trigger: Optional live-node count arming the first sift.
     """
 
     def __init__(
@@ -87,6 +96,10 @@ class FormulaTranslator:
         scope: MinimalityScope = MinimalityScope.SUPPORT,
         order: Optional[Sequence[str]] = None,
         monotone_fast_path: bool = False,
+        auto_gc: bool = False,
+        auto_reorder: bool = False,
+        gc_trigger: Optional[int] = None,
+        reorder_trigger: Optional[int] = None,
     ) -> None:
         from ..bdd.minimal import ensure_primed, prime_name
 
@@ -107,6 +120,18 @@ class FormulaTranslator:
             ensure_primed(
                 manager, sorted(tree.basic_events, key=manager.level_of)
             )
+        arm_gc = auto_gc or gc_trigger is not None
+        arm_reorder = auto_reorder or reorder_trigger is not None
+        if arm_gc or arm_reorder:
+            # An explicit trigger arms the feature (as documented), and
+            # unrequested knobs pass None so a manager the caller already
+            # armed via configure_memory is never silently disarmed.
+            manager.configure_memory(
+                auto_gc=True if arm_gc else None,
+                auto_reorder=True if arm_reorder else None,
+                gc_trigger=gc_trigger,
+                reorder_trigger=reorder_trigger,
+            )
         self.tree = tree
         self.manager = manager
         self.scope = scope
@@ -126,6 +151,9 @@ class FormulaTranslator:
         self.stats.formula_misses += 1
         result = self._translate(formula)
         self._cache[formula] = result
+        # Safe point: every function this translation produced is pinned
+        # by the caches, so automatic GC/reordering may fire here.
+        self.manager.checkpoint()
         return result
 
     def _translate(self, formula: Formula) -> Ref:

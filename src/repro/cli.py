@@ -168,6 +168,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
           "tree": "covid",                  // default scenario (optional)
           "trees": {"fig1": "fig1.dft"},    // extra named scenarios
           "scope": "support",
+          "gc": true,                       // automatic BDD garbage collection
+          "auto_reorder": false,            // automatic in-place sifting
           "queries": [
             {"id": "p1", "formula": "forall (IS => MoT)"},
             {"formula": "[[ MCS(MoT) & IS ]]"},
@@ -216,7 +218,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             + ")"
         ) from exc
 
-    analyzer = BatchAnalyzer(scenarios, scope=scope)
+    # Memory-management knobs: CLI flags arm them; the query file can
+    # also request them (either source wins, so saved batteries are
+    # self-contained while ad-hoc runs stay one flag away).
+    auto_gc = bool(data.get("gc", False)) or args.gc
+    auto_reorder = bool(data.get("auto_reorder", False)) or args.auto_reorder
+    analyzer = BatchAnalyzer(
+        scenarios, scope=scope, auto_gc=auto_gc, auto_reorder=auto_reorder
+    )
     report = analyzer.run(data["queries"])
     rendered = report.to_json(indent=2 if args.pretty else None)
     if args.output:
@@ -353,6 +362,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument(
         "--pretty", action="store_true", help="indent the JSON report"
+    )
+    p_batch.add_argument(
+        "--gc",
+        action="store_true",
+        help="arm automatic BDD garbage collection (dead intermediate "
+        "BDDs are reclaimed between queries; counters appear under "
+        "stats.scenarios.<name>.memory)",
+    )
+    p_batch.add_argument(
+        "--auto-reorder",
+        action="store_true",
+        help="arm automatic in-place variable reordering (Rudell "
+        "sifting) when live BDD nodes grow past the kernel trigger",
     )
     p_batch.set_defaults(handler=_cmd_batch)
 

@@ -28,6 +28,14 @@ class TreeTranslator:
     BDDs are computed on demand and memoised, so repeated formulae over the
     same elements reuse earlier work — exactly the "simple caching" the
     paper prescribes for Algorithm 1.
+
+    Element boundaries are safe points for the kernel's automatic memory
+    management (no raw edge is held across them — every intermediate the
+    translator needs is pinned by a cached Ref), so each :meth:`element`
+    call ends with a :meth:`~repro.bdd.manager.BDDManager.checkpoint`;
+    a no-op unless automatic GC/reordering was enabled on the manager
+    (e.g. via :func:`tree_to_bdd`'s ``auto_gc``/``auto_reorder`` knobs or
+    :meth:`~repro.bdd.manager.BDDManager.configure_memory`).
     """
 
     def __init__(self, tree: FaultTree, manager: BDDManager) -> None:
@@ -61,6 +69,7 @@ class TreeTranslator:
                         stack.append((child, False))
                 continue
             self._cache[current] = self._combine(current)
+        self.manager.checkpoint()
         return self._cache[name]
 
     def _combine(self, name: str) -> Ref:
@@ -87,6 +96,8 @@ def tree_to_bdd(
     manager: Optional[BDDManager] = None,
     element: Optional[str] = None,
     order: Optional[Sequence[str]] = None,
+    auto_gc: bool = False,
+    auto_reorder: bool = False,
 ) -> Ref:
     """One-shot convenience wrapper around :class:`TreeTranslator`.
 
@@ -95,12 +106,24 @@ def tree_to_bdd(
         manager: Target manager; a fresh one is created if omitted.
         element: Element to translate (default: the top level event).
         order: Variable order for a fresh manager (default: declaration
-            order).  Ignored when ``manager`` is given.
+            order).  Ignored when ``manager`` is given.  Heuristic orders
+            from :mod:`repro.bdd.ordering` make good *seeds* for the
+            in-place sifter the ``auto_reorder`` knob arms.
+        auto_gc: Arm the manager's automatic garbage collection (dead
+            intermediate gate BDDs are reclaimed at element boundaries).
+        auto_reorder: Arm automatic in-place sifting when live nodes grow
+            past the manager's trigger.
 
     Returns:
         The BDD for ``Psi_FT(element)``.
     """
     if manager is None:
         manager = BDDManager(order if order is not None else tree.basic_events)
+    if auto_gc or auto_reorder:
+        # Unrequested knobs pass None so a pre-armed manager stays armed.
+        manager.configure_memory(
+            auto_gc=True if auto_gc else None,
+            auto_reorder=True if auto_reorder else None,
+        )
     translator = TreeTranslator(tree, manager)
     return translator.element(element if element is not None else tree.top)

@@ -71,6 +71,10 @@ class AnalysisSession:
         scope: MinimalityScope = MinimalityScope.SUPPORT,
         order: Optional[Sequence[str]] = None,
         monotone_fast_path: bool = False,
+        auto_gc: bool = False,
+        auto_reorder: bool = False,
+        gc_trigger: Optional[int] = None,
+        reorder_trigger: Optional[int] = None,
     ) -> None:
         self.name = name
         self.checker = ModelChecker(
@@ -78,6 +82,10 @@ class AnalysisSession:
             scope=scope,
             order=order,
             monotone_fast_path=monotone_fast_path,
+            auto_gc=auto_gc,
+            auto_reorder=auto_reorder,
+            gc_trigger=gc_trigger,
+            reorder_trigger=reorder_trigger,
         )
         self._parse_cache: Dict[str, Statement] = {}
         self.parse_hits = 0
@@ -145,6 +153,16 @@ class BatchAnalyzer:
             ``"default"``) or a mapping of scenario name -> tree.
         scope: MCS/MPS minimality scope, applied to every scenario.
         monotone_fast_path: Passed through to each translator.
+        auto_gc: Arm automatic BDD garbage collection on every scenario's
+            manager.  Long-lived sessions accumulate dead intermediate
+            BDDs (primed relations, quantifier witnesses, ...); with GC
+            armed they are reclaimed at query boundaries, holding peak
+            live nodes near the steady-state working set (the soak gate
+            in ``benchmarks/bench_reorder_gc.py`` pins this to < 2x).
+        auto_reorder: Arm automatic in-place Rudell sifting on every
+            scenario's manager.
+        gc_trigger: Optional live-node count arming the first collection.
+        reorder_trigger: Optional live-node count arming the first sift.
 
     Example:
         >>> from repro.ft import figure1_tree
@@ -159,9 +177,17 @@ class BatchAnalyzer:
         trees: Union[FaultTree, Mapping[str, FaultTree]],
         scope: MinimalityScope = MinimalityScope.SUPPORT,
         monotone_fast_path: bool = False,
+        auto_gc: bool = False,
+        auto_reorder: bool = False,
+        gc_trigger: Optional[int] = None,
+        reorder_trigger: Optional[int] = None,
     ) -> None:
         self._scope = scope
         self._monotone_fast_path = monotone_fast_path
+        self._auto_gc = auto_gc
+        self._auto_reorder = auto_reorder
+        self._gc_trigger = gc_trigger
+        self._reorder_trigger = reorder_trigger
         self._sessions: Dict[str, AnalysisSession] = {}
         if isinstance(trees, FaultTree):
             self.add_scenario(DEFAULT_SCENARIO, trees)
@@ -182,6 +208,10 @@ class BatchAnalyzer:
             tree,
             scope=self._scope,
             monotone_fast_path=self._monotone_fast_path,
+            auto_gc=self._auto_gc,
+            auto_reorder=self._auto_reorder,
+            gc_trigger=self._gc_trigger,
+            reorder_trigger=self._reorder_trigger,
         )
         self._sessions[name] = session
         return session
@@ -275,6 +305,10 @@ class BatchAnalyzer:
                 )
                 continue
             results.append(self._evaluate(spec, statement))
+            # Query boundaries are safe points: results are plain Python
+            # data by now, so dead intermediate BDDs may be reclaimed and
+            # the order resifted before the next query.
+            self._sessions[spec.tree].checker.manager.checkpoint()
 
         unique = sum(len(bucket) for bucket in seen.values())
         elapsed_ms = (time.perf_counter() - batch_start) * 1000.0
@@ -427,6 +461,7 @@ class BatchAnalyzer:
         op_delta["hits"] = after["op"].hits - before["op"].hits
         op_delta["misses"] = after["op"].misses - before["op"].misses
         manager = session.checker.manager
+        kernel = manager.cache_stats()
         return {
             "translation": {
                 "formula_hits": after["formula_hits"] - before["formula_hits"],
@@ -446,4 +481,20 @@ class BatchAnalyzer:
             "bdd_peak_nodes": manager.peak_node_count(),
             # node store == unique table + the one stored terminal
             "bdd_unique_table": manager.node_count() - 1,
+            # Kernel memory management (garbage collection + in-place
+            # reordering), surfaced in `bfl batch` reports.
+            "memory": {
+                "live_nodes": kernel["live_nodes"],
+                "peak_live_nodes": kernel["peak_live_nodes"],
+                "dead_nodes": kernel["dead_nodes"],
+                "free_list": kernel["free_list"],
+                "gc_runs": kernel["gc_runs"],
+                "reclaimed": kernel["reclaimed"],
+            },
+            "reorder": {
+                "swaps": kernel["swaps"],
+                "sift_runs": kernel["sift_runs"],
+                "auto_reorders": kernel["auto_reorders"],
+                "order": list(manager.variables),
+            },
         }

@@ -170,3 +170,73 @@ class TestIsMonotone:
     def test_xor_is_not_monotone(self):
         manager = BDDManager(NAMES)
         assert not is_monotone(manager, manager.xor(manager.var("p"), manager.var("q")))
+
+
+class TestMinsolSinglePass:
+    """The memoised Rauzy-style recursion must build *canonically the
+    same BDD* as the restrict+conjoin constructions it replaced — for any
+    input (the derivation never uses monotonicity), any scope subset, and
+    scopes with variables outside the function's support."""
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_matches_restrict_oracle(self, seed):
+        from repro.bdd import minimal_assignments_monotone_restrict
+
+        manager = BDDManager(NAMES)
+        f = _monotone_function(manager, seed)
+        for scope in (NAMES, NAMES[:2], NAMES[1:], []):
+            assert minimal_assignments_monotone(
+                manager, f, scope
+            ) is minimal_assignments_monotone_restrict(manager, f, scope)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_maximal_matches_restrict_oracle(self, seed):
+        from repro.bdd import maximal_assignments_monotone_restrict
+
+        manager = BDDManager(NAMES)
+        f = manager.negate(_monotone_function(manager, seed))
+        for scope in (NAMES, NAMES[:2], NAMES[2:], []):
+            assert maximal_assignments_monotone(
+                manager, f, scope
+            ) is maximal_assignments_monotone_restrict(manager, f, scope)
+
+    def test_non_monotone_inputs_still_match_the_oracle(self):
+        from repro.bdd import (
+            maximal_assignments_monotone_restrict,
+            minimal_assignments_monotone_restrict,
+        )
+
+        manager = BDDManager(NAMES)
+        f = manager.xor(manager.var("p"), manager.var("q"))
+        assert minimal_assignments_monotone(
+            manager, f, NAMES
+        ) is minimal_assignments_monotone_restrict(manager, f, NAMES)
+        assert maximal_assignments_monotone(
+            manager, f, NAMES
+        ) is maximal_assignments_monotone_restrict(manager, f, NAMES)
+
+    def test_duplicate_scope_names_are_tolerated(self):
+        from repro.bdd import minimal_assignments_monotone_restrict
+
+        manager = BDDManager(NAMES)
+        f = manager.or_(manager.var("p"), manager.var("q"))
+        duplicated = ["p", "p", "q", "q", "q"]
+        assert minimal_assignments_monotone(
+            manager, f, duplicated
+        ) is minimal_assignments_monotone_restrict(manager, f, duplicated)
+        from repro.bdd import maximal_assignments_monotone_restrict
+
+        g = manager.negate(f)
+        assert maximal_assignments_monotone(
+            manager, g, duplicated
+        ) is maximal_assignments_monotone_restrict(manager, g, duplicated)
+
+    def test_scope_variables_outside_support_are_pinned(self):
+        manager = BDDManager(NAMES)
+        f = manager.var("p")
+        minimal = minimal_assignments_monotone(manager, f, NAMES)
+        models = all_models(manager, minimal, NAMES)
+        # q/r are don't-cares of f; minimality clears them.
+        assert models == [{"p": True, "q": False, "r": False}]
