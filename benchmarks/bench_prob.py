@@ -1,0 +1,203 @@
+"""The PFL engine's hot path: cached in-kernel weighted evaluation vs
+the per-call recursive baseline.
+
+The quantitative layer predating the PFL engine walked the BDD with a
+fresh Python recursion (and a fresh cache) per query; the kernel pass
+values each *regular node index* once in a manager-level cache that
+repeated queries — the batch-service and importance-table hot paths —
+simply reuse.  This benchmark replays that workload: a repeated-query
+battery of ``P(top)`` plus both restrictions ``P(top | e := v)`` for
+every basic event, over several rounds, with the query BDDs built once
+so both arms measure evaluation only.
+
+Gated in CI: the cached in-kernel pass must beat the recursive baseline
+by ``BENCH_MIN_PROB_SPEEDUP`` (CI pins 5x) on the repeated covid
+battery, and both arms must agree on every value.
+
+Run directly for a self-checking report::
+
+    PYTHONPATH=src python benchmarks/bench_prob.py
+
+Direct runs append a machine-readable record to
+``benchmarks/results/BENCH_prob.json`` keyed by ``BENCH_LABEL``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+from bench_json import record_run
+
+from repro.bdd import BDDManager
+from repro.casestudy import build_covid_tree
+from repro.ft import RandomTreeConfig, random_tree, tree_to_bdd
+from repro.prob import recursive_probability
+from repro.service import BatchAnalyzer
+
+UNIFORM = 0.05
+ROUNDS = 20
+LARGE_TREE_CONFIG = RandomTreeConfig(
+    n_basic_events=24, max_children=4, p_share=0.2
+)
+
+
+def _build(tree):
+    manager = BDDManager(tree.basic_events)
+    root = tree_to_bdd(tree, manager)
+    weights = {name: UNIFORM for name in tree.basic_events}
+    # The importance-style battery: the top plus both restrictions per
+    # event, repeated ROUNDS times.  Queries are BDDs built up front so
+    # the arms time *evaluation*, not restriction.
+    battery = [root]
+    for name in tree.basic_events:
+        battery.append(manager.restrict(root, name, True))
+        battery.append(manager.restrict(root, name, False))
+    queries = battery * ROUNDS
+    return manager, queries, weights
+
+
+def _time_arm(fn, manager, queries, weights):
+    start = time.perf_counter()
+    values = [fn(manager, query, weights) for query in queries]
+    return (time.perf_counter() - start) * 1000.0, values
+
+
+def compare_engines(tree, label: str) -> dict:
+    """Cached kernel pass vs per-call recursion on the same battery."""
+    manager, queries, weights = _build(tree)
+    recursive_ms, reference = _time_arm(
+        recursive_probability, manager, queries, weights
+    )
+    kernel_ms, values = _time_arm(
+        lambda m, q, w: m.probability(q, w), manager, queries, weights
+    )
+    for got, expected in zip(values, reference):
+        assert math.isclose(got, expected, rel_tol=1e-9, abs_tol=1e-12), (
+            f"{label}: kernel pass disagrees with the recursive baseline "
+            f"({got} != {expected})"
+        )
+    stats = manager.cache_stats()
+    return {
+        "label": label,
+        "events": len(tree.basic_events),
+        "bdd_nodes": manager.node_count(),
+        "queries": len(queries),
+        "recursive_ms": round(recursive_ms, 3),
+        "kernel_ms": round(kernel_ms, 3),
+        "speedup": (
+            round(recursive_ms / kernel_ms, 2) if kernel_ms else float("inf")
+        ),
+        "prob_cache_size": stats["prob_cache_size"],
+        "prob_hits": stats["prob_hits"],
+        "prob_misses": stats["prob_misses"],
+    }
+
+
+def pfl_batch(tree, rounds: int = 5) -> dict:
+    """A PFL battery through the batch service (end-to-end sanity arm)."""
+    analyzer = BatchAnalyzer(tree, uniform=UNIFORM, auto_gc=True)
+    elements = ["MoT", "IWoS", "SH", "CIW", "IS"]
+    queries = []
+    for _ in range(rounds):
+        for element in elements:
+            queries.append(f"P({element}) >= 0")
+            queries.append(f"P(MCS({element}) | H1) >= 0")
+            queries.append(f"P({element})[H1 := 0.5] >= 0")
+    start = time.perf_counter()
+    report = analyzer.run(queries)
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    assert report.ok, "PFL batch arm errored"
+    scenario = report.stats["scenarios"]["default"]
+    return {
+        "queries": len(queries),
+        "wall_ms": round(wall_ms, 3),
+        "per_query_ms": round(wall_ms / len(queries), 4),
+        "prob_cache": scenario["memory"]["prob_cache"],
+        "prob_hits": scenario["bdd"]["prob_hits"],
+        "prob_misses": scenario["bdd"]["prob_misses"],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (same harness as the sibling files)
+# ----------------------------------------------------------------------
+
+
+def bench_prob_kernel_battery_covid(benchmark):
+    manager, queries, weights = _build(build_covid_tree())
+
+    def run():
+        return sum(manager.probability(query, weights) for query in queries)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def bench_prob_recursive_battery_covid(benchmark):
+    manager, queries, weights = _build(build_covid_tree())
+
+    def run():
+        return sum(
+            recursive_probability(manager, query, weights)
+            for query in queries
+        )
+
+    total = benchmark(run)
+    assert total > 0
+
+
+# ----------------------------------------------------------------------
+# Stand-alone gated report
+# ----------------------------------------------------------------------
+
+
+def main() -> int:
+    min_speedup = float(os.environ.get("BENCH_MIN_PROB_SPEEDUP", "1"))
+
+    covid = build_covid_tree()
+    arms = [
+        compare_engines(covid, "covid"),
+        compare_engines(
+            random_tree(11, LARGE_TREE_CONFIG), "random-24"
+        ),
+    ]
+    print("cached in-kernel weighted pass vs per-call recursion:")
+    for arm in arms:
+        print(
+            f"  {arm['label']:>10}: {arm['queries']} queries over "
+            f"{arm['bdd_nodes']:4d}-node BDDs | recursive "
+            f"{arm['recursive_ms']:8.1f} ms -> kernel "
+            f"{arm['kernel_ms']:7.1f} ms ({arm['speedup']:6.1f}x; "
+            f"{arm['prob_misses']} nodes valued, {arm['prob_hits']} hits)"
+        )
+
+    batch = pfl_batch(covid)
+    print(
+        f"\nPFL batch arm: {batch['queries']} queries in "
+        f"{batch['wall_ms']:.1f} ms ({batch['per_query_ms']:.3f} ms/query, "
+        f"{batch['prob_hits']} cache hits)"
+    )
+
+    covid_speedup = arms[0]["speedup"]
+    path = record_run(
+        "prob",
+        {
+            "engines": arms,
+            "covid_speedup": covid_speedup,
+            "pfl_batch": batch,
+        },
+    )
+    print(f"\nrecorded -> {path}")
+
+    assert covid_speedup >= min_speedup, (
+        f"cached kernel pass speedup on the covid battery "
+        f"{covid_speedup:.1f}x regressed below the {min_speedup:g}x floor"
+    )
+    print(f"OK: cached in-kernel pass >= {min_speedup:g}x recursive baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

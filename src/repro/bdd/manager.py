@@ -58,7 +58,7 @@ import weakref
 from dataclasses import dataclass, fields
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..errors import ManagerMismatchError, VariableError
+from ..errors import ManagerMismatchError, MissingWeightError, VariableError
 from .ref import TERMINAL_LEVEL, Ref
 
 #: The two terminal edges: index 0 is the stored ``1`` terminal.
@@ -88,6 +88,9 @@ _OP_XOR = 1
 #: Binary Boolean connectives supported by :meth:`BDDManager.apply`.
 _OP_NAMES = ("and", "or", "xor", "xnor", "nand", "nor", "implies")
 
+#: Weight profiles whose probability caches are retained (LRU beyond).
+_PROB_PROFILE_LIMIT = 4
+
 _manager_counter = itertools.count()
 
 
@@ -111,18 +114,30 @@ class OperationCacheStats:
     ite_misses: int = 0
     restrict_hits: int = 0
     restrict_misses: int = 0
+    #: Weighted-evaluation cache (``BDDManager.probability``): a hit is a
+    #: traversal cut off at an already-valued node, a miss is one node
+    #: whose probability had to be computed.
+    prob_hits: int = 0
+    prob_misses: int = 0
     #: O(1) complement flips (never a lookup, never an insertion).
     negations: int = 0
 
     @property
     def hits(self) -> int:
         """Total memo-table hits across all operations."""
-        return self.apply_hits + self.ite_hits + self.restrict_hits
+        return (
+            self.apply_hits + self.ite_hits + self.restrict_hits + self.prob_hits
+        )
 
     @property
     def misses(self) -> int:
         """Total memo-table misses across all operations."""
-        return self.apply_misses + self.ite_misses + self.restrict_misses
+        return (
+            self.apply_misses
+            + self.ite_misses
+            + self.restrict_misses
+            + self.prob_misses
+        )
 
     @property
     def hit_ratio(self) -> float:
@@ -183,6 +198,29 @@ class BDDManager:
         self._restrict_cache: Dict[Tuple[int, int, int], int] = {}
         self._exists_cache: Dict[Tuple[int, FrozenSet[int]], int] = {}
         self._support_cache: Dict[int, FrozenSet[int]] = {}
+        # Weighted-evaluation (probability) caches: per weight *profile*
+        # (sorted name->weight tuple), a map of *regular* node index ->
+        # P[node = 1].  Keyed on the regular index because
+        # P(~f) = 1 - P(f) is free on complement edges, so a function and
+        # its negation share one entry.  A bounded LRU of profiles keeps
+        # mixed batteries (base profile interleaved with per-query
+        # settings) from thrashing each other's entries.  All of it
+        # participates in the GC/reordering lifecycle via clear_caches
+        # (reclaimed indices may be reused; swaps allocate fresh
+        # functions into old slots).
+        self._prob_caches: Dict[
+            Tuple[Tuple[str, float], ...], Dict[int, float]
+        ] = {}
+        # Fast paths for the hot case of one mapping reused call after
+        # call: skip rebuilding the sorted profile key when the weights
+        # compare equal to the previous call's (a dict compare in C),
+        # and memoise the level->weight projection of the last profile
+        # (valid until a swap remaps levels — reset in clear_caches —
+        # or a declare appends variables, hence the order-length key).
+        self._prob_last_weights: Optional[Dict[str, float]] = None
+        self._prob_last_profile: Tuple[Tuple[str, float], ...] = ()
+        self._prob_lw_key: Optional[Tuple[Tuple[Tuple[str, float], ...], int]] = None
+        self._prob_lw: Dict[int, float] = {}
         # Ref interning: one Ref object per live edge, so identity
         # comparison (`u is manager.false`) works across the public API.
         # The interning is *weak* — when user code drops the last handle
@@ -889,6 +927,120 @@ class BDDManager:
             )
         return edge_count(root, 0)
 
+    def probability(self, u: Ref, weights: Mapping[str, float]) -> float:
+        """P[f = 1] under independent per-variable success weights.
+
+        The weighted model count of Rauzy's classical algorithm, run
+        directly on raw integer edges: for a node at level ``x`` with
+        weight ``p``, ``P(node) = p * P(high) + (1 - p) * P(low)``, and a
+        complemented edge costs nothing because ``P(~f) = 1 - P(f)``.
+
+        Iterative (explicit stack + level-descending sweep, the same
+        shape as :meth:`sat_count`), so deep BDDs never hit Python's
+        recursion limit.  Results are memoised in a *manager-level* cache
+        keyed on the regular node index: repeated queries against the
+        same weight profile — the batch-service hot path — only ever pay
+        for nodes not already valued.  A small LRU of per-profile caches
+        is kept, so a battery that interleaves a base profile with
+        per-query setting overrides does not thrash; GC and in-place
+        reordering drop all of them at their existing safe points (part
+        of :meth:`clear_caches`).
+
+        Args:
+            u: The function to measure.
+            weights: Per-variable probability of being ``1``.  Variables
+                outside the BDD's support may be omitted.
+
+        Raises:
+            MissingWeightError: If the BDD branches on a variable that
+                has no weight.
+        """
+        root = self._unwrap(u)
+        index = root >> 1
+        if index == 0:
+            return 0.0 if root & 1 else 1.0
+        if self._prob_last_weights == weights:
+            profile = self._prob_last_profile
+        else:
+            profile = tuple(
+                sorted((name, float(p)) for name, p in weights.items())
+            )
+            self._prob_last_weights = dict(weights)
+            self._prob_last_profile = profile
+        lw_key = (profile, len(self._order))
+        if self._prob_lw_key == lw_key:
+            level_weight = self._prob_lw
+        else:
+            level_weight = {}
+            for name, p in profile:
+                lv = self._levels.get(name)
+                if lv is not None:
+                    level_weight[lv] = p
+            self._prob_lw_key = lw_key
+            self._prob_lw = level_weight
+        caches = self._prob_caches
+        # Popped for LRU recency; (re-)inserted only after a successful
+        # sweep, so a MissingWeightError neither evicts a populated
+        # profile nor registers a useless empty one.
+        cache = caches.pop(profile, None)
+        fresh = cache is None
+        if fresh:
+            cache = {}
+        stats = self.op_stats
+        if index in cache:
+            stats.prob_hits += 1
+        else:
+            try:
+                level, low, high = self._level, self._low, self._high
+                # Phase 1: collect the reachable *uncached* part of the
+                # DAG (descent stops at valued nodes, like the support
+                # sweep).
+                pending: List[int] = []
+                seen = {index}
+                stack = [index]
+                while stack:
+                    i = stack.pop()
+                    if i == 0:
+                        continue
+                    if i in cache:
+                        stats.prob_hits += 1
+                        continue
+                    if level[i] not in level_weight:
+                        raise MissingWeightError(
+                            f"no weight for BDD variable "
+                            f"{self.name_of(level[i])!r}"
+                        )
+                    pending.append(i)
+                    for child_edge in (low[i], high[i]):
+                        child = child_edge >> 1
+                        if child not in seen:
+                            seen.add(child)
+                            stack.append(child)
+            except MissingWeightError:
+                if not fresh:
+                    # Phase 1 wrote nothing: the popped cache is intact.
+                    caches[profile] = cache
+                raise
+            # Phase 2: children sit at strictly greater levels, so a
+            # level-descending sweep values them before their parents.
+            pending.sort(key=lambda i: -level[i])
+            for i in pending:
+                p = level_weight[level[i]]
+                lo = low[i]
+                lv = 1.0 if lo >> 1 == 0 else cache[lo >> 1]
+                if lo & 1:
+                    lv = 1.0 - lv
+                hi = high[i]  # stored high edges are regular (invariant)
+                hv = 1.0 if hi >> 1 == 0 else cache[hi >> 1]
+                cache[i] = p * hv + (1.0 - p) * lv
+            stats.prob_misses += len(pending)
+        if fresh:
+            while len(caches) >= _PROB_PROFILE_LIMIT:
+                del caches[next(iter(caches))]  # evict least recently used
+        caches[profile] = cache  # (re-)insert as most recently used
+        value = cache[index]
+        return 1.0 - value if root & 1 else value
+
     def node_count(self) -> int:
         """Number of live stored nodes (unique table plus the ``1``
         terminal); free-listed slots are not counted.
@@ -974,6 +1126,10 @@ class BDDManager:
         data["apply_cache_size"] = len(self._apply_cache)
         data["ite_cache_size"] = len(self._ite_cache)
         data["restrict_cache_size"] = len(self._restrict_cache)
+        data["prob_cache_size"] = sum(
+            len(cache) for cache in self._prob_caches.values()
+        )
+        data["prob_profiles"] = len(self._prob_caches)
         data["unique_table_size"] = len(self._unique)
         data["live_nodes"] = self.node_count()
         data["peak_live_nodes"] = self._peak_nodes
@@ -988,12 +1144,23 @@ class BDDManager:
         return data
 
     def clear_caches(self) -> None:
-        """Drop all operation memo tables (the unique table is kept)."""
+        """Drop all operation memo tables (the unique table is kept).
+
+        The probability cache is keyed on node indices, so it must go
+        whenever indices can be reclaimed or rewired — :meth:`collect`
+        (after any reclaim), :meth:`swap` and :meth:`sift_inplace` all
+        come through here.
+        """
         self._apply_cache.clear()
         self._ite_cache.clear()
         self._restrict_cache.clear()
         self._exists_cache.clear()
         self._support_cache.clear()
+        self._prob_caches.clear()
+        # The level->weight memo maps *levels*, whose meaning a swap
+        # just changed; the profile fast path (name-keyed) stays valid.
+        self._prob_lw_key = None
+        self._prob_lw = {}
 
     # ------------------------------------------------------------------
     # Garbage collection

@@ -32,6 +32,7 @@ from ..logic.ast_nodes import (
     Forall,
     Formula,
     IDP,
+    ProbabilityQuery,
     Query,
     Statement,
 )
@@ -171,6 +172,13 @@ class ModelChecker:
             return self.independence(
                 Atom(query.element), Atom(self.tree.top)
             ).independent
+        if isinstance(query, ProbabilityQuery):
+            raise LogicError(
+                "probabilistic queries need failure probabilities; use "
+                "repro.prob.ProbabilityChecker (sharing this checker's "
+                "translator) or the batch service's probability "
+                "configuration"
+            )
         raise TypeError(f"cannot check {query!r}")
 
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ cache in case they are used several times").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..bdd.manager import BDDManager
 from ..bdd.minimal import (
@@ -249,3 +249,16 @@ class FormulaTranslator:
     def support(self, formula: Formula) -> frozenset:
         """``VarB(BT(formula))`` — used by IDP/SUP and the engine."""
         return frozenset(self.manager.support(self.bdd(formula)))
+
+    def probability(
+        self, formula: Formula, weights: Mapping[str, float]
+    ) -> float:
+        """``P[[formula]]`` under independent per-event weights.
+
+        The PFL lowering path: Algorithm 1 translates the formula onto
+        kernel edges (through this translator's cache), then the
+        manager's iterative weighted-evaluation pass measures the result
+        — so probabilistic and qualitative queries share every BDD and
+        both manager-level caches.
+        """
+        return self.manager.probability(self.bdd(formula), weights)

@@ -170,12 +170,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
           "scope": "support",
           "gc": true,                       // automatic BDD garbage collection
           "auto_reorder": false,            // automatic in-place sifting
+          "uniform": 0.1,                   // failure probability floor
+          "probabilities": {"H1": 0.02},    // per-event (or per-scenario) map
           "queries": [
             {"id": "p1", "formula": "forall (IS => MoT)"},
             {"formula": "[[ MCS(MoT) & IS ]]"},
             {"kind": "mcs", "element": "MoT"},
             {"kind": "check", "formula": "MCS(TLE)", "failed": ["H1", "VW"]},
-            {"kind": "mps", "tree": "fig1"}
+            {"kind": "mps", "tree": "fig1"},
+            {"formula": "P(MoT | H1 & VW) >= 0.3"},
+            {"kind": "probability", "formula": "MCS(IWoS) & H4"}
           ]
         }
 
@@ -223,8 +227,45 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     # self-contained while ad-hoc runs stay one flag away).
     auto_gc = bool(data.get("gc", False)) or args.gc
     auto_reorder = bool(data.get("auto_reorder", False)) or args.auto_reorder
+    def _require_probability(label: str, value: object) -> None:
+        # bool is an int subclass: "uniform": true must not mean p = 1,
+        # and a quoted "0.02" must fail here, not as a TypeError deep in
+        # a per-query evaluation.
+        if (
+            isinstance(value, bool)
+            or not isinstance(value, (int, float))
+            or not 0.0 <= value <= 1.0
+        ):
+            raise QuerySpecError(
+                f"{label} must be a probability in [0, 1], got {value!r}"
+            )
+
+    probabilities = data.get("probabilities", {})
+    if not isinstance(probabilities, dict):
+        raise QuerySpecError(
+            "'probabilities' must map event (or scenario) names to "
+            "probabilities"
+        )
+    for key, value in probabilities.items():
+        if isinstance(value, dict):  # per-scenario map
+            for event, p in value.items():
+                _require_probability(
+                    f"probability for {key!r}.{event!r}", p
+                )
+        else:
+            _require_probability(f"probability for {key!r}", value)
+    uniform = data.get("uniform")
+    if args.uniform is not None:
+        uniform = args.uniform
+    if uniform is not None:
+        _require_probability("'uniform'", uniform)
     analyzer = BatchAnalyzer(
-        scenarios, scope=scope, auto_gc=auto_gc, auto_reorder=auto_reorder
+        scenarios,
+        scope=scope,
+        auto_gc=auto_gc,
+        auto_reorder=auto_reorder,
+        probabilities=probabilities,
+        uniform=uniform,
     )
     report = analyzer.run(data["queries"])
     rendered = report.to_json(indent=2 if args.pretty else None)
@@ -262,7 +303,9 @@ def _cmd_importance(args: argparse.Namespace) -> int:
 
 
 def _cmd_probability(args: argparse.Namespace) -> int:
-    from .prob import ProbabilityChecker, parse_prob_query
+    from .logic.ast_nodes import Formula, ProbabilityQuery
+    from .logic.parser import parse
+    from .prob import ProbabilityChecker
 
     tree = _load_tree(args.tree)
     overrides = _parse_probability(args.probabilities)
@@ -272,14 +315,26 @@ def _cmd_probability(args: argparse.Namespace) -> int:
             for name in tree.basic_events
         }
     checker = ProbabilityChecker(tree, overrides=overrides)
-    text = args.query.strip()
-    if any(cmp in text for cmp in ("<=", ">=", "<", ">", "=")) and text.startswith("P"):
-        query = parse_prob_query(text)
-        value = checker.probability(query.formula)
-        verdict = checker.check(query)
-        print(f"P = {value:.6g}; query {'holds' if verdict else 'does NOT hold'}")
-        return 0 if verdict else 1
-    value = checker.probability(text)
+    statement = parse(args.query.strip())
+    if isinstance(statement, ProbabilityQuery):
+        outcome = checker.evaluate(statement)
+        if outcome.condition_probability is not None:
+            print(f"P(evidence) = {outcome.condition_probability:.6g}")
+        if outcome.holds is None:
+            print(f"P = {outcome.value:.6g}")
+            return 0
+        print(
+            f"P = {outcome.value:.6g}; query "
+            f"{'holds' if outcome.holds else 'does NOT hold'}"
+        )
+        return 0 if outcome.holds else 1
+    if not isinstance(statement, Formula):
+        print(
+            "error: bfl prob expects a layer-1 formula or a P(...) query",
+            file=sys.stderr,
+        )
+        return 2
+    value = checker.probability(statement)
     print(f"P = {value:.6g}")
     return 0
 
@@ -375,6 +430,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="arm automatic in-place variable reordering (Rudell "
         "sifting) when live BDD nodes grow past the kernel trigger",
+    )
+    p_batch.add_argument(
+        "--uniform",
+        type=float,
+        help="uniform failure probability for PFL queries (overrides "
+        "the query file's 'uniform' key)",
     )
     p_batch.set_defaults(handler=_cmd_batch)
 

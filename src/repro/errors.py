@@ -25,6 +25,10 @@ class ManagerMismatchError(BDDError):
     """Two BDD nodes from different managers were combined."""
 
 
+class MissingWeightError(BDDError):
+    """A weighted-evaluation pass reached a variable with no weight."""
+
+
 class FaultTreeError(ReproError):
     """Base class for errors in fault-tree construction or analysis."""
 

@@ -25,7 +25,7 @@ Construction helpers allow idiomatic formula building::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterator, Tuple, Union
+from typing import FrozenSet, Iterator, Optional, Tuple, Union
 
 from ..errors import LayerError
 
@@ -70,11 +70,23 @@ class Formula:
 
     def given(self, **evidence: Union[bool, int]) -> "Evidence":
         """Attach evidence: ``formula.given(H1=0, H2=1)`` is
-        ``formula[H1 -> 0][H2 -> 1]``."""
-        assignments = tuple(
-            (name, bool(value)) for name, value in evidence.items()
-        )
-        return Evidence(self, assignments)
+        ``formula[H1 -> 0][H2 -> 1]``.
+
+        Raises:
+            ValueError: If a value is not one of ``0``, ``1``, ``False``,
+                ``True`` — evidence is a Boolean substitution, and
+                silently coercing e.g. ``given(H1=2)`` to ``1`` hides a
+                caller bug.
+        """
+        assignments = []
+        for name, value in evidence.items():
+            if not isinstance(value, (bool, int)) or value not in (0, 1):
+                raise ValueError(
+                    f"evidence value for {name!r} must be 0, 1, False or "
+                    f"True, got {value!r}"
+                )
+            assignments.append((name, bool(value)))
+        return Evidence(self, tuple(assignments))
 
     # -- structure ------------------------------------------------------
 
@@ -325,6 +337,55 @@ class SUP(Query):
     def __post_init__(self) -> None:
         if not self.element:
             raise ValueError("SUP needs an element name")
+
+
+@dataclass(frozen=True)
+class ProbabilityQuery(Query):
+    """PFL-style probabilistic query over a layer-1 formula.
+
+    The quantitative layer the paper lists as future work (realised by
+    the authors as PFL): ``P(phi) |><| p``, the conditional form
+    ``P(phi | psi) |><| p``, and probability-annotated *settings*
+    ``P(phi)[e := 0.3] |><| p`` that override the failure probability of
+    individual basic events for this query only (``0``/``1`` recover the
+    deterministic setting operators).
+
+    ``comparator``/``bound`` may both be ``None``, in which case the
+    query asks for the probability *value* instead of a truth value
+    (the batch service reports it in the ``probability`` field).
+    """
+
+    formula: Formula
+    condition: Optional[Formula] = None
+    comparator: Optional[str] = None
+    bound: Optional[float] = None
+    settings: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        require_layer1(self.formula)
+        if self.condition is not None:
+            require_layer1(self.condition)
+        if (self.comparator is None) != (self.bound is None):
+            raise ValueError(
+                "probability comparator and bound must come together"
+            )
+        if self.comparator is not None and self.comparator not in VOT_OPERATORS:
+            raise ValueError(
+                f"probability comparator must be one of {VOT_OPERATORS}, "
+                f"got {self.comparator!r}"
+            )
+        if self.bound is not None and not 0.0 <= self.bound <= 1.0:
+            raise ValueError(
+                f"probability bound {self.bound} outside [0, 1]"
+            )
+        for name, value in self.settings:
+            if not name:
+                raise ValueError("probability settings need element names")
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"probability setting for {name!r} outside [0, 1]: "
+                    f"{value}"
+                )
 
 
 #: Anything the parser can return: a bare layer-1 formula or a query.

@@ -16,6 +16,9 @@ Paper                                  DSL
 ``SUP(PP)``                            ``SUP(PP)``
 ``[[ MCS(IWoS) and H4 ]]``             ``[[ MCS(IWoS) & H4 ]]`` (via
                                        :func:`parse_request`)
+``P(MoT) >= 0.3`` (PFL)                ``P(MoT) >= 0.3``
+``P(MoT | H1) < 0.5`` (PFL)            ``P(MoT | H1) < 0.5``
+PFL probability settings               ``P(MoT)[H1 := 0.25] >= 0.1``
 =====================================  =========================================
 
 Operators by increasing precedence: ``<=>``/``<!>``, ``=>`` (right
@@ -23,6 +26,15 @@ associative), ``|``, ``&``, ``!``/``~``, evidence suffix ``[e := 0/1]``.
 Element names may be quoted (``"CP/R"``) or bare; bare names may contain
 letters, digits, ``_``, ``/`` and ``-``.  Keywords are case-insensitive.
 Evidence also accepts ``->`` and ``|->`` as the assignment arrow.
+
+PFL queries (``P(...)``) sit at the statement level, like
+``exists``/``forall``.  Directly inside ``P(...)`` an *unparenthesised*
+``|`` is the conditioning bar; write ``||``, ``\\/`` or parenthesise to
+get disjunction there (everywhere else ``|`` stays disjunction).  After
+the closing parenthesis an optional bracket of probability settings
+``[e := 0.25, ...]`` overrides per-event failure probabilities for this
+query (``0``/``1`` act as deterministic settings), and an optional
+comparator + number turns the value query into a Boolean one.
 """
 
 from __future__ import annotations
@@ -49,6 +61,7 @@ from .ast_nodes import (
     Not,
     NotEquiv,
     Or,
+    ProbabilityQuery,
     Statement,
     Vot,
 )
@@ -79,7 +92,8 @@ _TOKEN_SPEC = [
     ("GT", r">"),
     ("EQ", r"="),
     ("AND", r"&&?|/\\"),
-    ("OR", r"\|\|?|\\/"),
+    ("OR", r"\|\||\\/"),
+    ("BAR", r"\|"),
     ("NOT", r"!|~"),
     ("LPAREN", r"\("),
     ("RPAREN", r"\)"),
@@ -87,6 +101,7 @@ _TOKEN_SPEC = [
     ("RBRACKET", r"\]"),
     ("COMMA", r","),
     ("SEMI", r";"),
+    ("FLOAT", r"\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+"),
     ("NUMBER", r"\d+"),
     ("QUOTED", r'"[^"]*"'),
     ("NAME", r"[A-Za-z_][A-Za-z0-9_/\-]*"),
@@ -136,6 +151,10 @@ class _Parser:
     def __init__(self, tokens: List[_Token]) -> None:
         self._tokens = tokens
         self._index = 0
+        # Directly inside P( ... ) a top-level single `|` is the
+        # conditioning bar, not disjunction; parentheses (and every other
+        # nesting construct) restore the default reading.
+        self._bar_conditional = False
 
     # -- token helpers --------------------------------------------------
 
@@ -180,6 +199,8 @@ class _Parser:
         return statement
 
     def _statement(self) -> Statement:
+        if self._at_prob_query():
+            return self._prob_query()
         keyword = self._keyword()
         if keyword == "exists":
             self._advance()
@@ -206,6 +227,16 @@ class _Parser:
     def _formula(self) -> Formula:
         return self._equivalence()
 
+    def _inner_formula(self) -> Formula:
+        """A formula in a nested context (parentheses, MCS/VOT/IDP
+        arguments), where ``|`` always means disjunction again."""
+        saved = self._bar_conditional
+        self._bar_conditional = False
+        try:
+            return self._formula()
+        finally:
+            self._bar_conditional = saved
+
     def _equivalence(self) -> Formula:
         left = self._implication()
         while True:
@@ -225,7 +256,9 @@ class _Parser:
 
     def _disjunction(self) -> Formula:
         left = self._conjunction()
-        while self._accept("OR"):
+        while self._accept("OR") or (
+            not self._bar_conditional and self._accept("BAR")
+        ):
             left = Or(left, self._conjunction())
         return left
 
@@ -264,15 +297,23 @@ class _Parser:
         return name, token.text == "1"
 
     def _primary(self) -> Formula:
+        if self._at_prob_query():
+            token = self._current
+            raise BFLSyntaxError(
+                "probabilistic queries P(...) cannot be nested inside "
+                "a formula",
+                token.line,
+                token.column,
+            )
         if self._accept("LPAREN"):
-            inner = self._formula()
+            inner = self._inner_formula()
             self._expect("RPAREN", "')'")
             return inner
         keyword = self._keyword()
         if keyword in ("mcs", "mps"):
             self._advance()
             self._expect("LPAREN", f"'(' after {keyword.upper()}")
-            inner = self._formula()
+            inner = self._inner_formula()
             self._expect("RPAREN", f"')' closing {keyword.upper()}")
             return MCS(inner) if keyword == "mcs" else MPS(inner)
         if keyword == "vot":
@@ -300,9 +341,9 @@ class _Parser:
             token.column,
         )
 
-    def _vot(self) -> Formula:
-        self._expect("LPAREN", "'(' after VOT")
-        operator = ">="
+    def _comparator(self) -> Optional[str]:
+        """Consume a comparison operator token, if present (shared by
+        VOT thresholds and PFL probability bounds)."""
         for kind, symbol in (
             ("GE", ">="),
             ("LE", "<="),
@@ -311,14 +352,18 @@ class _Parser:
             ("GT", ">"),
         ):
             if self._accept(kind):
-                operator = symbol
-                break
+                return symbol
+        return None
+
+    def _vot(self) -> Formula:
+        self._expect("LPAREN", "'(' after VOT")
+        operator = self._comparator() or ">="
         token = self._expect("NUMBER", "VOT threshold")
         threshold = int(token.text)
         self._expect("SEMI", "';' between VOT threshold and operands")
-        operands = [self._formula()]
+        operands = [self._inner_formula()]
         while self._accept("COMMA"):
-            operands.append(self._formula())
+            operands.append(self._inner_formula())
         self._expect("RPAREN", "')' closing VOT")
         try:
             return Vot(operator, threshold, tuple(operands))
@@ -330,6 +375,68 @@ class _Parser:
             return self._advance().text[1:-1]
         token = self._expect("NAME", "an element name")
         return token.text
+
+    # -- PFL probability queries ----------------------------------------
+
+    def _at_prob_query(self) -> bool:
+        """True when the next tokens are ``P`` ``(`` — the start of a PFL
+        query (an element named ``P`` on its own keeps working)."""
+        return (
+            self._check("NAME")
+            and self._current.text.lower() == "p"
+            and self._tokens[self._index + 1].kind == "LPAREN"
+        )
+
+    def _prob_query(self) -> ProbabilityQuery:
+        opening = self._advance()  # the P
+        self._expect("LPAREN", "'(' after P")
+        saved = self._bar_conditional
+        self._bar_conditional = True
+        try:
+            formula = self._formula()
+            condition = None
+            if self._accept("BAR"):
+                condition = self._formula()
+        finally:
+            self._bar_conditional = saved
+        self._expect("RPAREN", "')' closing P")
+        settings: List[Tuple[str, float]] = []
+        if self._accept("LBRACKET"):
+            settings.append(self._prob_setting())
+            while self._accept("COMMA"):
+                settings.append(self._prob_setting())
+            self._expect("RBRACKET", "']' closing probability settings")
+        comparator = self._comparator()
+        bound: Optional[float] = None
+        if comparator is not None:
+            bound = self._probability_value("probability bound")
+        try:
+            return ProbabilityQuery(
+                formula=formula,
+                condition=condition,
+                comparator=comparator,
+                bound=bound,
+                settings=tuple(settings),
+            )
+        except ValueError as error:
+            raise BFLSyntaxError(
+                str(error), opening.line, opening.column
+            ) from None
+
+    def _prob_setting(self) -> Tuple[str, float]:
+        name = self._element_name()
+        self._expect("ASSIGN", "':=' in probability settings")
+        return name, self._probability_value("a probability in [0, 1]")
+
+    def _probability_value(self, what: str) -> float:
+        if self._check("FLOAT") or self._check("NUMBER"):
+            return float(self._advance().text)
+        token = self._current
+        raise BFLSyntaxError(
+            f"expected {what}, found {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
 
 
 def parse(text: str) -> Statement:
@@ -434,8 +541,31 @@ def format_formula(formula: Formula) -> str:
     raise TypeError(f"cannot format {formula!r}")
 
 
+def _format_probability(value: float) -> str:
+    return repr(float(value))
+
+
 def format_statement(statement: Statement) -> str:
     """Canonical DSL text for a statement."""
+    if isinstance(statement, ProbabilityQuery):
+        # An unparenthesised top-level `|` inside P(...) is the
+        # conditioning bar, so Or (and looser) operands are wrapped.
+        inner = _wrap(statement.formula, 4)
+        if statement.condition is not None:
+            inner += f" | {_wrap(statement.condition, 4)}"
+        text = f"P({inner})"
+        if statement.settings:
+            parts = ", ".join(
+                f"{_format_name(name)} := {_format_probability(value)}"
+                for name, value in statement.settings
+            )
+            text += f"[{parts}]"
+        if statement.comparator is not None:
+            text += (
+                f" {statement.comparator} "
+                f"{_format_probability(statement.bound)}"
+            )
+        return text
     if isinstance(statement, Exists):
         return f"exists ({format_formula(statement.operand)})"
     if isinstance(statement, Forall):

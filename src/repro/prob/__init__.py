@@ -1,23 +1,33 @@
 """Quantitative extension (the paper's future work #1): probabilities,
-importance measures and PBFL-lite queries over BFL formulae."""
+importance measures and PFL queries over BFL formulae, served by the
+kernel's weighted-evaluation pass."""
 
 from .importance import ImportanceRow, importance_table, render_importance_table
 from .measure import (
     MissingProbabilityError,
+    ZeroProbabilityEvidenceError,
     bdd_probability,
     conditional_probability,
     enumeration_probability,
     event_probabilities,
     min_cut_upper_bound,
     rare_event_approximation,
+    recursive_probability,
 )
-from .queries import ProbQuery, ProbabilityChecker, parse_prob_query
+from .queries import (
+    ProbQuery,
+    ProbabilityChecker,
+    ProbabilityOutcome,
+    parse_prob_query,
+)
 
 __all__ = [
     "ImportanceRow",
     "MissingProbabilityError",
     "ProbQuery",
     "ProbabilityChecker",
+    "ProbabilityOutcome",
+    "ZeroProbabilityEvidenceError",
     "bdd_probability",
     "parse_prob_query",
     "conditional_probability",
@@ -26,5 +36,6 @@ __all__ = [
     "importance_table",
     "min_cut_upper_bound",
     "rare_event_approximation",
+    "recursive_probability",
     "render_importance_table",
 ]

@@ -45,6 +45,12 @@ def importance_table(
       the event (rare-event form).
 
     Rows are sorted by descending Birnbaum importance.
+
+    All ``2n + 1`` probability queries (top plus two restrictions per
+    event) run against one manager, so the kernel's weighted-evaluation
+    cache shares every subgraph value between them — the restricted BDDs
+    differ near the root but agree below, and only the new nodes are
+    ever valued.
     """
     probabilities = event_probabilities(tree, overrides)
     manager = BDDManager(tree.basic_events)

@@ -5,7 +5,11 @@ probabilities ... system reliability, availability and mean time to
 failure".  This module provides the standard machinery:
 
 * :func:`bdd_probability` — exact top-event probability by Shannon
-  expansion over the BDD (Rauzy's classical algorithm; linear in the BDD);
+  expansion over the BDD (Rauzy's classical algorithm; linear in the
+  BDD).  Since the PFL engine landed this delegates to the kernel's
+  iterative weighted-evaluation pass and its manager-level cache; the
+  historical per-call recursion survives as
+  :func:`recursive_probability` (benchmark baseline / oracle only);
 * :func:`enumeration_probability` — the 2^n reference baseline;
 * :func:`conditional_probability` — P(phi | evidence), which is how BFL's
   evidence operator lifts to the quantitative world;
@@ -23,7 +27,7 @@ from typing import Dict, Mapping, Optional
 
 from ..bdd.manager import BDDManager
 from ..bdd.ref import Ref
-from ..errors import FaultTreeError
+from ..errors import FaultTreeError, MissingWeightError
 from ..ft.analysis import minimal_cut_sets
 from ..ft.structure import structure_function
 from ..ft.tree import FaultTree
@@ -31,6 +35,16 @@ from ..ft.tree import FaultTree
 
 class MissingProbabilityError(FaultTreeError):
     """A basic event has no failure probability attached."""
+
+
+class ZeroProbabilityEvidenceError(FaultTreeError, ZeroDivisionError):
+    """Conditioning on evidence whose probability is zero.
+
+    Subclasses :class:`FaultTreeError` so the batch service can report it
+    per-query (every library error derives from ``ReproError``), and
+    ``ZeroDivisionError`` for callers of the historical
+    :func:`conditional_probability` contract.
+    """
 
 
 def event_probabilities(
@@ -74,8 +88,30 @@ def bdd_probability(
 ) -> float:
     """P(f = 1) for independent variables, by Shannon expansion.
 
-    ``P(node) = p(x) * P(high) + (1 - p(x)) * P(low)`` with memoisation —
-    one pass over the BDD.
+    Delegates to the kernel's iterative weighted-evaluation pass
+    (:meth:`BDDManager.probability <repro.bdd.manager.BDDManager.probability>`):
+    explicit-stack traversal (deep chain BDDs no longer overflow the
+    Python recursion limit), memoisation in the manager-level probability
+    cache keyed on *regular* node indices (``f`` and ``~f`` share every
+    entry, since ``P(~f) = 1 - P(f)`` on complement edges), and cache
+    reuse across calls with the same probability profile.
+    """
+    try:
+        return manager.probability(node, probabilities)
+    except MissingWeightError as error:
+        raise MissingProbabilityError(str(error)) from None
+
+
+def recursive_probability(
+    manager: BDDManager, node: Ref, probabilities: Mapping[str, float]
+) -> float:
+    """The pre-kernel recursive baseline (per-call cache, ``f``/``~f``
+    cached as distinct ``uid`` entries).
+
+    Kept as the comparison arm for ``benchmarks/bench_prob.py`` and as an
+    independent oracle in the cross-validation tests.  Do not use on deep
+    BDDs: the recursion tracks BDD depth and raises ``RecursionError``
+    near the interpreter limit — the bug that motivated the kernel pass.
     """
     cache: Dict[int, float] = {}
 
@@ -125,10 +161,18 @@ def conditional_probability(
     evidence: Ref,
     probabilities: Mapping[str, float],
 ) -> float:
-    """P(node | evidence) = P(node and evidence) / P(evidence)."""
+    """P(node | evidence) = P(node and evidence) / P(evidence).
+
+    Raises:
+        ZeroProbabilityEvidenceError: If ``P(evidence) = 0`` (the
+            conditional is undefined; as a ``FaultTreeError`` subclass
+            the batch service reports it per-query instead of aborting).
+    """
     denominator = bdd_probability(manager, evidence, probabilities)
     if denominator == 0.0:
-        raise ZeroDivisionError("conditioning on a zero-probability event")
+        raise ZeroProbabilityEvidenceError(
+            "conditioning on a zero-probability event"
+        )
     joint = bdd_probability(
         manager, manager.and_(node, evidence), probabilities
     )

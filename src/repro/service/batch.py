@@ -39,6 +39,7 @@ from ..logic.ast_nodes import (
     Forall,
     Formula,
     IDP,
+    ProbabilityQuery,
     Query,
     Statement,
 )
@@ -75,6 +76,7 @@ class AnalysisSession:
         auto_reorder: bool = False,
         gc_trigger: Optional[int] = None,
         reorder_trigger: Optional[int] = None,
+        probabilities: Optional[Mapping[str, float]] = None,
     ) -> None:
         self.name = name
         self.checker = ModelChecker(
@@ -93,6 +95,27 @@ class AnalysisSession:
         #: Statements already pushed through the translate phase (this is
         #: the *cross-batch* record; within-batch dedup happens in run()).
         self.warmed: set = set()
+        #: Per-event probability overrides for PFL queries (the tree's
+        #: own BasicEvent.probability attributes fill the gaps).
+        self._prob_overrides: Dict[str, float] = dict(probabilities or {})
+        self._prob_checker = None
+
+    def prob_checker(self):
+        """The scenario's :class:`~repro.prob.ProbabilityChecker`,
+        created lazily on the *shared* translator so probabilistic and
+        qualitative queries reuse one BDD manager (and its probability
+        cache).  Lazy because resolving event probabilities raises when
+        they are missing — a purely qualitative battery should never pay
+        (or trip over) that.
+        """
+        if self._prob_checker is None:
+            from ..prob.queries import ProbabilityChecker
+
+            self._prob_checker = ProbabilityChecker(
+                overrides=self._prob_overrides,
+                translator=self.checker.translator,
+            )
+        return self._prob_checker
 
     @property
     def tree(self) -> FaultTree:
@@ -130,6 +153,10 @@ class AnalysisSession:
         elif isinstance(statement, SUP):
             translator.bdd(Atom(statement.element))
             translator.bdd(Atom(self.tree.top))
+        elif isinstance(statement, ProbabilityQuery):
+            translator.bdd(statement.formula)
+            if statement.condition is not None:
+                translator.bdd(statement.condition)
         self.warmed.add(statement)
 
     def snapshot(self) -> Dict[str, Any]:
@@ -163,6 +190,15 @@ class BatchAnalyzer:
             scenario's manager.
         gc_trigger: Optional live-node count arming the first collection.
         reorder_trigger: Optional live-node count arming the first sift.
+        probabilities: Per-event failure probabilities for PFL queries.
+            Scalar-valued entries (``{event: p}``) apply to every
+            scenario that has the event; Mapping-valued entries
+            (``{scenario: {event: p}}``) scope their contents to that
+            scenario and win over flat entries.  The two shapes may be
+            mixed.  Gaps fall back to the trees' own
+            ``BasicEvent.probability`` attributes.
+        uniform: Uniform probability for every basic event of every
+            scenario (explicit ``probabilities`` entries win).
 
     Example:
         >>> from repro.ft import figure1_tree
@@ -181,6 +217,8 @@ class BatchAnalyzer:
         auto_reorder: bool = False,
         gc_trigger: Optional[int] = None,
         reorder_trigger: Optional[int] = None,
+        probabilities: Optional[Mapping[str, Any]] = None,
+        uniform: Optional[float] = None,
     ) -> None:
         self._scope = scope
         self._monotone_fast_path = monotone_fast_path
@@ -188,6 +226,8 @@ class BatchAnalyzer:
         self._auto_reorder = auto_reorder
         self._gc_trigger = gc_trigger
         self._reorder_trigger = reorder_trigger
+        self._probabilities = dict(probabilities or {})
+        self._uniform = uniform
         self._sessions: Dict[str, AnalysisSession] = {}
         if isinstance(trees, FaultTree):
             self.add_scenario(DEFAULT_SCENARIO, trees)
@@ -196,6 +236,40 @@ class BatchAnalyzer:
                 self.add_scenario(name, tree)
         if not self._sessions:
             raise QuerySpecError("BatchAnalyzer needs at least one tree")
+        # Scenario-scoped probability maps must name a registered
+        # scenario — a typo would otherwise silently run the battery
+        # against the uniform floor / tree-attached probabilities.
+        unknown = [
+            key
+            for key, value in self._probabilities.items()
+            if isinstance(value, Mapping) and key not in self._sessions
+        ]
+        if unknown:
+            raise QuerySpecError(
+                "probability map(s) for unknown scenario(s): "
+                + ", ".join(sorted(unknown))
+                + " (registered: "
+                + ", ".join(sorted(self._sessions))
+                + ")"
+            )
+        # Likewise a flat entry no scenario's tree can use is a typo,
+        # not a probability — per-scenario filtering would otherwise
+        # drop it silently.
+        known_events = {
+            event
+            for session in self._sessions.values()
+            for event in session.tree.basic_events
+        }
+        stray = [
+            key
+            for key, value in self._probabilities.items()
+            if not isinstance(value, Mapping) and key not in known_events
+        ]
+        if stray:
+            raise QuerySpecError(
+                "probabilities for event(s) unknown to every scenario: "
+                + ", ".join(sorted(stray))
+            )
 
     # ------------------------------------------------------------------
     # Scenarios
@@ -212,9 +286,43 @@ class BatchAnalyzer:
             auto_reorder=self._auto_reorder,
             gc_trigger=self._gc_trigger,
             reorder_trigger=self._reorder_trigger,
+            probabilities=self._overrides_for(name, tree),
         )
         self._sessions[name] = session
         return session
+
+    def _overrides_for(
+        self, name: str, tree: FaultTree
+    ) -> Dict[str, float]:
+        """Resolve the probability overrides for one scenario: uniform
+        floor, then flat entries, then the scenario's own map.
+
+        The ``probabilities`` mapping may mix the two shapes: a
+        Mapping-valued entry scopes its contents to that scenario (and
+        wins), a scalar-valued entry is a flat per-event probability
+        "applied to every scenario" — so events a particular tree does
+        not have are simply not for it, while scenario-scoped maps stay
+        strict (unknown event names surface as per-query
+        ``MissingProbabilityError`` diagnostics).
+        """
+        overrides: Dict[str, float] = {}
+        if self._uniform is not None:
+            overrides = {
+                event: float(self._uniform) for event in tree.basic_events
+            }
+        probs = self._probabilities
+        overrides.update(
+            {
+                event: value
+                for event, value in probs.items()
+                if not isinstance(value, Mapping)
+                and event in tree.basic_events
+            }
+        )
+        scoped = probs.get(name)
+        if isinstance(scoped, Mapping):
+            overrides.update(scoped)
+        return overrides
 
     @property
     def scenarios(self) -> Tuple[str, ...]:
@@ -365,6 +473,18 @@ class BatchAnalyzer:
             target = spec.element if spec.element is not None else session.tree.top
             return [MPS(Atom(target))]
         statements = [session.parse(spec.formula)]
+        if spec.kind == "probability":
+            statement = statements[0]
+            if isinstance(statement, Formula):
+                # A bare layer-1 formula means "compute P(formula)"; the
+                # wrapper is a frozen dataclass, so structural dedup with
+                # explicit P(...) texts still applies.
+                statements = [ProbabilityQuery(formula=statement)]
+            elif not isinstance(statement, ProbabilityQuery):
+                raise QuerySpecError(
+                    f"query {spec.id!r}: kind 'probability' needs a "
+                    "layer-1 formula or a P(...) query"
+                )
         if spec.kind == "independence":
             statements.append(session.parse(spec.other))
         return statements
@@ -376,12 +496,29 @@ class BatchAnalyzer:
         checker = session.checker
         start = time.perf_counter()
         holds = sets = vector_count = counterexample = independence = None
+        probability = condition_probability = None
         formula_text = (
             format_statement(statement) if statement is not None else None
         )
         error: Optional[str] = None
         try:
-            if spec.kind == "check":
+            if isinstance(statement, ProbabilityQuery) and spec.kind in (
+                "check", "probability"
+            ):
+                # A `check` whose formula parsed to P(...) is served as a
+                # probabilistic query, so query files stay kind-free.
+                if spec.failed is not None or spec.bits is not None:
+                    raise QuerySpecError(
+                        f"query {spec.id!r}: probabilistic queries "
+                        "measure over all vectors; do not pass "
+                        "failed=/bits= (use evidence or conditioning "
+                        "inside P(...) instead)"
+                    )
+                outcome = session.prob_checker().evaluate(statement)
+                probability = outcome.value
+                holds = outcome.holds
+                condition_probability = outcome.condition_probability
+            elif spec.kind == "check":
                 # ModelChecker.check rejects a vector on a layer-2 query
                 # and a missing vector on a layer-1 formula; pass the
                 # spec's vector through so those diagnostics surface.
@@ -450,6 +587,8 @@ class BatchAnalyzer:
             vector_count=vector_count,
             counterexample=counterexample,
             independence=independence,
+            probability=probability,
+            condition_probability=condition_probability,
             error=error,
         )
 
@@ -490,6 +629,9 @@ class BatchAnalyzer:
                 "free_list": kernel["free_list"],
                 "gc_runs": kernel["gc_runs"],
                 "reclaimed": kernel["reclaimed"],
+                # The weighted-evaluation cache shares the GC/reorder
+                # lifecycle (dropped whenever indices can be reused).
+                "prob_cache": kernel["prob_cache_size"],
             },
             "reorder": {
                 "swaps": kernel["swaps"],
