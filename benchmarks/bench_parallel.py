@@ -1,0 +1,260 @@
+"""Sharded multi-process batch execution vs the in-process pipeline.
+
+The battery is the widened multi-tree workload the service layer is
+built for: the COVID-19 tree and its dual, plus seeded random trees and
+their duals — two structure families (DAG-shared 20-event trees and
+share-free 40-event trees), 12 scenarios — each asked a mixed battery
+of qualitative (MCS/MPS kinds, satisfaction sets, exists/forall over
+``MCS(top)``) and PFL queries (conditional probabilities and per-query
+settings), ~320 queries in all.  The sequential arm answers it with
+``BatchAnalyzer(workers=1)``; the parallel arm shards the same battery
+over ``BENCH_WORKERS`` processes (private per-worker kernels, balanced
+by the cost-model planner, merged deterministically).
+
+The seeds are curated: random fault-tree MCS work is spiky (a single
+pathological seed can cost 100x its siblings, capping any parallel
+speedup at ~1x no matter how many workers), so the battery pins seeds
+whose per-scenario costs are the same order of magnitude.  That makes
+sharding — the thing under test — the variable, not one blow-up tree.
+
+Gated in CI via ``benchmarks/run_gates.py``: the parallel arm must beat
+sequential by ``BENCH_MIN_PARALLEL_SPEEDUP`` (CI pins 2 at 4 workers),
+and the two reports must agree query-for-query.  The speedup floor only
+binds when the machine actually has ``BENCH_WORKERS`` cores — on
+smaller boxes (e.g. a 1-core container) the gate degrades to the
+agreement check plus reporting, since no amount of sharding can beat
+physics.
+
+A snapshot arm also times the portable-kernel round trip
+(``save_snapshot``/``load_snapshot`` over every scenario) and a
+warm-started sequential run, exercising the ``bfl batch --snapshot``
+path end to end.
+
+Run directly for a self-checking report::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+
+Direct runs append a machine-readable record to
+``benchmarks/results/BENCH_parallel.json`` keyed by ``BENCH_LABEL``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from bench_json import record_run
+
+from repro.casestudy import build_covid_tree
+from repro.ft import RandomTreeConfig, dual_tree, random_tree
+from repro.service import BatchAnalyzer
+
+UNIFORM = 0.03
+#: DAG-shared trees (repeated basic events, the COVID-tree shape).
+SHARED_CONFIG = RandomTreeConfig(
+    n_basic_events=20, max_children=4, p_share=0.25
+)
+SHARED_SEEDS = (120, 126, 127)
+#: Share-free (read-once) trees — wider but structurally tame.
+FLAT_CONFIG = RandomTreeConfig(
+    n_basic_events=40, max_children=3, p_share=0.0, max_depth=8
+)
+FLAT_SEEDS = (201, 202)
+
+
+def scenarios() -> dict:
+    """covid + seeded random trees from two families, plus duals
+    (12 scenarios with same-order-of-magnitude per-scenario cost)."""
+    trees = {"covid": build_covid_tree()}
+    trees["covid-dual"] = dual_tree(trees["covid"])
+    for seed in SHARED_SEEDS:
+        tree = random_tree(seed, SHARED_CONFIG)
+        trees[f"shared{seed}"] = tree
+        trees[f"shared{seed}-dual"] = dual_tree(tree)
+    for seed in FLAT_SEEDS:
+        tree = random_tree(seed, FLAT_CONFIG)
+        trees[f"flat{seed}"] = tree
+        trees[f"flat{seed}-dual"] = dual_tree(tree)
+    return trees
+
+
+def battery(trees: dict) -> list:
+    """Mixed qualitative + PFL battery over every scenario (~27/tree)."""
+    queries = []
+    for name, tree in trees.items():
+        events = list(tree.basic_events)
+        top = tree.top
+        queries.append({"id": f"{name}-mcs", "kind": "mcs", "tree": name})
+        queries.append({"id": f"{name}-mps", "kind": "mps", "tree": name})
+        queries.append(
+            {
+                "id": f"{name}-sat",
+                "formula": f"[[ MCS({top}) & {events[0]} ]]",
+                "tree": name,
+            }
+        )
+        for i, event in enumerate(events[:6]):
+            queries.append(
+                {
+                    "id": f"{name}-x{i}",
+                    "formula": f"exists (MCS({top}) & {event})",
+                    "tree": name,
+                }
+            )
+            queries.append(
+                {
+                    "id": f"{name}-f{i}",
+                    "formula": f"forall (MCS({top}) => {event})",
+                    "tree": name,
+                }
+            )
+            queries.append(
+                {
+                    "id": f"{name}-p{i}",
+                    "formula": f"P({top} | {event}) >= 0.5",
+                    "tree": name,
+                }
+            )
+            queries.append(
+                {
+                    "id": f"{name}-s{i}",
+                    "formula": f"P({top})[{event} := 0.5] >= 0.5",
+                    "tree": name,
+                }
+            )
+    return queries
+
+
+def _stripped(report) -> list:
+    """Per-query dicts minus the timing field (the agreement view)."""
+    rows = []
+    for result in report.results:
+        data = result.to_dict()
+        data.pop("elapsed_ms", None)
+        rows.append(data)
+    return rows
+
+
+def snapshot_round_trip(trees: dict) -> dict:
+    """Time save/load of every scenario's kernel plus a warm-started
+    (single-process) mini-battery, pinning agreement with a cold run."""
+    import json
+
+    warm_source = BatchAnalyzer(trees, uniform=UNIFORM)
+    start = time.perf_counter()
+    warm_source.prewarm_trees()
+    prewarm_ms = (time.perf_counter() - start) * 1000.0
+
+    start = time.perf_counter()
+    snapshots = warm_source.kernel_snapshots()
+    save_ms = (time.perf_counter() - start) * 1000.0
+    payload_bytes = len(json.dumps(snapshots))
+
+    start = time.perf_counter()
+    warm = BatchAnalyzer(trees, uniform=UNIFORM, snapshots=snapshots)
+    load_ms = (time.perf_counter() - start) * 1000.0
+
+    mini = [
+        {"id": f"{name}-top", "formula": f"P({tree.top}) >= 0.5", "tree": name}
+        for name, tree in trees.items()
+    ]
+    cold_report = BatchAnalyzer(trees, uniform=UNIFORM).run(mini)
+    warm_report = warm.run(mini)
+    assert _stripped(cold_report) == _stripped(warm_report), (
+        "snapshot warm start changed query results"
+    )
+    nodes = sum(
+        warm.session(name).checker.manager.node_count() for name in trees
+    )
+    return {
+        "scenarios": len(trees),
+        "prewarm_ms": round(prewarm_ms, 3),
+        "save_ms": round(save_ms, 3),
+        "load_ms": round(load_ms, 3),
+        "payload_bytes": payload_bytes,
+        "warm_nodes": nodes,
+    }
+
+
+def main() -> int:
+    workers = int(os.environ.get("BENCH_WORKERS", "4"))
+    min_speedup = float(os.environ.get("BENCH_MIN_PARALLEL_SPEEDUP", "1"))
+    cores = os.cpu_count() or 1
+
+    trees = scenarios()
+    queries = battery(trees)
+    print(
+        f"battery: {len(queries)} queries over {len(trees)} scenarios "
+        f"({cores} cores available, {workers} workers requested)"
+    )
+
+    start = time.perf_counter()
+    sequential = BatchAnalyzer(trees, uniform=UNIFORM).run(queries)
+    sequential_s = time.perf_counter() - start
+    assert sequential.ok, "sequential arm errored"
+
+    start = time.perf_counter()
+    parallel = BatchAnalyzer(trees, uniform=UNIFORM, workers=workers).run(
+        queries
+    )
+    parallel_s = time.perf_counter() - start
+    assert parallel.ok, "parallel arm errored"
+
+    assert _stripped(sequential) == _stripped(parallel), (
+        "parallel report disagrees with sequential query-for-query"
+    )
+
+    speedup = sequential_s / parallel_s if parallel_s else float("inf")
+    shards = parallel.stats["parallel"]["shards"]
+    print(f"sequential (1 process):    {sequential_s * 1000:8.1f} ms")
+    print(f"parallel ({workers} workers):     {parallel_s * 1000:8.1f} ms")
+    print(f"speedup:                   {speedup:8.2f}x")
+    print("shards:")
+    for row in shards:
+        print(
+            f"  #{row['shard']}: {row['queries']:3d} queries, "
+            f"cost {row['cost']:9.1f}, {len(row['scenarios'])} scenarios, "
+            f"{row.get('elapsed_ms', 0.0):8.1f} ms"
+        )
+
+    snapshot = snapshot_round_trip(trees)
+    print(
+        f"snapshot round trip: prewarm {snapshot['prewarm_ms']:.1f} ms, "
+        f"save {snapshot['save_ms']:.1f} ms, load {snapshot['load_ms']:.1f} ms "
+        f"({snapshot['payload_bytes']} bytes, {snapshot['warm_nodes']} nodes)"
+    )
+
+    path = record_run(
+        "parallel",
+        {
+            "scenarios": len(trees),
+            "queries": len(queries),
+            "workers": workers,
+            "cores": cores,
+            "sequential_ms": round(sequential_s * 1000.0, 3),
+            "parallel_ms": round(parallel_s * 1000.0, 3),
+            "speedup": round(speedup, 2),
+            "shards": shards,
+            "snapshot": snapshot,
+        },
+    )
+    print(f"\nrecorded -> {path}")
+
+    if cores < workers:
+        # The floor assumes the requested parallelism physically exists;
+        # below that, agreement (asserted above) is the whole gate.
+        print(
+            f"NOTE: only {cores} core(s) for {workers} workers — speedup "
+            f"floor {min_speedup:g}x not enforced on this machine."
+        )
+        return 0
+    assert speedup >= min_speedup, (
+        f"parallel speedup {speedup:.2f}x at {workers} workers regressed "
+        f"below the {min_speedup:g}x floor"
+    )
+    print(f"OK: parallel execution >= {min_speedup:g}x sequential.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,11 @@ so both arms measure evaluation only.
 
 Gated in CI: the cached in-kernel pass must beat the recursive baseline
 by ``BENCH_MIN_PROB_SPEEDUP`` (CI pins 5x) on the repeated covid
-battery, and both arms must agree on every value.
+battery, and both arms must agree on every value.  A third arm pins the
+BDD pass against brute-force ``2^n`` enumeration (the ablation the
+retired ``bench_probability.py`` ran — its unique content lives here
+now): one linear BDD sweep vs exponentially many vectors, values
+asserted equal.
 
 Run directly for a self-checking report::
 
@@ -28,12 +32,27 @@ import math
 import os
 import time
 
+try:  # only the pytest-benchmark sweep entry points need it
+    import pytest
+except ImportError:  # pragma: no cover - standalone gate run without pytest
+    class _NoPytest:
+        class mark:
+            @staticmethod
+            def parametrize(_names, values):
+                return lambda fn: fn
+
+    pytest = _NoPytest()
+
 from bench_json import record_run
 
 from repro.bdd import BDDManager
 from repro.casestudy import build_covid_tree
 from repro.ft import RandomTreeConfig, random_tree, tree_to_bdd
-from repro.prob import recursive_probability
+from repro.prob import (
+    bdd_probability,
+    enumeration_probability,
+    recursive_probability,
+)
 from repro.service import BatchAnalyzer
 
 UNIFORM = 0.05
@@ -41,6 +60,17 @@ ROUNDS = 20
 LARGE_TREE_CONFIG = RandomTreeConfig(
     n_basic_events=24, max_children=4, p_share=0.2
 )
+#: Sweep sizes for the BDD-vs-enumeration ablation (enumeration is
+#: capped where 2^n stops being fun).
+ENUM_SIZES = [8, 12, 16]
+BDD_SIZES = [8, 12, 16, 24, 32]
+
+
+def _sweep_tree(n):
+    return random_tree(
+        seed=4321 + n,
+        config=RandomTreeConfig(n_basic_events=n, max_children=4, p_share=0.2),
+    )
 
 
 def _build(tree):
@@ -149,6 +179,66 @@ def bench_prob_recursive_battery_covid(benchmark):
 
 
 # ----------------------------------------------------------------------
+# Ablation A4: BDD Shannon probability vs 2^n enumeration (absorbed
+# from the retired bench_probability.py)
+# ----------------------------------------------------------------------
+
+
+def bench_covid_probability_bdd(benchmark):
+    tree = build_covid_tree()
+    overrides = {name: UNIFORM for name in tree.basic_events}
+
+    def run():
+        manager = BDDManager(tree.basic_events)
+        root = tree_to_bdd(tree, manager)
+        return bdd_probability(manager, root, overrides)
+
+    value = benchmark(run)
+    assert math.isclose(
+        value,
+        enumeration_probability(tree, overrides=overrides),
+        rel_tol=1e-9,
+    )
+
+
+def bench_covid_probability_enumeration(benchmark):
+    tree = build_covid_tree()
+    overrides = {name: UNIFORM for name in tree.basic_events}
+    value = benchmark.pedantic(
+        lambda: enumeration_probability(tree, overrides=overrides),
+        rounds=3,
+        iterations=1,
+    )
+    assert 0.0 < value < 1.0
+
+
+@pytest.mark.parametrize("n", BDD_SIZES)
+def bench_probability_bdd_sweep(benchmark, n):
+    tree = _sweep_tree(n)
+    overrides = {name: UNIFORM for name in tree.basic_events}
+
+    def run():
+        manager = BDDManager(tree.basic_events)
+        root = tree_to_bdd(tree, manager)
+        return bdd_probability(manager, root, overrides)
+
+    value = benchmark(run)
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.parametrize("n", ENUM_SIZES)
+def bench_probability_enumeration_sweep(benchmark, n):
+    tree = _sweep_tree(n)
+    overrides = {name: UNIFORM for name in tree.basic_events}
+    value = benchmark.pedantic(
+        lambda: enumeration_probability(tree, overrides=overrides),
+        rounds=2,
+        iterations=1,
+    )
+    assert 0.0 <= value <= 1.0
+
+
+# ----------------------------------------------------------------------
 # Stand-alone gated report
 # ----------------------------------------------------------------------
 
@@ -180,6 +270,32 @@ def main() -> int:
         f"{batch['prob_hits']} cache hits)"
     )
 
+    # Ablation arm (ex-bench_probability.py): the linear BDD sweep vs
+    # brute-force enumeration over all 2^13 covid vectors, values equal.
+    overrides = {name: UNIFORM for name in covid.basic_events}
+    manager = BDDManager(covid.basic_events)
+    root = tree_to_bdd(covid, manager)
+    start = time.perf_counter()
+    enum_value = enumeration_probability(covid, overrides=overrides)
+    enum_ms = (time.perf_counter() - start) * 1000.0
+    start = time.perf_counter()
+    bdd_value = bdd_probability(manager, root, overrides)
+    bdd_ms = (time.perf_counter() - start) * 1000.0
+    assert math.isclose(bdd_value, enum_value, rel_tol=1e-9), (
+        f"BDD pass disagrees with enumeration ({bdd_value} != {enum_value})"
+    )
+    enumeration = {
+        "events": len(covid.basic_events),
+        "enumeration_ms": round(enum_ms, 3),
+        "bdd_ms": round(bdd_ms, 3),
+        "value": bdd_value,
+    }
+    print(
+        f"enumeration ablation: 2^{enumeration['events']} vectors in "
+        f"{enum_ms:.1f} ms vs one BDD sweep in {bdd_ms:.3f} ms "
+        f"(agree at P = {bdd_value:.6g})"
+    )
+
     covid_speedup = arms[0]["speedup"]
     path = record_run(
         "prob",
@@ -187,6 +303,7 @@ def main() -> int:
             "engines": arms,
             "covid_speedup": covid_speedup,
             "pfl_batch": batch,
+            "enumeration": enumeration,
         },
     )
     print(f"\nrecorded -> {path}")

@@ -1,0 +1,192 @@
+"""Consolidated benchmark-gate runner (the single CI perf step).
+
+Every gated benchmark in this repo is a stand-alone script that prints a
+report, appends a machine-readable record to
+``benchmarks/results/BENCH_*.json``, and exits non-zero when its
+regression floor is breached.  This runner replaces the copy-pasted
+per-gate CI steps with one declarative table: each :class:`GateSpec`
+names the script, the threshold environment its floor defaults to, and
+the one env var an operator overrides to tune (or effectively disable,
+e.g. ``BENCH_MIN_SPEEDUP=0``) that gate.
+
+Real environment variables always win over the table's defaults, so CI
+pins nothing twice and a local run can relax a single gate without
+touching this file::
+
+    PYTHONPATH=src python benchmarks/run_gates.py                 # all gates
+    PYTHONPATH=src python benchmarks/run_gates.py --only prob,parallel
+    BENCH_MIN_SIFT_SPEEDUP=3 PYTHONPATH=src python benchmarks/run_gates.py
+
+Gates run in table order; a failure does not stop later gates (CI
+should report every regression of a PR, not the first), and the exit
+code is non-zero iff any gate failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Tuple
+
+HERE = Path(__file__).resolve().parent
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """One gated benchmark.
+
+    Attributes:
+        name: Short handle for ``--only``/``--skip`` selection.
+        script: Benchmark file under ``benchmarks/``.
+        title: One-line description shown in the summary.
+        override: The gate's primary tuning env var (documentation —
+            the summary prints its effective value).
+        defaults: Threshold environment applied unless the variable is
+            already set in the real environment.
+    """
+
+    name: str
+    script: str
+    title: str
+    override: str
+    defaults: Dict[str, str] = field(default_factory=dict)
+
+
+#: The declarative gate table.  Floors mirror what the historical
+#: per-step CI pinned; measured headroom is recorded per gate in
+#: ``benchmarks/results/BENCH_*.json`` and EXPERIMENTS.md.
+GATES: Tuple[GateSpec, ...] = (
+    GateSpec(
+        name="batch-service",
+        script="bench_batch_service.py",
+        title="batch battery >= 2x over fresh sequential checkers",
+        override="BENCH_MIN_SPEEDUP",
+        defaults={"BENCH_MIN_SPEEDUP": "2"},
+    ),
+    GateSpec(
+        name="scalability",
+        script="bench_scalability.py",
+        title="scalability sweep (JSON record, small sizes)",
+        override="BENCH_SMALL",
+        defaults={"BENCH_SMALL": "1"},
+    ),
+    GateSpec(
+        name="reorder-gc",
+        script="bench_reorder_gc.py",
+        title="in-place sifting >= 5x over rebuild; GC soak reclaims "
+        ">= 90% and holds peak < 2x steady state",
+        override="BENCH_MIN_SIFT_SPEEDUP",
+        defaults={
+            "BENCH_MIN_SIFT_SPEEDUP": "5",
+            "BENCH_MAX_PEAK_RATIO": "2",
+            "BENCH_MIN_RECLAIM": "0.9",
+            "BENCH_SOAK_QUERIES": "1000",
+        },
+    ),
+    GateSpec(
+        name="prob",
+        script="bench_prob.py",
+        title="cached in-kernel probability pass >= 5x over the "
+        "per-call recursive baseline",
+        override="BENCH_MIN_PROB_SPEEDUP",
+        defaults={"BENCH_MIN_PROB_SPEEDUP": "5"},
+    ),
+    GateSpec(
+        name="parallel",
+        script="bench_parallel.py",
+        title="sharded batch >= 2x over sequential at 4 workers "
+        "(agreement always enforced)",
+        override="BENCH_MIN_PARALLEL_SPEEDUP",
+        defaults={
+            "BENCH_MIN_PARALLEL_SPEEDUP": "2",
+            "BENCH_WORKERS": "4",
+        },
+    ),
+)
+
+
+def run_gate(gate: GateSpec) -> Tuple[bool, float]:
+    """Run one gate as a subprocess; returns (passed, seconds)."""
+    env = dict(os.environ)
+    for key, value in gate.defaults.items():
+        env.setdefault(key, value)
+    start = time.perf_counter()
+    result = subprocess.run(
+        [sys.executable, str(HERE / gate.script)], env=env
+    )
+    return result.returncode == 0, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the declarative benchmark-gate table"
+    )
+    parser.add_argument(
+        "--only",
+        help="comma-separated gate names to run (default: all)",
+    )
+    parser.add_argument(
+        "--skip",
+        help="comma-separated gate names to skip",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the gate table and exit"
+    )
+    args = parser.parse_args(argv)
+
+    known = {gate.name for gate in GATES}
+    only = set(args.only.split(",")) if args.only else None
+    skip = set(args.skip.split(",")) if args.skip else set()
+    for name in (only or set()) | skip:
+        if name not in known:
+            parser.error(
+                f"unknown gate {name!r} (known: {', '.join(sorted(known))})"
+            )
+
+    if args.list:
+        for gate in GATES:
+            print(f"{gate.name:14s} {gate.script:26s} [{gate.override}] "
+                  f"{gate.title}")
+        return 0
+
+    selected = [
+        gate
+        for gate in GATES
+        if (only is None or gate.name in only) and gate.name not in skip
+    ]
+    outcomes = []
+    for gate in selected:
+        effective = os.environ.get(
+            gate.override, gate.defaults.get(gate.override, "")
+        )
+        print(f"\n=== gate {gate.name}: {gate.title}")
+        print(f"    ({gate.script}, {gate.override}={effective})", flush=True)
+        passed, seconds = run_gate(gate)
+        outcomes.append((gate, passed, seconds))
+        print(
+            f"=== gate {gate.name}: "
+            f"{'PASS' if passed else 'FAIL'} in {seconds:.1f}s",
+            flush=True,
+        )
+
+    print("\n" + "=" * 60)
+    print("benchmark gate summary:")
+    failed = 0
+    for gate, passed, seconds in outcomes:
+        marker = "PASS" if passed else "FAIL"
+        failed += not passed
+        print(f"  {marker}  {gate.name:14s} {seconds:7.1f}s  {gate.title}")
+    if failed:
+        print(f"{failed} of {len(outcomes)} gates FAILED")
+        return 1
+    print(f"all {len(outcomes)} gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,12 @@ Public surface:
 
 from .allsat import all_models, any_model, count_cubes, iter_cubes, iter_models
 from .dot import to_dot
-from .manager import BDDManager, OperationCacheStats
+from .manager import (
+    BDDManager,
+    OperationCacheStats,
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+)
 from .minimal import (
     is_monotone,
     maximal_assignments,
@@ -42,6 +47,8 @@ __all__ = [
     "Ref",
     "TERMINAL_LEVEL",
     "OperationCacheStats",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
     "all_models",
     "any_model",
     "count_cubes",

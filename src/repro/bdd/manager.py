@@ -49,6 +49,12 @@ the CUDD/BuDDy tradition):
   Refs survive reordering untouched), and :meth:`BDDManager.sift_inplace`
   runs Rudell's sifting (ICCAD'93) on top of it.  Automatic triggers for
   both fire at :meth:`BDDManager.checkpoint` safe points.
+
+The node store is also *portable*: :meth:`BDDManager.save_snapshot`
+compacts the live parallel arrays plus named root edges into a JSON-safe
+dict, and :meth:`BDDManager.load_snapshot` rebuilds a fresh manager from
+one (re-validating every canonical-form invariant).  Snapshots carry no
+memo tables — see the method docstrings and DESIGN.md for why.
 """
 
 from __future__ import annotations
@@ -58,7 +64,12 @@ import weakref
 from dataclasses import dataclass, fields
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..errors import ManagerMismatchError, MissingWeightError, VariableError
+from ..errors import (
+    ManagerMismatchError,
+    MissingWeightError,
+    SnapshotError,
+    VariableError,
+)
 from .ref import TERMINAL_LEVEL, Ref
 
 #: The two terminal edges: index 0 is the stored ``1`` terminal.
@@ -90,6 +101,12 @@ _OP_NAMES = ("and", "or", "xor", "xnor", "nand", "nor", "implies")
 
 #: Weight profiles whose probability caches are retained (LRU beyond).
 _PROB_PROFILE_LIMIT = 4
+
+#: Marker / version of the portable kernel snapshot format (see
+#: :meth:`BDDManager.save_snapshot`).  Bump the version on any layout
+#: change; :meth:`BDDManager.load_snapshot` rejects unknown versions.
+SNAPSHOT_FORMAT = "repro-bdd-kernel"
+SNAPSHOT_VERSION = 1
 
 _manager_counter = itertools.count()
 
@@ -1161,6 +1178,196 @@ class BDDManager:
         # just changed; the profile fast path (name-keyed) stays valid.
         self._prob_lw_key = None
         self._prob_lw = {}
+
+    # ------------------------------------------------------------------
+    # Portable kernel snapshots
+    # ------------------------------------------------------------------
+
+    def save_snapshot(
+        self, roots: Optional[Mapping[str, Ref]] = None
+    ) -> Dict[str, object]:
+        """Serialise the node store into a portable, JSON-safe dict.
+
+        The snapshot captures exactly the canonical kernel state — the
+        variable order and the ``(level, low, high)`` parallel arrays —
+        plus a mapping of *named root edges* so callers can find their
+        functions again after :meth:`load_snapshot`.  Complement bits
+        travel inside the tagged edges, so a complemented root reloads
+        complemented.  Deliberately **excluded**: every memo table (apply/
+        ITE/restrict/exists/support/probability caches) and all GC/
+        reordering counters — caches are keyed on node indices and level
+        meanings that only hold inside one process lifetime, and they are
+        pure accelerators the target manager rebuilds on demand (see
+        DESIGN.md).
+
+        Node slots are compacted on the way out: free-list holes vanish
+        and live indices are remapped to a dense, children-first
+        (descending-level) numbering, which is what lets
+        :meth:`load_snapshot` rebuild the store in one append-only pass.
+
+        Args:
+            roots: Named handles to preserve.  When given, only nodes
+                reachable from these roots are saved (dead and unrelated
+                nodes are left behind); when omitted, every live stored
+                node is saved and ``roots`` is empty in the result.
+
+        Returns:
+            A dict of plain lists/ints/strings — safe for ``json.dumps``
+            and for pickling across process boundaries.
+        """
+        level, low, high = self._level, self._low, self._high
+        root_edges: Dict[str, int] = {}
+        if roots is not None:
+            for name, ref in roots.items():
+                root_edges[str(name)] = self._unwrap(ref)
+            seen = {0}
+            stack = [edge >> 1 for edge in root_edges.values()]
+            live: List[int] = []
+            while stack:
+                index = stack.pop()
+                if index in seen:
+                    continue
+                seen.add(index)
+                live.append(index)
+                stack.append(low[index] >> 1)
+                stack.append(high[index] >> 1)
+        else:
+            live = [
+                index
+                for index in range(1, len(level))
+                if level[index] != _FREE_LEVEL
+            ]
+        # Children sit at strictly greater levels, so descending-level
+        # order lists every child before its parents; ties (one level)
+        # cannot be related, and the index tie-break keeps it stable.
+        live.sort(key=lambda i: (-level[i], i))
+        remap = {0: 0}
+        for position, index in enumerate(live):
+            remap[index] = position + 1
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "variables": list(self._order),
+            "levels": [level[i] for i in live],
+            "lows": [
+                (remap[low[i] >> 1] << 1) | (low[i] & 1) for i in live
+            ],
+            "highs": [
+                (remap[high[i] >> 1] << 1) | (high[i] & 1) for i in live
+            ],
+            "roots": {
+                name: (remap[edge >> 1] << 1) | (edge & 1)
+                for name, edge in root_edges.items()
+            },
+        }
+
+    @classmethod
+    def load_snapshot(
+        cls, data: Mapping[str, object]
+    ) -> Tuple["BDDManager", Dict[str, Ref]]:
+        """Rebuild a fresh manager (plus its named roots) from a
+        :meth:`save_snapshot` dict.
+
+        Every canonical-form invariant is re-validated on the way in —
+        regular stored high edges, distinct children, strictly increasing
+        levels, no duplicate ``(level, low, high)`` triples, children
+        preceding parents — so a reloaded manager passes
+        :meth:`check_invariants` or the load fails loudly.  Caches start
+        cold and automatic GC/reordering starts disarmed (configure them
+        via :meth:`configure_memory` as usual).
+
+        Raises:
+            SnapshotError: On any malformed or foreign payload.
+        """
+
+        def _int(value: object, what: str) -> int:
+            # bool is an int subclass; a snapshot carrying `true` where a
+            # node index belongs is corrupt, not convertible.
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SnapshotError(f"{what} must be an integer, got {value!r}")
+            return value
+
+        if not isinstance(data, Mapping):
+            raise SnapshotError(
+                f"snapshot must be a mapping, got {type(data).__name__}"
+            )
+        if data.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"not a kernel snapshot (format={data.get('format')!r}, "
+                f"expected {SNAPSHOT_FORMAT!r})"
+            )
+        if data.get("version") != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"unsupported snapshot version {data.get('version')!r} "
+                f"(this kernel reads version {SNAPSHOT_VERSION})"
+            )
+        variables = data.get("variables")
+        levels = data.get("levels")
+        lows = data.get("lows")
+        highs = data.get("highs")
+        raw_roots = data.get("roots", {})
+        for what, value in (
+            ("variables", variables), ("levels", levels),
+            ("lows", lows), ("highs", highs),
+        ):
+            if not isinstance(value, list):
+                raise SnapshotError(f"snapshot {what!r} must be a list")
+        if not isinstance(raw_roots, Mapping):
+            raise SnapshotError("snapshot 'roots' must be a mapping")
+        if not len(levels) == len(lows) == len(highs):
+            raise SnapshotError(
+                "snapshot node arrays disagree in length "
+                f"({len(levels)}/{len(lows)}/{len(highs)})"
+            )
+
+        manager = cls(variables)  # VariableError on empty/duplicate names
+        n_vars = len(manager._order)
+        for position, (lv, lo, hi) in enumerate(zip(levels, lows, highs)):
+            index = position + 1
+            lv = _int(lv, f"node {index}: level")
+            lo = _int(lo, f"node {index}: low edge")
+            hi = _int(hi, f"node {index}: high edge")
+            if not 0 <= lv < n_vars:
+                raise SnapshotError(
+                    f"node {index}: level {lv} outside the "
+                    f"{n_vars}-variable order"
+                )
+            for label, edge in (("low", lo), ("high", hi)):
+                if edge < 0 or (edge >> 1) >= index:
+                    raise SnapshotError(
+                        f"node {index}: {label} edge {edge} does not "
+                        "reference an earlier snapshot node"
+                    )
+            if hi & 1:
+                raise SnapshotError(
+                    f"node {index}: stored high edge is complemented"
+                )
+            if lo == hi:
+                raise SnapshotError(f"node {index}: identical children")
+            if (
+                lv >= manager._level[lo >> 1]
+                or lv >= manager._level[hi >> 1]
+            ):
+                raise SnapshotError(
+                    f"node {index}: level {lv} does not precede its "
+                    "children"
+                )
+            key = (lv, lo, hi)
+            if key in manager._unique:
+                raise SnapshotError(
+                    f"node {index}: duplicates node {manager._unique[key]}"
+                )
+            slot = manager._alloc_slot(lv, lo, hi)
+            manager._unique[key] = slot
+        roots: Dict[str, Ref] = {}
+        for name, edge in raw_roots.items():
+            edge = _int(edge, f"root {name!r}")
+            if edge < 0 or (edge >> 1) > len(levels):
+                raise SnapshotError(
+                    f"root {name!r}: edge {edge} points outside the store"
+                )
+            roots[str(name)] = manager._wrap(edge)
+        return manager, roots
 
     # ------------------------------------------------------------------
     # Garbage collection

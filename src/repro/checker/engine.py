@@ -67,6 +67,10 @@ class ModelChecker:
             sifting) when live nodes grow past the manager's trigger.
         gc_trigger: Optional live-node count arming the first collection.
         reorder_trigger: Optional live-node count arming the first sift.
+        manager: Optional pre-built BDD manager to translate into —
+            typically one rebuilt by ``BDDManager.load_snapshot`` for a
+            warm-started session.  ``order`` is ignored when given (the
+            manager's own variable order wins).
     """
 
     def __init__(
@@ -79,10 +83,12 @@ class ModelChecker:
         auto_reorder: bool = False,
         gc_trigger: Optional[int] = None,
         reorder_trigger: Optional[int] = None,
+        manager: Optional[BDDManager] = None,
     ) -> None:
         self.tree = tree
         self.translator = FormulaTranslator(
             tree,
+            manager=manager,
             scope=scope,
             order=order,
             monotone_fast_path=monotone_fast_path,

@@ -170,6 +170,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
           "scope": "support",
           "gc": true,                       // automatic BDD garbage collection
           "auto_reorder": false,            // automatic in-place sifting
+          "workers": 4,                     // multi-process shard execution
+          "snapshot": "kernels.json",       // kernel snapshot cache file
           "uniform": 0.1,                   // failure probability floor
           "probabilities": {"H1": 0.02},    // per-event (or per-scenario) map
           "queries": [
@@ -183,12 +185,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
           ]
         }
 
+    ``--workers N`` (or the file's ``workers`` key; the flag wins) fans
+    the battery out over N worker processes.  ``--snapshot PATH`` warm
+    starts from a kernel-snapshot file when it exists and creates it
+    (after prewarming the scenario trees) when it does not, so the
+    second run of a battery skips tree translation everywhere —
+    including inside the workers.
+
     Exit code 0 when every query succeeded, 1 when any individual query
     errored (the report still lists all of them), 2 on a malformed file.
     """
     import json
+    import os
 
-    from .service import BatchAnalyzer
+    from .service import BatchAnalyzer, read_snapshot_file, write_snapshot_file
     from .service.queries import QuerySpecError
 
     try:
@@ -259,6 +269,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         uniform = args.uniform
     if uniform is not None:
         _require_probability("'uniform'", uniform)
+
+    # Parallel execution + snapshot warm start.  The CLI flag wins over
+    # the query file's key, so saved batteries stay self-contained while
+    # an ad-hoc run is one flag away.
+    workers = args.workers if args.workers is not None else data.get("workers", 1)
+    if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+        raise QuerySpecError(
+            f"'workers' must be an integer >= 1, got {workers!r}"
+        )
+    snapshot_path = args.snapshot or data.get("snapshot")
+    if snapshot_path is not None and not isinstance(snapshot_path, str):
+        raise QuerySpecError(
+            f"'snapshot' must be a file path, got {snapshot_path!r}"
+        )
+    snapshots = None
+    if snapshot_path and os.path.exists(snapshot_path):
+        snapshots = read_snapshot_file(snapshot_path)
     analyzer = BatchAnalyzer(
         scenarios,
         scope=scope,
@@ -266,7 +293,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         auto_reorder=auto_reorder,
         probabilities=probabilities,
         uniform=uniform,
+        workers=workers,
+        snapshots=snapshots,
     )
+    if snapshot_path and snapshots is None:
+        # First run with a snapshot cache: translate the trees now so
+        # this run's workers warm-start too, then persist for the next.
+        analyzer.prewarm_trees()
+        write_snapshot_file(snapshot_path, analyzer.kernel_snapshots())
     report = analyzer.run(data["queries"])
     rendered = report.to_json(indent=2 if args.pretty else None)
     if args.output:
@@ -436,6 +470,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         help="uniform failure probability for PFL queries (overrides "
         "the query file's 'uniform' key)",
+    )
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        help="answer the battery over N worker processes (balanced "
+        "shards, deterministic merge; overrides the query file's "
+        "'workers' key)",
+    )
+    p_batch.add_argument(
+        "--snapshot",
+        help="kernel snapshot cache: load it when the file exists, "
+        "create it otherwise, so repeat runs (and this run's workers) "
+        "skip fault-tree translation",
     )
     p_batch.set_defaults(handler=_cmd_batch)
 

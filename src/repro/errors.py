@@ -29,6 +29,10 @@ class MissingWeightError(BDDError):
     """A weighted-evaluation pass reached a variable with no weight."""
 
 
+class SnapshotError(BDDError):
+    """A kernel snapshot is malformed or does not fit its target."""
+
+
 class FaultTreeError(ReproError):
     """Base class for errors in fault-tree construction or analysis."""
 

@@ -13,10 +13,11 @@ Results are cached per (manager, tree) in a :class:`TreeTranslator`, the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..bdd.manager import BDDManager
 from ..bdd.ref import Ref
+from ..errors import SnapshotError
 from .elements import GateType
 from .tree import FaultTree
 
@@ -89,6 +90,40 @@ class TreeTranslator:
     def cached_elements(self) -> Sequence[str]:
         """Element names translated so far (for cache-behaviour tests)."""
         return tuple(self._cache)
+
+    def export_cache(self) -> Dict[str, Ref]:
+        """Element-name -> BDD for everything translated so far.
+
+        These are exactly the named roots a kernel snapshot should pin
+        (see :meth:`repro.bdd.manager.BDDManager.save_snapshot`): the
+        expensive, reusable part of a session is the per-element
+        ``Psi_FT`` work, not the per-formula combinations on top.
+        """
+        return dict(self._cache)
+
+    def adopt(self, cache: Mapping[str, Ref]) -> None:
+        """Seed the element memo with pre-built BDDs.
+
+        This is the warm-start half of the kernel-snapshot story: the
+        roots returned by ``BDDManager.load_snapshot`` (saved from
+        :meth:`export_cache`) drop straight back into the memo, so a
+        fresh session skips ``Psi_FT`` entirely.
+
+        Raises:
+            SnapshotError: If a name is not an element of this tree or a
+                handle belongs to a different manager — a snapshot taken
+                from another tree must fail loudly, not answer queries
+                from stale BDDs.
+        """
+        elements = set(self.tree.elements)
+        for name, ref in cache.items():
+            if name not in elements:
+                raise SnapshotError(
+                    f"snapshot root {name!r} is not an element of the "
+                    f"tree {self.tree.top!r}"
+                )
+            self.manager._unwrap(ref)  # ownership check
+            self._cache[name] = ref
 
 
 def tree_to_bdd(

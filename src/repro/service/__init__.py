@@ -13,7 +13,11 @@ tree: stakeholders ask whole batteries of MCS/MPS/IDP/check queries
   :class:`~repro.bdd.manager.BDDManager` session, whose ITE/apply memo
   tables persist across queries and across batches;
 * returning structured per-query results plus cache and timing
-  metadata, ready for JSON serialisation (the ``bfl batch`` command).
+  metadata, ready for JSON serialisation (the ``bfl batch`` command);
+* optionally fanning a battery out over a multi-process worker pool
+  (``BatchAnalyzer(workers=N)``) with deterministic shard planning and
+  merging, warm-starting workers from portable kernel snapshots
+  (:mod:`repro.service.parallel`, ``bfl batch --workers/--snapshot``).
 
 Quickstart::
 
@@ -30,7 +34,14 @@ Quickstart::
     print(report.to_json(indent=2))
 """
 
-from .batch import AnalysisSession, BatchAnalyzer
+from .batch import AnalysisSession, BatchAnalyzer, tree_fingerprint
+from .parallel import (
+    Shard,
+    estimate_cost,
+    plan_shards,
+    read_snapshot_file,
+    write_snapshot_file,
+)
 from .queries import BatchReport, QueryResult, QuerySpec, specs_from_any
 
 __all__ = [
@@ -39,5 +50,11 @@ __all__ = [
     "BatchReport",
     "QueryResult",
     "QuerySpec",
+    "Shard",
+    "estimate_cost",
+    "plan_shards",
+    "read_snapshot_file",
     "specs_from_any",
+    "tree_fingerprint",
+    "write_snapshot_file",
 ]

@@ -24,11 +24,14 @@ cache hit/miss deltas for the batch.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..bdd.manager import BDDManager, OperationCacheStats
 from ..checker.engine import ModelChecker
-from ..errors import ReproError
+from ..errors import ReproError, SnapshotError
+from ..ft.galileo import dumps as galileo_dumps
 from ..ft.tree import FaultTree
 from ..logic.ast_nodes import (
     MCS,
@@ -56,6 +59,17 @@ from .queries import (
 )
 
 
+def tree_fingerprint(tree: FaultTree) -> str:
+    """Stable structural identity of a tree (Galileo text digest).
+
+    Guards kernel-snapshot warm starts: a snapshot records the
+    fingerprint of the tree it was built from, and adopting it into a
+    scenario with a different fingerprint raises instead of silently
+    answering queries from stale BDDs.
+    """
+    return hashlib.sha256(galileo_dumps(tree).encode("utf-8")).hexdigest()
+
+
 class AnalysisSession:
     """Persistent per-scenario state: one tree, one checker, one manager.
 
@@ -77,8 +91,16 @@ class AnalysisSession:
         gc_trigger: Optional[int] = None,
         reorder_trigger: Optional[int] = None,
         probabilities: Optional[Mapping[str, float]] = None,
+        snapshot: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.name = name
+        # Warm start: rebuild the kernel from a portable snapshot and
+        # drop its element roots straight into the tree-translation
+        # cache, so the session never re-runs Psi_FT for the tree.
+        manager = None
+        adopted = None
+        if snapshot is not None:
+            manager, adopted = BDDManager.load_snapshot(snapshot)
         self.checker = ModelChecker(
             tree,
             scope=scope,
@@ -88,7 +110,10 @@ class AnalysisSession:
             auto_reorder=auto_reorder,
             gc_trigger=gc_trigger,
             reorder_trigger=reorder_trigger,
+            manager=manager,
         )
+        if adopted:
+            self.checker.translator.tree_translator.adopt(adopted)
         self._parse_cache: Dict[str, Statement] = {}
         self.parse_hits = 0
         self.parse_misses = 0
@@ -159,6 +184,16 @@ class AnalysisSession:
                 translator.bdd(statement.condition)
         self.warmed.add(statement)
 
+    def kernel_snapshot(self) -> Dict[str, Any]:
+        """Portable kernel snapshot of this session's manager, rooted at
+        every element BDD translated so far (the reusable, per-tree part
+        of the session — formula combinations are cheap to redo and are
+        keyed on ASTs a snapshot cannot name)."""
+        translator = self.checker.translator
+        return self.checker.manager.save_snapshot(
+            roots=translator.tree_translator.export_cache()
+        )
+
     def snapshot(self) -> Dict[str, Any]:
         """Cumulative cache counters (used for per-batch deltas)."""
         translator = self.checker.translator
@@ -199,6 +234,17 @@ class BatchAnalyzer:
             ``BasicEvent.probability`` attributes.
         uniform: Uniform probability for every basic event of every
             scenario (explicit ``probabilities`` entries win).
+        workers: Number of worker processes for :meth:`run`.  ``1`` (the
+            default) answers the battery in-process; ``N > 1`` plans the
+            battery into balanced shards and fans them out over a
+            process pool in which every worker owns private per-scenario
+            BDD managers (see :mod:`repro.service.parallel`).  Results
+            are merged back in battery order, so reports agree
+            query-for-query with a sequential run.
+        snapshots: Optional scenario-name -> kernel-snapshot mapping (as
+            produced by :meth:`kernel_snapshots` or loaded from a ``bfl
+            batch --snapshot`` file) to warm-start sessions from; each
+            entry's tree fingerprint must match the scenario's tree.
 
     Example:
         >>> from repro.ft import figure1_tree
@@ -219,7 +265,17 @@ class BatchAnalyzer:
         reorder_trigger: Optional[int] = None,
         probabilities: Optional[Mapping[str, Any]] = None,
         uniform: Optional[float] = None,
+        workers: int = 1,
+        snapshots: Optional[Mapping[str, Mapping[str, Any]]] = None,
     ) -> None:
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            raise QuerySpecError(
+                f"workers must be an integer >= 1, got {workers!r}"
+            )
+        if workers < 1:
+            raise QuerySpecError(
+                f"workers must be an integer >= 1, got {workers}"
+            )
         self._scope = scope
         self._monotone_fast_path = monotone_fast_path
         self._auto_gc = auto_gc
@@ -228,13 +284,20 @@ class BatchAnalyzer:
         self._reorder_trigger = reorder_trigger
         self._probabilities = dict(probabilities or {})
         self._uniform = uniform
+        self._workers = workers
+        self._snapshots: Dict[str, Mapping[str, Any]] = dict(snapshots or {})
+        #: Registered scenario trees.  Sessions are built *lazily* from
+        #: these on first use (``session()``): a parent running in
+        #: parallel mode and every worker process then only ever pay
+        #: for the scenarios their queries actually touch.
+        self._trees: Dict[str, FaultTree] = {}
         self._sessions: Dict[str, AnalysisSession] = {}
         if isinstance(trees, FaultTree):
-            self.add_scenario(DEFAULT_SCENARIO, trees)
+            self._register(DEFAULT_SCENARIO, trees)
         else:
             for name, tree in trees.items():
-                self.add_scenario(name, tree)
-        if not self._sessions:
+                self._register(name, tree)
+        if not self._trees:
             raise QuerySpecError("BatchAnalyzer needs at least one tree")
         # Scenario-scoped probability maps must name a registered
         # scenario — a typo would otherwise silently run the battery
@@ -242,14 +305,14 @@ class BatchAnalyzer:
         unknown = [
             key
             for key, value in self._probabilities.items()
-            if isinstance(value, Mapping) and key not in self._sessions
+            if isinstance(value, Mapping) and key not in self._trees
         ]
         if unknown:
             raise QuerySpecError(
                 "probability map(s) for unknown scenario(s): "
                 + ", ".join(sorted(unknown))
                 + " (registered: "
-                + ", ".join(sorted(self._sessions))
+                + ", ".join(sorted(self._trees))
                 + ")"
             )
         # Likewise a flat entry no scenario's tree can use is a typo,
@@ -257,8 +320,8 @@ class BatchAnalyzer:
         # drop it silently.
         known_events = {
             event
-            for session in self._sessions.values()
-            for event in session.tree.basic_events
+            for tree in self._trees.values()
+            for event in tree.basic_events
         }
         stray = [
             key
@@ -276,7 +339,51 @@ class BatchAnalyzer:
     # ------------------------------------------------------------------
 
     def add_scenario(self, name: str, tree: FaultTree) -> AnalysisSession:
-        """Register (or replace) a named scenario tree."""
+        """Register (or replace) a named scenario tree and return its
+        (freshly built) session."""
+        self._register(name, tree)
+        return self.session(name)
+
+    def _register(self, name: str, tree: FaultTree) -> None:
+        """Record a scenario tree; the session is built lazily.
+
+        A kernel snapshot registered for ``name`` is validated *now* —
+        shape and tree fingerprint — so a stale or foreign snapshot
+        raises :class:`~repro.errors.SnapshotError` at construction
+        time instead of answering queries from the wrong BDDs later.
+        """
+        self._validated_kernel(name, tree)
+        self._trees[name] = tree
+        self._sessions.pop(name, None)
+
+    def _validated_kernel(
+        self, name: str, tree: FaultTree
+    ) -> Optional[Mapping[str, Any]]:
+        """The kernel snapshot registered for ``name`` (or None), after
+        shape and fingerprint validation.  The fingerprint is mandatory:
+        an entry that cannot prove which tree it was built from must not
+        warm-start anything."""
+        snapshot = self._snapshots.get(name)
+        if snapshot is None:
+            return None
+        if (
+            not isinstance(snapshot, Mapping)
+            or "kernel" not in snapshot
+            or "tree" not in snapshot
+        ):
+            raise SnapshotError(
+                f"scenario {name!r}: snapshot entries need 'kernel' and "
+                "'tree' (fingerprint) keys"
+            )
+        if snapshot["tree"] != tree_fingerprint(tree):
+            raise SnapshotError(
+                f"scenario {name!r}: snapshot was taken from a "
+                "different tree (fingerprint mismatch)"
+            )
+        return snapshot["kernel"]
+
+    def _build_session(self, name: str) -> AnalysisSession:
+        tree = self._trees[name]
         session = AnalysisSession(
             name,
             tree,
@@ -287,6 +394,7 @@ class BatchAnalyzer:
             gc_trigger=self._gc_trigger,
             reorder_trigger=self._reorder_trigger,
             probabilities=self._overrides_for(name, tree),
+            snapshot=self._validated_kernel(name, tree),
         )
         self._sessions[name] = session
         return session
@@ -327,30 +435,129 @@ class BatchAnalyzer:
     @property
     def scenarios(self) -> Tuple[str, ...]:
         """Registered scenario names."""
-        return tuple(self._sessions)
+        return tuple(self._trees)
+
+    @property
+    def trees(self) -> Dict[str, FaultTree]:
+        """Scenario name -> registered tree (no session is built)."""
+        return dict(self._trees)
 
     def session(self, name: str = DEFAULT_SCENARIO) -> AnalysisSession:
-        """The persistent session behind scenario ``name``."""
-        try:
-            return self._sessions[name]
-        except KeyError:
+        """The persistent session behind scenario ``name`` (built on
+        first use)."""
+        session = self._sessions.get(name)
+        if session is not None:
+            return session
+        if name not in self._trees:
             raise QuerySpecError(
                 f"unknown scenario {name!r} "
-                f"(registered: {', '.join(sorted(self._sessions)) or 'none'})"
-            ) from None
+                f"(registered: {', '.join(sorted(self._trees)) or 'none'})"
+            )
+        return self._build_session(name)
 
     # ------------------------------------------------------------------
     # The batch pipeline
     # ------------------------------------------------------------------
 
+    @property
+    def workers(self) -> int:
+        """Configured worker-process count (1 = in-process)."""
+        return self._workers
+
     def run(
         self,
         queries: Iterable[Union[QuerySpec, str, Statement, Mapping[str, Any]]],
     ) -> BatchReport:
-        """Answer a battery of queries; see the module docstring for the
-        three-phase pipeline."""
-        batch_start = time.perf_counter()
+        """Answer a battery of queries.
+
+        With ``workers == 1`` this is the in-process three-phase
+        pipeline of the module docstring; with ``workers > 1`` the
+        battery is sharded over a process pool (results merged back in
+        battery order — see :mod:`repro.service.parallel`).
+        """
         specs = specs_from_any(queries)
+        if self._workers > 1 and len(specs) > 1:
+            from .parallel import run_parallel
+
+            return run_parallel(self, specs)
+        return self._run_specs(specs)
+
+    def prewarm_trees(self) -> None:
+        """Translate every scenario's tree up front (``Psi_FT`` of the
+        top event caches every element on the way), so
+        :meth:`kernel_snapshots` — and the worker payloads built from
+        the sessions — carry the full per-tree BDDs."""
+        for name in self._trees:
+            session = self.session(name)
+            session.checker.translator.tree_translator.element(
+                session.tree.top
+            )
+
+    def kernel_snapshots(self) -> Dict[str, Dict[str, Any]]:
+        """Per-scenario kernel snapshots (plus tree fingerprints), in
+        the shape the ``snapshots=`` constructor argument and the ``bfl
+        batch --snapshot`` file expect."""
+        return {
+            name: {
+                "tree": tree_fingerprint(self._trees[name]),
+                "kernel": self.session(name).kernel_snapshot(),
+            }
+            for name in self._trees
+        }
+
+    def _worker_config(self) -> Dict[str, Any]:
+        """Picklable constructor kwargs for a worker-process clone.
+
+        Sessions the parent has already warmed (explicit
+        :meth:`prewarm_trees`, a snapshot warm start, or simply an
+        earlier sequential batch) ship their element BDDs as kernel
+        snapshots, so workers skip tree translation; scenarios whose
+        sessions were never built forward the parent's own (already
+        validated) snapshot entry, if any.
+        """
+        snapshots: Dict[str, Dict[str, Any]] = {}
+        for name in self._trees:
+            session = self._sessions.get(name)
+            if (
+                session is not None
+                and session.checker.translator.tree_translator.cached_elements
+            ):
+                snapshots[name] = {
+                    "tree": tree_fingerprint(session.tree),
+                    "kernel": session.kernel_snapshot(),
+                }
+            elif name in self._snapshots:
+                snapshots[name] = dict(self._snapshots[name])
+        return {
+            "trees": dict(self._trees),
+            "scope": self._scope,
+            "monotone_fast_path": self._monotone_fast_path,
+            "auto_gc": self._auto_gc,
+            "auto_reorder": self._auto_reorder,
+            "gc_trigger": self._gc_trigger,
+            "reorder_trigger": self._reorder_trigger,
+            "probabilities": self._probabilities,
+            "uniform": self._uniform,
+            "snapshots": snapshots,
+            "workers": 1,
+        }
+
+    @staticmethod
+    def _zero_counters() -> Dict[str, Any]:
+        """Baseline counters for a session first built *during* a batch
+        (everything it has done, it has done for this batch)."""
+        return {
+            "formula_hits": 0,
+            "formula_misses": 0,
+            "element_requests": 0,
+            "op": OperationCacheStats(),
+            "parse_hits": 0,
+            "parse_misses": 0,
+        }
+
+    def _run_specs(self, specs: List[QuerySpec]) -> BatchReport:
+        """The in-process three-phase pipeline over normalised specs."""
+        batch_start = time.perf_counter()
         before = {
             name: session.snapshot() for name, session in self._sessions.items()
         }
@@ -433,9 +640,11 @@ class BatchAnalyzer:
                 "translate_ms": round(translate_ms, 3),
             },
             "scenarios": {
-                name: self._scenario_stats(session, before[name])
-                for name, session in self._sessions.items()
-                if name in seen
+                name: self._scenario_stats(
+                    self._sessions[name],
+                    before.get(name, self._zero_counters()),
+                )
+                for name in sorted(seen)
             },
         }
         return BatchReport(

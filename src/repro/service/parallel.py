@@ -1,0 +1,460 @@
+"""Sharded multi-process batch execution.
+
+The batch layer's workload is embarrassingly parallel: queries of a
+battery are independent (each is answered purely from its scenario's
+BDDs), and fault-tree BDD work parallelises naturally across trees and
+scenarios.  This module turns :class:`~repro.service.batch.BatchAnalyzer`
+into a multi-process engine in three deterministic steps:
+
+1. **Shard planning** (:func:`plan_shards`) — queries are grouped by
+   scenario (locality: one worker translates a tree once and amortises
+   it over every query it owns), the groups are split until there is
+   enough parallel slack, and the resulting chunks are packed into
+   ``shard_count`` balanced shards by longest-processing-time-first
+   placement over a cost model seeded from formula size and tree node
+   counts (:func:`estimate_cost`).  The plan is a pure function of the
+   battery — no randomness, no timing feedback — so reruns shard
+   identically.
+
+2. **Worker pool** (:func:`run_parallel`) — a
+   :class:`concurrent.futures.ProcessPoolExecutor` whose initializer
+   builds one private ``BatchAnalyzer`` (and therefore one private
+   :class:`~repro.bdd.manager.BDDManager` per scenario) in every worker
+   process; nothing is shared, nothing needs locking.  Workers can be
+   warm-started from portable kernel snapshots
+   (``BDDManager.save_snapshot``) shipped in the worker payload, so they
+   skip per-scenario ``Psi_FT`` translation entirely.
+
+3. **Deterministic merge** (:func:`merge_reports`) — per-shard reports
+   are stitched back in original battery order (query-for-query
+   identical to a sequential run, timing aside), per-query errors such
+   as ``ZeroProbabilityEvidenceError`` stay attached to their query, a
+   crashed shard surfaces as per-query ``worker shard failed`` errors
+   rather than poisoning the batch, and stats are aggregated (counters
+   summed, peaks maxed, a ``parallel`` block describing the plan).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SnapshotError
+from ..ft.tree import FaultTree
+from ..logic.parser import format_statement
+from .queries import BatchReport, QueryResult, QuerySpec
+
+#: Marker / version of the multi-scenario snapshot-set file written by
+#: ``bfl batch --snapshot`` (one kernel snapshot per scenario, each
+#: paired with a tree fingerprint so a stale file fails loudly).
+SNAPSHOT_SET_FORMAT = "repro-service-snapshots"
+SNAPSHOT_SET_VERSION = 1
+
+#: Relative evaluation weight per query kind.  MCS/MPS (and the
+#: satisfaction sets built on them) run the primed-relation minimisation
+#: machinery; checks and probability queries mostly walk existing BDDs.
+_KIND_WEIGHT = {
+    "check": 1.0,
+    "probability": 1.0,
+    "independence": 1.5,
+    "counterexample": 2.0,
+    "satisfaction-set": 3.0,
+    "mcs": 4.0,
+    "mps": 4.0,
+}
+
+
+# ----------------------------------------------------------------------
+# Cost model and shard planning
+# ----------------------------------------------------------------------
+
+
+def estimate_cost(spec: QuerySpec, tree: Optional[FaultTree]) -> float:
+    """Relative cost estimate for one query (shard-balancing heuristic).
+
+    Seeded from the two observables that dominate real batteries: the
+    *tree size* (every BDD the query touches is built over the tree's
+    events and gates) and the *formula size* (longer formulae mean more
+    Algorithm 1 recursion and more BDD products), scaled by a per-kind
+    weight.  Only relative magnitudes matter — the planner packs shards,
+    it does not predict milliseconds.
+    """
+    if tree is None:  # unknown scenario: errors out cheaply at parse time
+        return 1.0
+    tree_weight = 1 + len(tree.basic_events) + len(tree.gate_names)
+    formula = spec.formula
+    if formula is None:  # mcs/mps specs: the whole cost is the tree's
+        text = "MCS()"
+    elif isinstance(formula, str):
+        text = formula
+    else:
+        text = format_statement(formula)
+    formula_weight = 1.0 + len(text) / 16.0
+    if "MCS(" in text or "MPS(" in text:
+        # Textual minimisation operators run the same machinery the
+        # mcs/mps kinds do, whatever the spec's kind says.
+        formula_weight *= 2.0
+    return _KIND_WEIGHT.get(spec.kind, 1.0) * tree_weight * formula_weight
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's slice of a battery.
+
+    Attributes:
+        indices: Original battery positions, ascending (the merge key).
+        specs: The queries at those positions, same order.
+        cost: Summed :func:`estimate_cost` of the members.
+        scenarios: Distinct scenario names touched, first-seen order.
+    """
+
+    indices: Tuple[int, ...]
+    specs: Tuple[QuerySpec, ...]
+    cost: float
+    scenarios: Tuple[str, ...]
+
+
+def _split_chunk(
+    chunk: List[Tuple[int, QuerySpec, float]],
+) -> List[List[Tuple[int, QuerySpec, float]]]:
+    """Split one chunk into two balanced halves (greedy LPT over its
+    queries, deterministic tie-breaks), original order restored inside
+    each half."""
+    halves: List[List[Tuple[int, QuerySpec, float]]] = [[], []]
+    loads = [0.0, 0.0]
+    for entry in sorted(chunk, key=lambda e: (-e[2], e[0])):
+        side = 0 if loads[0] <= loads[1] else 1
+        halves[side].append(entry)
+        loads[side] += entry[2]
+    return [sorted(half, key=lambda e: e[0]) for half in halves if half]
+
+
+def plan_shards(
+    specs: Sequence[QuerySpec],
+    trees: Mapping[str, FaultTree],
+    shard_count: int,
+) -> List[Shard]:
+    """Partition a battery into at most ``shard_count`` balanced shards.
+
+    Scenario-grouped chunks are split (largest first) until there are
+    about two chunks per shard — enough slack for the packer to balance
+    without scattering a scenario across every worker — then packed
+    longest-first onto the least-loaded shard.  Every tie is broken by
+    battery position, so the plan is deterministic.
+
+    Args:
+        specs: The normalised battery (original order).
+        trees: Scenario name -> tree, for the cost model; queries naming
+            an unknown scenario (which error out at parse time) get a
+            nominal cost.
+        shard_count: Upper bound on shards (empty shards are dropped).
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    entries = [
+        (index, spec, estimate_cost(spec, trees.get(spec.tree)))
+        for index, spec in enumerate(specs)
+    ]
+    groups: Dict[str, List[Tuple[int, QuerySpec, float]]] = {}
+    for entry in entries:
+        groups.setdefault(entry[1].tree, []).append(entry)
+    chunks = list(groups.values())
+
+    target = min(2 * shard_count, len(entries))
+    while len(chunks) < target:
+        # Largest splittable chunk first; position tie-break.
+        splittable = [c for c in chunks if len(c) > 1]
+        if not splittable:
+            break
+        victim = max(
+            splittable, key=lambda c: (sum(e[2] for e in c), -c[0][0])
+        )
+        chunks.remove(victim)
+        chunks.extend(_split_chunk(victim))
+
+    bins: List[List[Tuple[int, QuerySpec, float]]] = [
+        [] for _ in range(shard_count)
+    ]
+    loads = [0.0] * shard_count
+    for chunk in sorted(
+        chunks, key=lambda c: (-sum(e[2] for e in c), c[0][0])
+    ):
+        side = min(range(shard_count), key=lambda b: (loads[b], b))
+        bins[side].extend(chunk)
+        loads[side] += sum(e[2] for e in chunk)
+
+    shards: List[Shard] = []
+    for members in bins:
+        if not members:
+            continue
+        members.sort(key=lambda e: e[0])
+        scenarios: List[str] = []
+        for _, spec, _ in members:
+            if spec.tree not in scenarios:
+                scenarios.append(spec.tree)
+        shards.append(
+            Shard(
+                indices=tuple(e[0] for e in members),
+                specs=tuple(e[1] for e in members),
+                cost=sum(e[2] for e in members),
+                scenarios=tuple(scenarios),
+            )
+        )
+    # Stable presentation order: by first battery position.
+    shards.sort(key=lambda s: s.indices[0])
+    return shards
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+
+#: Per-process analyzer, built once by the pool initializer.  Module
+#: global on purpose: ``ProcessPoolExecutor`` initializers cannot return
+#: state, and each worker process owns exactly one analyzer (and thus
+#: one BDD manager per scenario).
+_WORKER_ANALYZER = None
+
+
+def _worker_init(payload: Dict[str, Any]) -> None:
+    """Pool initializer: build this process's private analyzer."""
+    global _WORKER_ANALYZER
+    from .batch import BatchAnalyzer
+
+    _WORKER_ANALYZER = BatchAnalyzer(**payload)
+
+
+def _worker_run(specs: Sequence[QuerySpec]) -> BatchReport:
+    """Answer one shard inside the worker's private analyzer."""
+    return _WORKER_ANALYZER._run_specs(list(specs))
+
+
+def run_parallel(analyzer, specs: Sequence[QuerySpec]) -> BatchReport:
+    """Execute a normalised battery across ``analyzer.workers`` processes.
+
+    Called by :meth:`BatchAnalyzer.run` when ``workers > 1``; falls back
+    to the in-process pipeline when the plan degenerates to one shard.
+    The parent analyzer's sessions are never touched — each worker
+    reconstructs its own from the (picklable) trees, configuration and
+    any kernel snapshots the parent has to offer.
+    """
+    start = time.perf_counter()
+    trees = analyzer.trees
+    shard_count = max(1, min(analyzer.workers, len(specs)))
+    shards = plan_shards(specs, trees, shard_count)
+    if len(shards) <= 1:
+        return analyzer._run_specs(list(specs))
+
+    payload = analyzer._worker_config()
+    reports: List[Optional[BatchReport]] = [None] * len(shards)
+    errors: List[Optional[str]] = [None] * len(shards)
+    with ProcessPoolExecutor(
+        max_workers=len(shards),
+        initializer=_worker_init,
+        initargs=(payload,),
+    ) as pool:
+        futures = [pool.submit(_worker_run, shard.specs) for shard in shards]
+        for position, future in enumerate(futures):
+            try:
+                reports[position] = future.result()
+            except Exception as exc:  # worker died / payload failed
+                errors[position] = f"{type(exc).__name__}: {exc}"
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return merge_reports(
+        specs, shards, reports, errors, analyzer.workers, elapsed_ms
+    )
+
+
+# ----------------------------------------------------------------------
+# Deterministic merge
+# ----------------------------------------------------------------------
+
+#: Scenario-stat leaves that describe a *state size* rather than an event
+#: counter: across shards these are maxed, not summed (each worker has
+#: its own manager; adding their table sizes would describe no machine).
+_MAX_STAT_KEYS = frozenset(
+    {
+        "bdd_nodes",
+        "bdd_peak_nodes",
+        "bdd_unique_table",
+        "live_nodes",
+        "peak_live_nodes",
+        "dead_nodes",
+        "free_list",
+        "prob_cache",
+    }
+)
+
+
+def _merge_stat_dict(into: Dict[str, Any], new: Mapping[str, Any]) -> None:
+    """Accumulate one shard's stat dict into ``into`` (recursive).
+
+    Numbers are summed (they are per-batch counters), except the
+    state-size keys in :data:`_MAX_STAT_KEYS`, which are maxed.
+    Non-numeric leaves (e.g. the per-scenario variable ``order`` list)
+    keep the first shard's value.
+    """
+    for key, value in new.items():
+        if key not in into:
+            if isinstance(value, Mapping):
+                into[key] = {}
+                _merge_stat_dict(into[key], value)
+            else:
+                into[key] = value
+        elif isinstance(value, Mapping) and isinstance(into[key], dict):
+            _merge_stat_dict(into[key], value)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            if key in _MAX_STAT_KEYS:
+                into[key] = max(into[key], value)
+            else:
+                into[key] = round(into[key] + value, 3)
+        # else: keep the first shard's value
+
+
+def merge_reports(
+    specs: Sequence[QuerySpec],
+    shards: Sequence[Shard],
+    reports: Sequence[Optional[BatchReport]],
+    errors: Sequence[Optional[str]],
+    workers: int,
+    elapsed_ms: float,
+) -> BatchReport:
+    """Stitch per-shard reports into one battery-ordered report.
+
+    Per-query ordering follows the original battery exactly; a failed
+    shard contributes one ``ok=False`` result per member query (errors
+    in place, never a lost query).  Stats are aggregated with
+    :func:`_merge_stat_dict` plus a ``parallel`` block recording the
+    plan and per-shard outcomes.
+    """
+    merged: List[Optional[QueryResult]] = [None] * len(specs)
+    shard_rows: List[Dict[str, Any]] = []
+    stats: Dict[str, Any] = {
+        "queries": {},
+        "phases": {},
+        "scenarios": {},
+    }
+    for position, (shard, report, error) in enumerate(
+        zip(shards, reports, errors)
+    ):
+        row: Dict[str, Any] = {
+            "shard": position,
+            "queries": len(shard.indices),
+            "cost": round(shard.cost, 3),
+            "scenarios": list(shard.scenarios),
+        }
+        if error is not None:
+            row["error"] = error
+            # The failed shard's queries still count: without this the
+            # merged totals would claim a smaller, error-free battery.
+            _merge_stat_dict(
+                stats["queries"],
+                {
+                    "total": len(shard.indices),
+                    "errors": len(shard.indices),
+                },
+            )
+            for index in shard.indices:
+                spec = specs[index]
+                merged[index] = QueryResult(
+                    id=spec.id,
+                    kind=spec.kind,
+                    tree=spec.tree,
+                    formula=(
+                        spec.formula
+                        if isinstance(spec.formula, str)
+                        else None
+                    ),
+                    ok=False,
+                    elapsed_ms=0.0,
+                    error=f"worker shard failed: {error}",
+                )
+        else:
+            row["elapsed_ms"] = round(report.elapsed_ms, 3)
+            for index, result in zip(shard.indices, report.results):
+                merged[index] = result
+            _merge_stat_dict(stats["queries"], report.stats.get("queries", {}))
+            _merge_stat_dict(stats["phases"], report.stats.get("phases", {}))
+            _merge_stat_dict(
+                stats["scenarios"], report.stats.get("scenarios", {})
+            )
+        shard_rows.append(row)
+    stats["parallel"] = {"workers": workers, "shards": shard_rows}
+    return BatchReport(
+        results=tuple(merged), stats=stats, elapsed_ms=elapsed_ms
+    )
+
+
+# ----------------------------------------------------------------------
+# Snapshot-set persistence (the `bfl batch --snapshot` file format)
+# ----------------------------------------------------------------------
+
+
+def write_snapshot_file(
+    path: str, snapshots: Mapping[str, Mapping[str, Any]]
+) -> None:
+    """Write a scenario -> kernel-snapshot set as one JSON file.
+
+    ``snapshots`` is what :meth:`BatchAnalyzer.kernel_snapshots`
+    returns: per scenario, a ``tree`` fingerprint plus the ``kernel``
+    snapshot from ``BDDManager.save_snapshot``.
+    """
+    data = {
+        "format": SNAPSHOT_SET_FORMAT,
+        "version": SNAPSHOT_SET_VERSION,
+        "scenarios": {name: dict(snap) for name, snap in snapshots.items()},
+    }
+    # Atomic replace: an interrupted run must never leave a truncated
+    # file behind (the CLI treats an existing file as load-only, so a
+    # half-written snapshot would wedge every later --snapshot run).
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def read_snapshot_file(path: str) -> Dict[str, Dict[str, Any]]:
+    """Load a snapshot-set file back into the ``snapshots`` mapping
+    :class:`BatchAnalyzer` accepts.
+
+    Raises:
+        SnapshotError: If the file is unreadable, not JSON, or not a
+            snapshot set.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot file: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(
+            f"snapshot file {path!r} is not valid JSON: {exc}"
+        ) from exc
+    if (
+        not isinstance(data, dict)
+        or data.get("format") != SNAPSHOT_SET_FORMAT
+    ):
+        raise SnapshotError(
+            f"{path!r} is not a batch snapshot file "
+            f"(expected format {SNAPSHOT_SET_FORMAT!r})"
+        )
+    if data.get("version") != SNAPSHOT_SET_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot-set version {data.get('version')!r}"
+        )
+    scenarios = data.get("scenarios")
+    if not isinstance(scenarios, dict):
+        raise SnapshotError("snapshot file has no 'scenarios' mapping")
+    return {str(name): snap for name, snap in scenarios.items()}
