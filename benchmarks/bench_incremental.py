@@ -1,0 +1,321 @@
+"""Incremental variant sweep vs per-variant rebuild (the what-if path).
+
+The workload is a hospital *fleet* built from the paper's COVID-19
+tree: ``BENCH_WARDS`` renamed copies of the Fig. 2 ward model under a
+2-of-N VOT system gate (the fleet fails when two wards do).  A
+~1k-variant what-if sweep then asks the study-shaped question "how
+does the system risk move as we perturb ward 0?" — exactly the regime
+the copy-on-write fork path exists for: every variant's edit is
+confined to one ward, so seven-eighths of the model re-lowers for free
+and the edited subtree reaches the top through one memoised compose.
+Each variant is a short edit script drawn round-robin from three
+families:
+
+* ``weight-change`` — a basic event's failure probability moves;
+* ``gate-swap`` — a gate's connective flips (AND/OR/VOT);
+* ``subtree-replace`` — a gate's subtree is swapped for a small
+  fragment sharing one existing event.
+
+The *rebuild* arm answers each variant with a fresh
+:class:`~repro.service.batch.AnalysisSession` (new kernel, full
+``Psi_FT`` lowering).  The *incremental* arm forks every variant off
+one warm base session (:meth:`AnalysisSession.fork_variant`): shared
+kernel, adopted element BDDs, one memoised compose splice per variant.
+
+Agreement is enforced on every variant — ``P(top)`` to 1e-12 and the
+structure function on probe vectors — and the full MCS family of the
+edited ward on a subsample (read through ``MCS(...)`` cubes: the
+fleet-top family crosses every 2-of-N pair of ward cut sets and the
+total-vector view expands don't-cares over all 100+ events, so either
+would swamp *both* arms with identical checker work and dilute the
+ratio); the speedup floor only gates on top of that.
+
+Gated in CI via ``benchmarks/run_gates.py``: incremental must beat
+rebuild by ``BENCH_MIN_INCREMENTAL_SPEEDUP`` (CI pins 5).
+
+Env:
+    BENCH_VARIANTS                   sweep size (default 1000)
+    BENCH_WARDS                      covid copies in the fleet (default 8)
+    BENCH_MIN_INCREMENTAL_SPEEDUP    speedup floor (default 1)
+
+Run directly for a self-checking report::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py
+
+Direct runs append a machine-readable record to
+``benchmarks/results/BENCH_incremental.json`` keyed by ``BENCH_LABEL``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from bench_json import record_run
+
+from repro.casestudy import build_covid_tree
+from repro.ft import FaultTree, GateSwap, SubtreeReplace, WeightChange, apply_edits
+from repro.ft.elements import BasicEvent, Gate, GateType
+from repro.checker.satisfy import satisfying_cubes
+from repro.logic import MCS, Atom
+from repro.service import AnalysisSession
+
+UNIFORM = 0.1
+MCS_SUBSAMPLE = 50  # full edited-ward MCS agreement every Nth variant
+MCS_SCOPE = "w0_IWoS"  # ward 0's top: the subtree every edit lands in
+
+FRAGMENT = (
+    'toplevel "FX";\n'
+    '"FX" or "FY" "{shared}";\n'
+    '"FY" and "z1" "{shared}";\n'
+    '"z1" prob=0.15;\n'
+)
+
+
+def build_fleet(wards: int) -> FaultTree:
+    """``wards`` renamed covid copies under a 2-of-N VOT system gate."""
+    covid = build_covid_tree()
+    basic_events = []
+    gates = []
+    tops = []
+    for ward in range(wards):
+        def renamed(name: str) -> str:
+            return f"w{ward}_{name}"
+
+        for name in covid.basic_events:
+            basic_events.append(BasicEvent(renamed(name)))
+        for name in covid.gate_names:
+            gate = covid.gate(name)
+            gates.append(
+                Gate(
+                    renamed(name),
+                    gate.gate_type,
+                    tuple(renamed(child) for child in gate.children),
+                    threshold=gate.threshold,
+                )
+            )
+        tops.append(renamed(covid.top))
+    gates.append(
+        Gate("FLEET", GateType.VOT, tuple(tops), threshold=min(2, wards))
+    )
+    return FaultTree(basic_events, gates, "FLEET")
+
+
+def variant_edits(tree, count: int) -> list:
+    """Round-robin edit scripts over the three structural families,
+    all confined to ward 0 (the single-subtree what-if regime)."""
+    events = sorted(
+        event for event in tree.basic_events if event.startswith("w0_")
+    )
+    gates = sorted(
+        name
+        for name in tree.gate_names
+        if name.startswith("w0_") and name != tree.top
+    )
+    scripts = []
+    for i in range(count):
+        family = i % 3
+        if family == 0:
+            event = events[i % len(events)]
+            scripts.append(
+                [WeightChange(event, 0.01 + (i % 90) / 100.0)]
+            )
+        elif family == 1:
+            gate = gates[i % len(gates)]
+            arity = len(tree.gate(gate).children)
+            kinds = ["and", "or"] + (["vot"] if arity >= 2 else [])
+            kind = kinds[i % len(kinds)]
+            if kind == "vot":
+                scripts.append(
+                    [GateSwap(gate, "vot", 1 + (i % arity))]
+                )
+            else:
+                scripts.append([GateSwap(gate, kind)])
+        else:
+            gate = gates[i % len(gates)]
+            shared = events[i % len(events)]
+            scripts.append(
+                [SubtreeReplace(gate, FRAGMENT.format(shared=shared))]
+            )
+    return scripts
+
+
+def base_overrides(tree) -> dict:
+    return {event: UNIFORM for event in tree.basic_events}
+
+
+def rebuild_overrides(base_tree, variant_tree, edits) -> dict:
+    """What a fresh session must weigh: the uniform base weights, minus
+    weight-changed events (the edit's value lives in the tree now),
+    restricted to surviving events.  Mirrors fork_variant inheritance."""
+    weight_targets = {
+        edit.event for edit in edits if isinstance(edit, WeightChange)
+    }
+    surviving = set(variant_tree.basic_events)
+    return {
+        event: UNIFORM
+        for event in base_tree.basic_events
+        if event not in weight_targets and event in surviving
+    }
+
+
+def mcs_family(session, vtree) -> tuple:
+    """The edited ward's MCS family through the formula layer.
+
+    Reads ``MCS(scope)`` as cubes — one minimal cut set per BDD 1-path
+    — instead of :meth:`ChkEngine.minimal_cut_sets`, whose
+    ``SatisfactionSet`` also materialises every *total* satisfying
+    vector: with the element scoped to one ward the other wards' events
+    are don't-cares and that expansion is exponential in the fleet
+    size.
+    """
+    scope = MCS_SCOPE if MCS_SCOPE in vtree else vtree.top
+    cubes = satisfying_cubes(session.checker.translator, MCS(Atom(scope)))
+    family = {
+        frozenset(name for name, value in cube.items() if value)
+        for cube in cubes
+    }
+    return tuple(sorted(family, key=lambda s: (len(s), sorted(s))))
+
+
+def probe_vectors(events) -> list:
+    """A few deterministic status vectors exercising mixed failures."""
+    vectors = []
+    for k in (0, 1, 2):
+        vectors.append(
+            {event: (i + k) % 3 != 0 for i, event in enumerate(events)}
+        )
+    return vectors
+
+
+def main() -> int:
+    count = int(os.environ.get("BENCH_VARIANTS", "1000"))
+    wards = int(os.environ.get("BENCH_WARDS", "8"))
+    min_speedup = float(
+        os.environ.get("BENCH_MIN_INCREMENTAL_SPEEDUP", "1")
+    )
+    tree = build_fleet(wards)
+    scripts = variant_edits(tree, count)
+    # Variant trees and probe vectors are materialised once, outside
+    # both timed arms: each arm would otherwise pay identical
+    # apply_edits/dict-building scaffolding, which only dilutes the
+    # kernel comparison.
+    trees = [apply_edits(tree, edits) for edits in scripts]
+    probes = [
+        probe_vectors(sorted(vtree.basic_events)) for vtree in trees
+    ]
+    print(
+        f"sweep: {count} variants of a {wards}-ward covid fleet "
+        f"({len(tree.basic_events)} events, "
+        f"{len(tuple(tree.gate_names))} gates; edits target ward 0)"
+    )
+
+    # --- rebuild arm: fresh kernel per variant -----------------------
+    rebuild_p = []
+    rebuild_eval = []
+    rebuild_mcs = {}
+    start = time.perf_counter()
+    for i, (edits, vtree) in enumerate(zip(scripts, trees)):
+        session = AnalysisSession(
+            f"r{i}",
+            vtree,
+            probabilities=rebuild_overrides(tree, vtree, edits),
+        )
+        top_ref = session.checker.translator.tree_translator.top()
+        manager = session.checker.manager
+        rebuild_eval.append(
+            [manager.evaluate(top_ref, vector) for vector in probes[i]]
+        )
+        rebuild_p.append(
+            session.prob_checker().probability(Atom(vtree.top))
+        )
+        if i % MCS_SUBSAMPLE == 0:
+            rebuild_mcs[i] = mcs_family(session, vtree)
+    rebuild_s = time.perf_counter() - start
+
+    # --- incremental arm: one warm base, forked variants -------------
+    start = time.perf_counter()
+    base = AnalysisSession(
+        "base", tree, probabilities=base_overrides(tree)
+    )
+    base.checker.translator.tree_translator.top()
+    incremental_p = []
+    incremental_eval = []
+    incremental_mcs = {}
+    for i, edits in enumerate(scripts):
+        variant = base.fork_variant(f"v{i}", edits, tree=trees[i])
+        vtree = variant.tree
+        top_ref = variant.checker.translator.tree_translator.top()
+        manager = variant.checker.manager
+        incremental_eval.append(
+            [manager.evaluate(top_ref, vector) for vector in probes[i]]
+        )
+        incremental_p.append(
+            variant.prob_checker().probability(Atom(vtree.top))
+        )
+        if i % MCS_SUBSAMPLE == 0:
+            incremental_mcs[i] = mcs_family(variant, vtree)
+        if i % 200 == 199:
+            # Dropped variant sessions release their pins; reclaim so a
+            # long sweep holds the kernel flat.
+            manager.collect()
+    incremental_s = time.perf_counter() - start
+    base.checker.manager.check_invariants()
+
+    # --- agreement (always enforced, never gated away) ---------------
+    disagreements = [
+        i
+        for i, (a, b) in enumerate(zip(rebuild_p, incremental_p))
+        if abs(a - b) > 1e-12
+    ]
+    assert not disagreements, (
+        f"P(top) disagrees on variants {disagreements[:5]} "
+        f"(of {len(disagreements)})"
+    )
+    assert rebuild_eval == incremental_eval, (
+        "structure-function probes disagree between arms"
+    )
+    assert rebuild_mcs == incremental_mcs, (
+        "MCS families disagree on the subsample"
+    )
+    spread = max(rebuild_p) - min(rebuild_p)
+
+    speedup = rebuild_s / incremental_s if incremental_s else float("inf")
+    nodes = base.checker.manager.node_count()
+    print(f"rebuild   ({count} kernels): {rebuild_s * 1000:9.1f} ms")
+    print(f"incremental (one kernel):  {incremental_s * 1000:9.1f} ms")
+    print(f"speedup:                   {speedup:9.2f}x")
+    print(
+        f"agreement: P(top) to 1e-12 on all {count}, probes on all, "
+        f"edited-ward MCS on {len(rebuild_mcs)} subsampled variants"
+    )
+    print(
+        f"P(top) spread across variants: {spread:.6f} "
+        f"(shared kernel ends at {nodes} nodes)"
+    )
+
+    path = record_run(
+        "incremental",
+        {
+            "variants": count,
+            "wards": wards,
+            "rebuild_ms": round(rebuild_s * 1000.0, 3),
+            "incremental_ms": round(incremental_s * 1000.0, 3),
+            "speedup": round(speedup, 2),
+            "mcs_checked": len(rebuild_mcs),
+            "probability_spread": round(spread, 6),
+            "kernel_nodes": nodes,
+        },
+    )
+    print(f"\nrecorded -> {path}")
+
+    assert speedup >= min_speedup, (
+        f"incremental sweep {speedup:.2f}x regressed below the "
+        f"{min_speedup:g}x floor over rebuild"
+    )
+    print(f"OK: incremental sweep >= {min_speedup:g}x rebuild.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

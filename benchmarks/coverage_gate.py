@@ -1,0 +1,94 @@
+"""Test-coverage gate: ``pytest --cov=repro`` with a line-rate floor.
+
+Runs the full tier-1 suite under ``pytest-cov``, writes the
+machine-readable report to ``coverage.json`` (uploaded as a CI
+artifact next to the ``BENCH_*.json`` records), and fails when total
+line coverage drops below ``COV_MIN_PERCENT``.
+
+The gate is a *CI* gate: ``pytest-cov`` is an optional dependency, and
+a local environment without it skips cleanly (exit 0 with a notice)
+rather than failing or demanding an install — the correctness suite
+itself is unaffected either way.
+
+Env:
+    COV_MIN_PERCENT   line-coverage floor in percent (default 70)
+    COV_JSON          where to write the JSON report
+                      (default: <repo>/coverage.json)
+
+Run via the declarative table (the normal CI path)::
+
+    PYTHONPATH=src python benchmarks/run_gates.py --only coverage
+
+or directly::
+
+    PYTHONPATH=src python benchmarks/coverage_gate.py
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent
+
+
+def main() -> int:
+    if importlib.util.find_spec("pytest_cov") is None:
+        print(
+            "coverage gate: pytest-cov is not installed in this "
+            "environment — skipping (the gate only binds in CI, where "
+            "it is pip-installed; nothing to do locally)."
+        )
+        return 0
+
+    floor = float(os.environ.get("COV_MIN_PERCENT", "70"))
+    report = Path(os.environ.get("COV_JSON", REPO / "coverage.json"))
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "--cov=repro",
+            f"--cov-report=json:{report}",
+            "--cov-report=term",
+            str(REPO / "tests"),
+        ],
+        cwd=REPO,
+        env=env,
+    )
+    if result.returncode != 0:
+        print("coverage gate: the test run itself failed")
+        return result.returncode
+
+    try:
+        data = json.loads(report.read_text())
+        percent = float(data["totals"]["percent_covered"])
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"coverage gate: cannot read {report}: {exc}")
+        return 1
+
+    print(
+        f"coverage gate: {percent:.2f}% of repro lines covered "
+        f"(floor {floor:g}%, report -> {report})"
+    )
+    if percent < floor:
+        print(
+            f"coverage gate: FAILED — {percent:.2f}% is below the "
+            f"{floor:g}% floor"
+        )
+        return 1
+    print("OK: coverage floor held.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

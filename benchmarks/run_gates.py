@@ -107,6 +107,26 @@ GATES: Tuple[GateSpec, ...] = (
             "BENCH_WORKERS": "4",
         },
     ),
+    GateSpec(
+        name="incremental",
+        script="bench_incremental.py",
+        title="incremental variant sweep >= 5x over per-variant "
+        "rebuild (agreement always enforced)",
+        override="BENCH_MIN_INCREMENTAL_SPEEDUP",
+        defaults={
+            "BENCH_MIN_INCREMENTAL_SPEEDUP": "5",
+            "BENCH_VARIANTS": "1000",
+            "BENCH_WARDS": "8",
+        },
+    ),
+    GateSpec(
+        name="coverage",
+        script="coverage_gate.py",
+        title="tier-1 suite line coverage >= 70% of repro "
+        "(skips cleanly where pytest-cov is absent)",
+        override="COV_MIN_PERCENT",
+        defaults={"COV_MIN_PERCENT": "70"},
+    ),
 )
 
 

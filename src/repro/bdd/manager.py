@@ -131,6 +131,11 @@ class OperationCacheStats:
     ite_misses: int = 0
     restrict_hits: int = 0
     restrict_misses: int = 0
+    #: Substitution (``BDDManager.compose``) memo table; the incremental
+    #: translator's splice path is built on this primitive, so sweeps of
+    #: many variants over one base tree show up as compose hits.
+    compose_hits: int = 0
+    compose_misses: int = 0
     #: Weighted-evaluation cache (``BDDManager.probability``): a hit is a
     #: traversal cut off at an already-valued node, a miss is one node
     #: whose probability had to be computed.
@@ -143,7 +148,11 @@ class OperationCacheStats:
     def hits(self) -> int:
         """Total memo-table hits across all operations."""
         return (
-            self.apply_hits + self.ite_hits + self.restrict_hits + self.prob_hits
+            self.apply_hits
+            + self.ite_hits
+            + self.restrict_hits
+            + self.compose_hits
+            + self.prob_hits
         )
 
     @property
@@ -153,6 +162,7 @@ class OperationCacheStats:
             self.apply_misses
             + self.ite_misses
             + self.restrict_misses
+            + self.compose_misses
             + self.prob_misses
         )
 
@@ -213,6 +223,7 @@ class BDDManager:
         self._apply_cache: Dict[Tuple[int, int, int], int] = {}
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._restrict_cache: Dict[Tuple[int, int, int], int] = {}
+        self._compose_cache: Dict[Tuple[int, int, int], int] = {}
         self._exists_cache: Dict[Tuple[int, FrozenSet[int]], int] = {}
         self._support_cache: Dict[int, FrozenSet[int]] = {}
         # Weighted-evaluation (probability) caches: per weight *profile*
@@ -763,16 +774,61 @@ class BDDManager:
 
     def compose(self, u: Ref, name: str, g: Ref) -> Ref:
         """Substitute BDD ``g`` for variable ``name`` in ``u``
-        (Shannon expansion: ``ite(g, u[name:=1], u[name:=0])``)."""
-        ue = self._unwrap(u)
-        level = self.level_of(name)
+        (Shannon expansion: ``ite(g, u[name:=1], u[name:=0])``).
+
+        Runs a dedicated single-pass memoised recursion rather than the
+        restrict/restrict/ITE expansion, so repeated substitutions at one
+        site (the incremental translator's variant-splice pattern) are a
+        cache walk after the first call.  The memo table participates in
+        the GC/reordering lifecycle via :meth:`clear_caches`, which makes
+        the primitive safe to use across :meth:`checkpoint` boundaries.
+        """
         return self._wrap(
-            self._ite_e(
-                self._unwrap(g),
-                self._restrict_e(ue, level, 1),
-                self._restrict_e(ue, level, 0),
+            self._compose_e(
+                self._unwrap(u), self.level_of(name), self._unwrap(g)
             )
         )
+
+    def _compose_e(self, u: int, level: int, g: int) -> int:
+        # Substitution commutes with complement on the host function
+        # (compose(~f, x, g) == ~compose(f, x, g)); cache on the regular
+        # edge so a function and its negation share entries.  ``g``'s
+        # complement bit stays in the key — it changes the result.
+        c = u & 1
+        u ^= c
+        index = u >> 1
+        if self._level[index] > level:
+            # Terminals and nodes ordered below `level` cannot mention
+            # the substituted variable.
+            return u ^ c
+        if level not in self._support_levels(u):
+            # Subgraphs independent of the substituted variable pass
+            # through untouched.  The support sets are memoised globally
+            # (and survive across compose calls), so a variant sweep
+            # substituting many different ``g`` at one site only ever
+            # walks the spine that actually depends on it.
+            return u ^ c
+        key = (u, level, g)
+        cached = self._compose_cache.get(key)
+        if cached is not None:
+            self.op_stats.compose_hits += 1
+            return cached ^ c
+        self.op_stats.compose_misses += 1
+        top = self._level[index]
+        if top == level:
+            # Shannon expansion at the substituted variable (stored high
+            # edges are regular; the low edge may carry a complement).
+            result = self._ite_e(g, self._high[index], self._low[index])
+        else:
+            r0 = self._compose_e(self._low[index], level, g)
+            r1 = self._compose_e(self._high[index], level, g)
+            # ``g`` may mention variables ordered *above* `top`, so the
+            # branches cannot simply hang under a fresh `top` node;
+            # recombining through ITE on the branch variable restores
+            # the global order invariant.
+            result = self._ite_e(self._mk(top, _FALSE, _TRUE), r1, r0)
+        self._compose_cache[key] = result
+        return result ^ c
 
     def rename(self, u: Ref, mapping: Mapping[str, str]) -> Ref:
         """Rename variables (the paper's ``B[V -> V']`` primed copy).
@@ -1143,6 +1199,7 @@ class BDDManager:
         data["apply_cache_size"] = len(self._apply_cache)
         data["ite_cache_size"] = len(self._ite_cache)
         data["restrict_cache_size"] = len(self._restrict_cache)
+        data["compose_cache_size"] = len(self._compose_cache)
         data["prob_cache_size"] = sum(
             len(cache) for cache in self._prob_caches.values()
         )
@@ -1171,6 +1228,7 @@ class BDDManager:
         self._apply_cache.clear()
         self._ite_cache.clear()
         self._restrict_cache.clear()
+        self._compose_cache.clear()
         self._exists_cache.clear()
         self._support_cache.clear()
         self._prob_caches.clear()
@@ -1718,6 +1776,42 @@ class BDDManager:
             )
         parents, members = self._reorder_context()
         self._swap_adjacent(level, parents, members)
+        self.clear_caches()
+
+    def move_to_level(self, name: str, level: int) -> None:
+        """Move ``name`` to position ``level`` via in-place adjacent
+        swaps; variables in between shift one position toward the
+        vacated slot.
+
+        Like :meth:`swap`, every pre-existing node index keeps denoting
+        the same Boolean function, so live :class:`Ref` handles stay
+        valid.  Moving a variable with no nodes (e.g. a placeholder the
+        splice path just declared) only relabels the levels it crosses
+        — no node is rewired — which is what makes "declare at the end,
+        park where it belongs" a cheap idiom.  A no-op move keeps all
+        memo tables; a real one drops them (they are keyed on levels).
+
+        Raises:
+            VariableError: If ``name`` is undeclared or ``level`` is out
+                of range.
+        """
+        current = self._levels.get(name)
+        if current is None:
+            raise VariableError(f"cannot move undeclared variable {name!r}")
+        if not 0 <= level < len(self._order):
+            raise VariableError(
+                f"target level {level} out of range "
+                f"(have {len(self._order)} variables)"
+            )
+        if current == level:
+            return
+        parents, members = self._reorder_context()
+        while current > level:
+            self._swap_adjacent(current - 1, parents, members)
+            current -= 1
+        while current < level:
+            self._swap_adjacent(current, parents, members)
+            current += 1
         self.clear_caches()
 
     def sift_inplace(

@@ -115,8 +115,16 @@ class FormulaTranslator:
                 interleaved.append(prime_name(name))
             manager = BDDManager(interleaved)
         else:
-            # Caller-provided manager: fall back to appending the primes in
-            # the manager's level order (correct, possibly slower).
+            # Caller-provided manager: declare whatever basic events it is
+            # missing (a variant fork may add events to a shared kernel),
+            # then fall back to appending the primes in the manager's
+            # level order (correct, possibly slower).
+            declared = set(manager.variables)
+            missing = [
+                name for name in tree.basic_events if name not in declared
+            ]
+            if missing:
+                manager.declare(*missing)
             ensure_primed(
                 manager, sorted(tree.basic_events, key=manager.level_of)
             )
@@ -205,6 +213,47 @@ class FormulaTranslator:
         raise TypeError(f"cannot translate {formula!r}")
 
     # ------------------------------------------------------------------
+    # Incremental update (the variant-sweep delta path)
+    # ------------------------------------------------------------------
+
+    def rebase(self, new_tree: FaultTree) -> frozenset:
+        """Retarget the translator at an edited tree in place.
+
+        Delegates the structural diff to
+        :meth:`repro.ft.to_bdd.TreeTranslator.rebase` (unchanged element
+        BDDs survive), then evicts exactly the formula-cache entries the
+        edit can affect: formulae mentioning a dirty element, and — when
+        the basic-event set itself changed — formulae containing MCS/MPS
+        (whose minimality scope quantifies over the events) or evidence
+        (whose targets are validated against the event set).  Everything
+        else keeps answering from cache, which is what makes a what-if
+        sweep on a warm session nearly free.
+
+        Returns:
+            The dirty element names.
+        """
+        from ..bdd.minimal import ensure_primed
+
+        if new_tree is self.tree:
+            return frozenset()
+        be_changed = set(self.tree.basic_events) != set(
+            new_tree.basic_events
+        )
+        dirty = self.tree_translator.rebase(new_tree)
+        self.tree = new_tree
+        ensure_primed(
+            self.manager,
+            sorted(new_tree.basic_events, key=self.manager.level_of),
+        )
+        for formula in [
+            f
+            for f in self._cache
+            if _affected(f, dirty, be_changed)
+        ]:
+            del self._cache[formula]
+        return dirty
+
+    # ------------------------------------------------------------------
 
     def _element(self, name: str) -> Ref:
         if name not in self.tree:
@@ -262,3 +311,43 @@ class FormulaTranslator:
         both manager-level caches.
         """
         return self.manager.probability(self.bdd(formula), weights)
+
+
+def _affected(
+    formula: Formula, dirty: frozenset, be_changed: bool
+) -> bool:
+    """Can an edit with this dirty set change ``BT(formula)``?
+
+    Conservative syntactic test used by :meth:`FormulaTranslator.rebase`:
+    True when the formula mentions a dirty element, or (with a changed
+    basic-event set) contains an operator whose semantics quantify over
+    or validate against the event universe (MCS/MPS, evidence).
+    """
+    stack: List[Formula] = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Atom):
+            if node.name in dirty:
+                return True
+        elif isinstance(node, Constant):
+            pass
+        elif isinstance(node, (MCS, MPS)):
+            if be_changed:
+                return True
+            stack.append(node.operand)
+        elif isinstance(node, Not):
+            stack.append(node.operand)
+        elif isinstance(node, (And, Or, Implies, Equiv, NotEquiv)):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, Evidence):
+            if be_changed:
+                return True
+            if any(name in dirty for name, _ in node.assignments):
+                return True
+            stack.append(node.operand)
+        elif isinstance(node, Vot):
+            stack.extend(node.operands)
+        else:
+            return True  # Unknown node kind: never keep a stale entry.
+    return False

@@ -174,6 +174,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
           "snapshot": "kernels.json",       // kernel snapshot cache file
           "uniform": 0.1,                   // failure probability floor
           "probabilities": {"H1": 0.02},    // per-event (or per-scenario) map
+          "variants": {                     // copy-on-write what-if scenarios
+            "no-masks": {"base": "default", "edits": [
+              {"op": "gate-swap", "gate": "MoT", "type": "and"},
+              {"op": "weight-change", "event": "H1", "probability": 0.5}
+            ]}
+          },
           "queries": [
             {"id": "p1", "formula": "forall (IS => MoT)"},
             {"formula": "[[ MCS(MoT) & IS ]]"},
@@ -191,6 +197,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     (after prewarming the scenario trees) when it does not, so the
     second run of a battery skips tree translation everywhere —
     including inside the workers.
+
+    ``variants`` declares copy-on-write what-if scenarios: each entry
+    names a base scenario (default ``"default"``) plus an edit script
+    (``gate-swap`` / ``subtree-replace`` / ``event-add`` /
+    ``event-remove`` / ``weight-change``, see :mod:`repro.ft.edits`)
+    and optional probability overrides.  Queries target a variant by
+    scenario name exactly like a tree from ``trees``; its session is
+    forked from the warm base kernel instead of being rebuilt.
+    ``--variants PATH`` merges another JSON file of such definitions on
+    top of the query file's key (the file wins on name clashes).
 
     Exit code 0 when every query succeeded, 1 when any individual query
     errored (the report still lists all of them), 2 on a malformed file.
@@ -286,6 +302,31 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     snapshots = None
     if snapshot_path and os.path.exists(snapshot_path):
         snapshots = read_snapshot_file(snapshot_path)
+
+    variants = data.get("variants", {})
+    if not isinstance(variants, dict):
+        raise QuerySpecError(
+            "'variants' must map variant names to definitions"
+        )
+    if args.variants:
+        try:
+            with open(args.variants, "r", encoding="utf-8") as handle:
+                extra_variants = json.load(handle)
+        except OSError as exc:
+            raise QuerySpecError(
+                f"cannot read variants file: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise QuerySpecError(
+                f"variants file {args.variants!r} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(extra_variants, dict):
+            raise QuerySpecError(
+                "variants file must be a JSON object mapping variant "
+                "names to definitions"
+            )
+        variants = {**variants, **extra_variants}
+
     analyzer = BatchAnalyzer(
         scenarios,
         scope=scope,
@@ -295,6 +336,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         uniform=uniform,
         workers=workers,
         snapshots=snapshots,
+        variants=variants,
     )
     if snapshot_path and snapshots is None:
         # First run with a snapshot cache: translate the trees now so
@@ -483,6 +525,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel snapshot cache: load it when the file exists, "
         "create it otherwise, so repeat runs (and this run's workers) "
         "skip fault-tree translation",
+    )
+    p_batch.add_argument(
+        "--variants",
+        metavar="FILE",
+        help="JSON file of copy-on-write what-if scenarios (variant "
+        "name -> {base, edits, probabilities}), merged over the query "
+        "file's 'variants' key; variant sessions fork the warm base "
+        "kernel instead of rebuilding per scenario",
     )
     p_batch.set_defaults(handler=_cmd_batch)
 

@@ -16,6 +16,22 @@ from .analysis import (
 )
 from .builder import FaultTreeBuilder
 from .dual import dual_tree
+from .edits import (
+    Edit,
+    EditError,
+    EventAdd,
+    EventRemove,
+    GateSwap,
+    SubtreeReplace,
+    WeightChange,
+    apply_edits,
+    changed_elements,
+    changed_elements_from_edits,
+    edit_from_dict,
+    edits_from_any,
+    signatures,
+    splice_site,
+)
 from .elements import BasicEvent, Gate, GateType
 from .examples import (
     example_vot_tree,
@@ -33,16 +49,28 @@ from .tree import FaultTree, StatusVector
 
 __all__ = [
     "BasicEvent",
+    "Edit",
+    "EditError",
+    "EventAdd",
+    "EventRemove",
     "FaultTree",
     "FaultTreeBuilder",
     "Gate",
+    "GateSwap",
     "GateType",
     "RandomTreeConfig",
     "StatusVector",
+    "SubtreeReplace",
     "TreeTranslator",
+    "WeightChange",
+    "apply_edits",
+    "changed_elements",
+    "changed_elements_from_edits",
     "dual_tree",
     "dump",
     "dumps",
+    "edit_from_dict",
+    "edits_from_any",
     "evaluate_all",
     "example_vot_tree",
     "figure1_tree",
@@ -63,6 +91,8 @@ __all__ = [
     "minimal_path_sets_enum",
     "minimize_sets",
     "random_tree",
+    "signatures",
+    "splice_site",
     "simplification_stats",
     "simplify",
     "structural_importance",

@@ -32,6 +32,12 @@ class RandomTreeConfig:
         p_vot: Probability that a gate is VOT (the rest split AND/OR evenly).
         p_share: Probability that a child slot reuses an existing element.
         max_depth: Depth at which subtrees are forced to be basic events.
+        vot_boundary_bias: Probability that a VOT threshold is pinned to
+            an arity boundary (``k == 1``, i.e. OR-equivalent, or
+            ``k == n``, i.e. AND-equivalent) instead of drawn uniformly.
+            A uniform draw over 2..``max_children`` children makes the
+            boundaries so rare on small trees that property tests never
+            exercised the degenerate VOT forms; bias forces them in.
     """
 
     n_basic_events: int = 8
@@ -39,6 +45,7 @@ class RandomTreeConfig:
     p_vot: float = 0.15
     p_share: float = 0.2
     max_depth: int = 5
+    vot_boundary_bias: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_basic_events < 1:
@@ -46,6 +53,8 @@ class RandomTreeConfig:
         if self.max_children < 2:
             raise ValueError("gates need at least two candidate children")
         if not 0.0 <= self.p_vot <= 1.0 or not 0.0 <= self.p_share <= 1.0:
+            raise ValueError("probabilities must lie in [0, 1]")
+        if not 0.0 <= self.vot_boundary_bias <= 1.0:
             raise ValueError("probabilities must lie in [0, 1]")
 
 
@@ -97,7 +106,10 @@ def random_tree(
             if extra not in children:
                 children.append(extra)
         if len(children) >= 2 and rng.random() < cfg.p_vot:
-            threshold = rng.randint(1, len(children))
+            if rng.random() < cfg.vot_boundary_bias:
+                threshold = rng.choice((1, len(children)))
+            else:
+                threshold = rng.randint(1, len(children))
             gate = Gate(
                 name=name,
                 gate_type=GateType.VOT,

@@ -13,13 +13,32 @@ Results are cached per (manager, tree) in a :class:`TreeTranslator`, the
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import (
+    Container,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 from ..bdd.manager import BDDManager
 from ..bdd.ref import Ref
-from ..errors import SnapshotError
+from ..errors import SnapshotError, VariableError
+from .edits import changed_elements
 from .elements import GateType
 from .tree import FaultTree
+
+#: Prefix of the placeholder variables :meth:`TreeTranslator.abstract_root`
+#: declares.  Double underscores keep them out of any Galileo namespace;
+#: they never appear in the support of a spliced result.
+HOLE_PREFIX = "__hole__"
+
+
+def hole_variable(site: str) -> str:
+    """Name of the placeholder variable standing in for ``Psi(site)``."""
+    return HOLE_PREFIX + site
 
 
 class TreeTranslator:
@@ -47,6 +66,10 @@ class TreeTranslator:
         if missing:
             manager.declare(*missing)
         self._cache: Dict[str, Ref] = {}
+        # site -> Psi(top) with the site's subtree abstracted into a
+        # placeholder variable (see abstract_root); invalidated whenever
+        # rebase changes any structure.
+        self._abstract: Dict[str, Ref] = {}
 
     def element(self, name: str) -> Ref:
         """``Psi_FT(name)`` with memoisation."""
@@ -75,12 +98,159 @@ class TreeTranslator:
 
     def _combine(self, name: str) -> Ref:
         gate = self.tree.gate(name)
-        operands = [self._cache[child] for child in gate.children]
+        return self._combine_operands(
+            gate, [self._cache[child] for child in gate.children]
+        )
+
+    def _combine_operands(self, gate, operands: List[Ref]) -> Ref:
         if gate.gate_type is GateType.OR:
             return self.manager.disjoin(operands)
         if gate.gate_type is GateType.AND:
             return self.manager.conjoin(operands)
         return self.manager.threshold(operands, gate.threshold)
+
+    # ------------------------------------------------------------------
+    # Incremental update (the variant-sweep delta path)
+    # ------------------------------------------------------------------
+
+    def rebase(self, new_tree: FaultTree) -> FrozenSet[str]:
+        """Retarget the translator at an edited tree, keeping every
+        element BDD whose structure function is unchanged.
+
+        The kept entries are exactly the elements outside
+        :func:`repro.ft.edits.changed_elements` — their ``Psi_FT`` BDDs
+        denote the same Boolean function over the same leaves in both
+        trees, so the memo stays sound.  Dirty entries (and all memoised
+        abstract roots) are dropped and re-lowered lazily on the next
+        :meth:`element` call.
+
+        Returns:
+            The dirty element names (useful for invalidating downstream
+            formula caches keyed on these elements).
+        """
+        if new_tree is self.tree:
+            return frozenset()
+        dirty = changed_elements(self.tree, new_tree)
+        for name in dirty:
+            self._cache.pop(name, None)
+        if dirty:
+            self._abstract.clear()
+        self.tree = new_tree
+        declared = set(self.manager.variables)
+        missing = [
+            be for be in new_tree.basic_events if be not in declared
+        ]
+        if missing:
+            self.manager.declare(*missing)
+            # Park each new event next to its siblings in the order
+            # (cheap while node-free, like the splice placeholder): an
+            # event appended at the bottom would otherwise force every
+            # splice touching it to recombine through all the levels in
+            # between.
+            for be in missing:
+                levels = [
+                    self.manager.level_of(sibling)
+                    for parent in new_tree.parents(be)
+                    for sibling in new_tree.children(parent)
+                    if sibling != be
+                    and new_tree.is_basic(sibling)
+                    and sibling in declared
+                ]
+                if levels:
+                    self.manager.move_to_level(be, min(levels))
+        return dirty
+
+    def abstract_root(self, site: str) -> Ref:
+        """``Psi(top)`` with the subtree at ``site`` replaced by a
+        placeholder variable (memoised per site).
+
+        The placeholder (:func:`hole_variable`) is declared on demand
+        and parked just *above* the site subtree's own variables in the
+        order (via :meth:`~repro.bdd.manager.BDDManager.move_to_level`,
+        cheap while the placeholder has no nodes).  Placement does not
+        affect what :meth:`splice` computes, only what it costs: with
+        the hole above the substituted BDD's support the compose is a
+        graft — walk ``g``, drop in the two cofactors — instead of an
+        ITE recombination through every level between the hole and the
+        root.  The result is a function of the basic events *and* the
+        placeholder; substituting any BDD ``g`` for the placeholder
+        (see :meth:`splice`) yields exactly the top BDD of a tree whose
+        ``site`` subtree computes ``g`` — shared occurrences of
+        ``site`` all route through the one variable.
+        """
+        cached = self._abstract.get(site)
+        if cached is not None:
+            return cached
+        if site not in self.tree:
+            raise VariableError(
+                f"abstract_root: {site!r} is not an element of the tree"
+            )
+        hole = hole_variable(site)
+        if hole not in set(self.manager.variables):
+            self.manager.declare(hole)
+        if site != self.tree.top:
+            # Park the hole above the site BDD's support while it is
+            # still node-free (the top case skips the probe: compose
+            # against a bare placeholder is ``g`` wherever it sits).
+            support = self.manager.support(self.element(site))
+            if support:
+                target = min(self.manager.level_of(v) for v in support)
+                if self.manager.level_of(hole) > target:
+                    self.manager.move_to_level(hole, target)
+        placeholder = self.manager.var(hole)
+        if site == self.tree.top:
+            root = placeholder
+        else:
+            # Re-lower only the site's (transitive) parents against the
+            # placeholder; every other element comes from the shared memo.
+            dirty = self._ancestors(site)
+            memo: Dict[str, Ref] = {site: placeholder}
+            stack: List[tuple] = [(self.tree.top, False)]
+            while stack:
+                current, expanded = stack.pop()
+                if current in memo:
+                    continue
+                if not expanded:
+                    stack.append((current, True))
+                    for child in self.tree.children(current):
+                        if child in dirty and child not in memo:
+                            stack.append((child, False))
+                    continue
+                gate = self.tree.gate(current)
+                operands = [
+                    memo[child]
+                    if (child in dirty or child == site)
+                    else self.element(child)
+                    for child in gate.children
+                ]
+                memo[current] = self._combine_operands(gate, operands)
+            root = memo[self.tree.top]
+        self._abstract[site] = root
+        self.manager.checkpoint()
+        return root
+
+    def splice(self, site: str, replacement: Ref) -> Ref:
+        """Top BDD with ``Psi(site)`` substituted by ``replacement``.
+
+        One memoised :meth:`~repro.bdd.manager.BDDManager.compose` call
+        against the (cached) abstract root, so a sweep of many variants
+        editing one site pays for one abstraction pass up front and a
+        near-pure cache walk per variant afterwards.
+        """
+        root = self.abstract_root(site)
+        result = self.manager.compose(root, hole_variable(site), replacement)
+        self.manager.checkpoint()
+        return result
+
+    def _ancestors(self, name: str) -> FrozenSet[str]:
+        seen: set = set()
+        stack = [name]
+        while stack:
+            for parent in self.tree.parents(stack.pop()):
+                if parent not in seen:
+                    seen.add(parent)
+                    stack.append(parent)
+        return frozenset(seen)
 
     def top(self) -> Ref:
         """BDD of the top level event."""
@@ -124,6 +294,32 @@ class TreeTranslator:
                 )
             self.manager._unwrap(ref)  # ownership check
             self._cache[name] = ref
+
+    def adopt_from(
+        self, other: "TreeTranslator", skip: Container[str] = frozenset()
+    ) -> None:
+        """Bulk-seed the memo from a sibling translator on the same
+        manager, skipping ``skip`` (e.g. the dirty set of an edit) and
+        names that are not elements of this translator's tree.
+
+        The one-pass, no-copy counterpart of
+        ``adopt(other.export_cache())`` for the copy-on-write fork
+        path, where per-entry ownership checks are redundant (the
+        handles live in the shared manager by construction) and the
+        filtering would otherwise walk the element list three times.
+
+        Raises:
+            SnapshotError: If ``other`` is bound to a different manager.
+        """
+        if other.manager is not self.manager:
+            raise SnapshotError(
+                "adopt_from requires translators sharing one manager"
+            )
+        tree = self.tree
+        cache = self._cache
+        for name, ref in other._cache.items():
+            if name not in skip and name in tree:
+                cache[name] = ref
 
 
 def tree_to_bdd(

@@ -92,15 +92,34 @@ class AnalysisSession:
         reorder_trigger: Optional[int] = None,
         probabilities: Optional[Mapping[str, float]] = None,
         snapshot: Optional[Mapping[str, Any]] = None,
+        manager: Optional[BDDManager] = None,
     ) -> None:
         self.name = name
         # Warm start: rebuild the kernel from a portable snapshot and
         # drop its element roots straight into the tree-translation
         # cache, so the session never re-runs Psi_FT for the tree.
-        manager = None
+        # Alternatively a caller may pass an existing ``manager`` to
+        # share a live kernel (the copy-on-write fork_variant path).
+        if snapshot is not None and manager is not None:
+            raise SnapshotError(
+                "pass either a snapshot or a live manager, not both"
+            )
         adopted = None
         if snapshot is not None:
             manager, adopted = BDDManager.load_snapshot(snapshot)
+        self._session_config: Dict[str, Any] = {
+            "scope": scope,
+            "order": order,
+            "monotone_fast_path": monotone_fast_path,
+            "auto_gc": auto_gc,
+            "auto_reorder": auto_reorder,
+            "gc_trigger": gc_trigger,
+            "reorder_trigger": reorder_trigger,
+        }
+        #: Name of the session this one was forked from (None for base
+        #: sessions) and the edit script that produced it.
+        self.variant_of: Optional[str] = None
+        self.edits: Tuple[Any, ...] = ()
         self.checker = ModelChecker(
             tree,
             scope=scope,
@@ -184,6 +203,107 @@ class AnalysisSession:
                 translator.bdd(statement.condition)
         self.warmed.add(statement)
 
+    def fork_variant(
+        self,
+        name: str,
+        edits: Sequence[Any],
+        probabilities: Optional[Mapping[str, float]] = None,
+        tree: Optional[FaultTree] = None,
+    ) -> "AnalysisSession":
+        """Copy-on-write what-if session: same kernel, edited tree.
+
+        The child session shares this session's ``BDDManager`` — node
+        store, unique table and every operation memo stay warm — while
+        owning its own translators, formula caches and probability
+        overrides, so both sessions answer queries independently.  The
+        child adopts every element BDD the edit script leaves
+        structurally unchanged
+        (:func:`repro.ft.edits.changed_elements_from_edits`),
+        and when the script is confined to one subtree
+        (:func:`repro.ft.edits.splice_site`) its top-level BDD is seeded
+        by compose-splicing the re-lowered subtree into this session's
+        cached abstract root — one memoised
+        :meth:`~repro.bdd.manager.BDDManager.compose` per variant.  All
+        adopted/spliced BDDs are pinned by the child's caches, so the
+        shared kernel's GC and in-place sifting checkpoints remain safe.
+
+        Args:
+            name: Scenario name for the child session.
+            edits: Edit script (:class:`repro.ft.edits.Edit` objects or
+                their JSON-style mappings), applied to this session's
+                tree in order.
+            probabilities: Probability overrides for the child.  When
+                given they *replace* inheritance; when omitted the child
+                inherits this session's overrides minus any event a
+                ``weight-change`` edit retargets (so the edit's value,
+                now carried by the tree, takes effect) and minus events
+                the script removed from the tree.
+            tree: The already-materialised result of applying ``edits``
+                to this session's tree, when the caller holds one (e.g.
+                :class:`BatchAnalyzer` materialises variant trees at
+                registration for validation and cost modelling).  Skips
+                the redundant re-application; it must be equal to
+                ``apply_edits(self.tree, edits)``.
+        """
+        from ..ft.edits import (
+            EventAdd,
+            GateSwap,
+            WeightChange,
+            apply_edits,
+            changed_elements_from_edits,
+            edits_from_any,
+            splice_site,
+        )
+
+        edit_list = edits_from_any(edits)
+        base_tree = self.tree
+        new_tree = tree if tree is not None else apply_edits(
+            base_tree, edit_list
+        )
+        if probabilities is not None:
+            overrides = dict(probabilities)
+        else:
+            weight_targets = {
+                edit.event
+                for edit in edit_list
+                if isinstance(edit, WeightChange)
+            }
+            if not weight_targets and all(
+                isinstance(edit, (GateSwap, EventAdd))
+                for edit in edit_list
+            ):
+                # No retargeted weights and no edit type that can
+                # remove an event: inherit as-is.
+                overrides = dict(self._prob_overrides)
+            else:
+                surviving = new_tree.basic_events
+                overrides = {
+                    event: value
+                    for event, value in self._prob_overrides.items()
+                    if event not in weight_targets and event in surviving
+                }
+        child = AnalysisSession(
+            name,
+            new_tree,
+            probabilities=overrides,
+            manager=self.checker.manager,
+            **self._session_config,
+        )
+        child.variant_of = self.name
+        child.edits = tuple(edit_list)
+        dirty = changed_elements_from_edits(base_tree, new_tree, edit_list)
+        parent_tt = self.checker.translator.tree_translator
+        child_tt = child.checker.translator.tree_translator
+        child_tt.adopt_from(parent_tt, skip=dirty)
+        site = splice_site(base_tree, new_tree, dirty=dirty)
+        if site is not None and site != new_tree.top:
+            # Re-lower only the edited subtree (its unchanged children
+            # were just adopted), then splice it into the parent's
+            # memoised abstract root.
+            subtree = child_tt.element(site)
+            child_tt.adopt({new_tree.top: parent_tt.splice(site, subtree)})
+        return child
+
     def kernel_snapshot(self) -> Dict[str, Any]:
         """Portable kernel snapshot of this session's manager, rooted at
         every element BDD translated so far (the reusable, per-tree part
@@ -245,6 +365,17 @@ class BatchAnalyzer:
             produced by :meth:`kernel_snapshots` or loaded from a ``bfl
             batch --snapshot`` file) to warm-start sessions from; each
             entry's tree fingerprint must match the scenario's tree.
+        variants: Optional variant-name -> definition mapping, the
+            programmatic face of the query-file ``variants:`` key.  Each
+            definition is ``{"base": scenario, "edits": [...],
+            "probabilities": {...}}`` (``base`` defaults to
+            ``"default"``; ``probabilities`` is optional) where
+            ``edits`` is a :mod:`repro.ft.edits` edit script.  A variant
+            behaves like any other scenario in queries and reports, but
+            its session is built by copy-on-write forking
+            (:meth:`AnalysisSession.fork_variant`) of the warm base
+            session — sharing the base kernel instead of rebuilding —
+            which is what makes wide what-if sweeps cheap.
 
     Example:
         >>> from repro.ft import figure1_tree
@@ -267,6 +398,7 @@ class BatchAnalyzer:
         uniform: Optional[float] = None,
         workers: int = 1,
         snapshots: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        variants: Optional[Mapping[str, Mapping[str, Any]]] = None,
     ) -> None:
         if isinstance(workers, bool) or not isinstance(workers, int):
             raise QuerySpecError(
@@ -299,6 +431,13 @@ class BatchAnalyzer:
                 self._register(name, tree)
         if not self._trees:
             raise QuerySpecError("BatchAnalyzer needs at least one tree")
+        #: Variant-name -> {"base", "edits", "probabilities"}.  The
+        #: derived trees join self._trees (queries, cost model and
+        #: probability validation treat variants as ordinary scenarios);
+        #: sessions are forked from the base session on first use.
+        self._variants: Dict[str, Dict[str, Any]] = {}
+        for variant_name, definition in (variants or {}).items():
+            self._register_variant(variant_name, definition)
         # Scenario-scoped probability maps must name a registered
         # scenario — a typo would otherwise silently run the battery
         # against the uniform floor / tree-attached probabilities.
@@ -341,8 +480,99 @@ class BatchAnalyzer:
     def add_scenario(self, name: str, tree: FaultTree) -> AnalysisSession:
         """Register (or replace) a named scenario tree and return its
         (freshly built) session."""
+        if name in getattr(self, "_variants", {}):
+            raise QuerySpecError(
+                f"scenario name {name!r} is already a variant"
+            )
         self._register(name, tree)
         return self.session(name)
+
+    def add_variant(
+        self,
+        name: str,
+        edits: Sequence[Any],
+        base: str = DEFAULT_SCENARIO,
+        probabilities: Optional[Mapping[str, float]] = None,
+    ) -> AnalysisSession:
+        """Register a copy-on-write variant scenario and return its
+        session (forked from the — possibly just-built — base session).
+
+        Equivalent to a ``variants:`` entry in a query file: ``edits``
+        is a :mod:`repro.ft.edits` edit script applied to the ``base``
+        scenario's tree; the session shares the base kernel.
+        """
+        definition: Dict[str, Any] = {"base": base, "edits": list(edits)}
+        if probabilities is not None:
+            definition["probabilities"] = dict(probabilities)
+        self._register_variant(name, definition)
+        return self.session(name)
+
+    def _register_variant(
+        self, name: str, definition: Mapping[str, Any]
+    ) -> None:
+        """Validate and record one variant definition; its tree is
+        materialised now (cheap — pure tree surgery, no BDD work) so
+        queries, probability validation and the shard planner's cost
+        model can treat the variant as an ordinary scenario."""
+        from ..ft.edits import apply_edits, edits_from_any
+
+        if not isinstance(definition, Mapping):
+            raise QuerySpecError(
+                f"variant {name!r}: definition must be a mapping with "
+                "an 'edits' key"
+            )
+        unknown = set(definition) - {"base", "edits", "probabilities"}
+        if unknown:
+            raise QuerySpecError(
+                f"variant {name!r}: unknown field(s) "
+                + ", ".join(sorted(unknown))
+            )
+        base = str(definition.get("base", DEFAULT_SCENARIO))
+        if base in self._variants:
+            raise QuerySpecError(
+                f"variant {name!r}: base {base!r} is itself a variant "
+                "(variants must fork from a registered tree scenario)"
+            )
+        if base not in self._trees:
+            raise QuerySpecError(
+                f"variant {name!r}: unknown base scenario {base!r} "
+                f"(registered: {', '.join(sorted(self._trees)) or 'none'})"
+            )
+        if name in self._trees:
+            raise QuerySpecError(
+                f"variant name {name!r} is already a scenario"
+            )
+        if "edits" not in definition:
+            raise QuerySpecError(f"variant {name!r}: missing 'edits'")
+        try:
+            edits = edits_from_any(definition["edits"])
+            tree = apply_edits(self._trees[base], edits)
+        except ReproError as exc:
+            raise QuerySpecError(f"variant {name!r}: {exc}") from exc
+        probabilities = definition.get("probabilities")
+        if probabilities is not None and not isinstance(
+            probabilities, Mapping
+        ):
+            raise QuerySpecError(
+                f"variant {name!r}: 'probabilities' must be a mapping"
+            )
+        self._trees[name] = tree
+        self._sessions.pop(name, None)
+        self._variants[name] = {
+            "base": base,
+            "edits": tuple(edits),
+            "probabilities": dict(probabilities or {}),
+        }
+
+    @property
+    def variant_bases(self) -> Dict[str, str]:
+        """Variant name -> base scenario name (for the shard planner:
+        variants are grouped — and their cost discounted — with their
+        base, whose warm kernel they fork)."""
+        return {
+            name: definition["base"]
+            for name, definition in self._variants.items()
+        }
 
     def _register(self, name: str, tree: FaultTree) -> None:
         """Record a scenario tree; the session is built lazily.
@@ -444,9 +674,27 @@ class BatchAnalyzer:
 
     def session(self, name: str = DEFAULT_SCENARIO) -> AnalysisSession:
         """The persistent session behind scenario ``name`` (built on
-        first use)."""
+        first use; variant sessions are forked from their base's warm
+        kernel rather than built from scratch)."""
         session = self._sessions.get(name)
         if session is not None:
+            return session
+        variant = self._variants.get(name)
+        if variant is not None:
+            base_session = self.session(variant["base"])
+            # Resolve overrides exactly as a fresh build would (uniform
+            # floor, flat entries, scenario-scoped map), then let the
+            # variant definition's own probabilities win — so a variant
+            # session answers PFL queries identically to a rebuilt one.
+            overrides = self._overrides_for(name, self._trees[name])
+            overrides.update(variant["probabilities"])
+            session = base_session.fork_variant(
+                name,
+                variant["edits"],
+                probabilities=overrides,
+                tree=self._trees[name],
+            )
+            self._sessions[name] = session
             return session
         if name not in self._trees:
             raise QuerySpecError(
@@ -496,13 +744,17 @@ class BatchAnalyzer:
     def kernel_snapshots(self) -> Dict[str, Dict[str, Any]]:
         """Per-scenario kernel snapshots (plus tree fingerprints), in
         the shape the ``snapshots=`` constructor argument and the ``bfl
-        batch --snapshot`` file expect."""
+        batch --snapshot`` file expect.  Variant scenarios are omitted:
+        their sessions share the base kernel and are re-forked from it
+        in a few compose calls, so persisting a second copy of the node
+        store would only bloat the snapshot file."""
         return {
             name: {
                 "tree": tree_fingerprint(self._trees[name]),
                 "kernel": self.session(name).kernel_snapshot(),
             }
             for name in self._trees
+            if name not in self._variants
         }
 
     def _worker_config(self) -> Dict[str, Any]:
@@ -517,6 +769,11 @@ class BatchAnalyzer:
         """
         snapshots: Dict[str, Dict[str, Any]] = {}
         for name in self._trees:
+            if name in self._variants:
+                # Variant sessions share their base's kernel; workers
+                # re-fork them from the base snapshot in-process, which
+                # is cheaper than shipping a second copy of the store.
+                continue
             session = self._sessions.get(name)
             if (
                 session is not None
@@ -528,8 +785,20 @@ class BatchAnalyzer:
                 }
             elif name in self._snapshots:
                 snapshots[name] = dict(self._snapshots[name])
+        variants = {
+            name: {
+                "base": definition["base"],
+                "edits": [edit.to_dict() for edit in definition["edits"]],
+                "probabilities": dict(definition["probabilities"]),
+            }
+            for name, definition in self._variants.items()
+        }
         return {
-            "trees": dict(self._trees),
+            "trees": {
+                name: tree
+                for name, tree in self._trees.items()
+                if name not in self._variants
+            },
             "scope": self._scope,
             "monotone_fast_path": self._monotone_fast_path,
             "auto_gc": self._auto_gc,
@@ -539,6 +808,7 @@ class BatchAnalyzer:
             "probabilities": self._probabilities,
             "uniform": self._uniform,
             "snapshots": snapshots,
+            "variants": variants,
             "workers": 1,
         }
 

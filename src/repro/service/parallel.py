@@ -73,19 +73,35 @@ _KIND_WEIGHT = {
 # ----------------------------------------------------------------------
 
 
-def estimate_cost(spec: QuerySpec, tree: Optional[FaultTree]) -> float:
+#: Cost discount for queries against a copy-on-write variant scenario:
+#: the fork shares the warm base kernel and splices one compose result,
+#: so the per-query tree cost is a fraction of a cold build's.
+_VARIANT_DISCOUNT = 0.25
+
+
+def estimate_cost(
+    spec: QuerySpec,
+    tree: Optional[FaultTree],
+    warm_variant: bool = False,
+) -> float:
     """Relative cost estimate for one query (shard-balancing heuristic).
 
     Seeded from the two observables that dominate real batteries: the
     *tree size* (every BDD the query touches is built over the tree's
     events and gates) and the *formula size* (longer formulae mean more
     Algorithm 1 recursion and more BDD products), scaled by a per-kind
-    weight.  Only relative magnitudes matter — the planner packs shards,
-    it does not predict milliseconds.
+    weight.  ``warm_variant`` marks queries against a copy-on-write
+    variant of a warm base tree, whose translation is nearly free — the
+    tree term is discounted so the packer does not scatter cheap variant
+    sweeps across workers that then each rebuild the base.  Only
+    relative magnitudes matter — the planner packs shards, it does not
+    predict milliseconds.
     """
     if tree is None:  # unknown scenario: errors out cheaply at parse time
         return 1.0
     tree_weight = 1 + len(tree.basic_events) + len(tree.gate_names)
+    if warm_variant:
+        tree_weight = max(1.0, tree_weight * _VARIANT_DISCOUNT)
     formula = spec.formula
     if formula is None:  # mcs/mps specs: the whole cost is the tree's
         text = "MCS()"
@@ -137,6 +153,7 @@ def plan_shards(
     specs: Sequence[QuerySpec],
     trees: Mapping[str, FaultTree],
     shard_count: int,
+    variant_bases: Optional[Mapping[str, str]] = None,
 ) -> List[Shard]:
     """Partition a battery into at most ``shard_count`` balanced shards.
 
@@ -152,16 +169,29 @@ def plan_shards(
             an unknown scenario (which error out at parse time) get a
             nominal cost.
         shard_count: Upper bound on shards (empty shards are dropped).
+        variant_bases: Variant scenario -> base scenario.  Variant
+            queries are grouped into their *base's* chunk (a worker that
+            owns the base forks its variants from the warm kernel) and
+            their cost is discounted accordingly.
     """
     if shard_count < 1:
         raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    bases = dict(variant_bases or {})
     entries = [
-        (index, spec, estimate_cost(spec, trees.get(spec.tree)))
+        (
+            index,
+            spec,
+            estimate_cost(
+                spec, trees.get(spec.tree), warm_variant=spec.tree in bases
+            ),
+        )
         for index, spec in enumerate(specs)
     ]
     groups: Dict[str, List[Tuple[int, QuerySpec, float]]] = {}
     for entry in entries:
-        groups.setdefault(entry[1].tree, []).append(entry)
+        groups.setdefault(
+            bases.get(entry[1].tree, entry[1].tree), []
+        ).append(entry)
     chunks = list(groups.values())
 
     target = min(2 * shard_count, len(entries))
@@ -245,7 +275,9 @@ def run_parallel(analyzer, specs: Sequence[QuerySpec]) -> BatchReport:
     start = time.perf_counter()
     trees = analyzer.trees
     shard_count = max(1, min(analyzer.workers, len(specs)))
-    shards = plan_shards(specs, trees, shard_count)
+    shards = plan_shards(
+        specs, trees, shard_count, variant_bases=analyzer.variant_bases
+    )
     if len(shards) <= 1:
         return analyzer._run_specs(list(specs))
 

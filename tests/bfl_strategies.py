@@ -33,13 +33,14 @@ def small_trees(max_basic_events: int = 5) -> st.SearchStrategy[FaultTree]:
     """Random well-formed fault trees small enough for enumeration."""
 
     def build(params) -> FaultTree:
-        seed, n_be, max_children, p_vot, p_share = params
+        seed, n_be, max_children, p_vot, p_share, boundary = params
         config = RandomTreeConfig(
             n_basic_events=n_be,
             max_children=max_children,
             p_vot=p_vot,
             p_share=p_share,
             max_depth=3,
+            vot_boundary_bias=boundary,
         )
         return random_tree(seed, config)
 
@@ -49,6 +50,10 @@ def small_trees(max_basic_events: int = 5) -> st.SearchStrategy[FaultTree]:
         st.integers(min_value=2, max_value=3),
         st.sampled_from([0.0, 0.2, 0.5]),
         st.sampled_from([0.0, 0.25, 0.5]),
+        # Degenerate VOT forms (k == 1 ~ OR, k == n ~ AND) are vanishingly
+        # rare under a uniform threshold draw on 2-3 children; bias the
+        # generator so the suite actually covers the arity boundaries.
+        st.sampled_from([0.0, 0.5, 1.0]),
     ).map(build)
 
 

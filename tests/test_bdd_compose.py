@@ -1,0 +1,240 @@
+"""Metamorphic and differential tests for ``BDDManager.compose``.
+
+``compose(f, x, g)`` is the substitution primitive the incremental
+variant path splices edited subtrees with (see
+``TreeTranslator.splice``), so its laws get their own suite:
+
+* identity — substituting ``x`` for itself is a no-op;
+* constants — substituting a constant is exactly ``restrict``;
+* commutation — ``compose`` and ``restrict`` on a *different* variable
+  commute;
+* truth tables — compose agrees with semantic substitution on every
+  assignment, for randomly built BDDs;
+* tree splicing — ``splice(site, Psi(site))`` reproduces ``Psi(top)``,
+  cross-checked against the enumerative reference semantics;
+* pins for the two representation hazards: complement-edge roots and
+  unique-table holes left by a GC between calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager
+from repro.ft import GateType, tree_to_bdd
+from repro.ft.to_bdd import TreeTranslator
+from repro.logic import Atom, ReferenceSemantics
+from bfl_strategies import small_trees
+
+_SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+VARS = ("a", "b", "c", "d", "e")
+
+
+def _random_bdd(manager: BDDManager, rng: random.Random, depth: int = 4):
+    """A random BDD built from manager operations (complement edges and
+    all)."""
+    if depth == 0 or rng.random() < 0.25:
+        choice = rng.random()
+        if choice < 0.1:
+            return manager.constant(rng.random() < 0.5)
+        ref = manager.var(rng.choice(VARS))
+        return manager.negate(ref) if rng.random() < 0.5 else ref
+    left = _random_bdd(manager, rng, depth - 1)
+    right = _random_bdd(manager, rng, depth - 1)
+    op = rng.choice(("and", "or", "xor"))
+    out = manager.apply(op, left, right)
+    return manager.negate(out) if rng.random() < 0.3 else out
+
+
+def _assignments():
+    for bits in itertools.product([False, True], repeat=len(VARS)):
+        yield dict(zip(VARS, bits))
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(**_SETTINGS)
+def test_compose_identity(seed):
+    manager = BDDManager(VARS)
+    rng = random.Random(seed)
+    f = _random_bdd(manager, rng)
+    x = rng.choice(VARS)
+    assert manager.compose(f, x, manager.var(x)) == f
+    manager.check_invariants()
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(**_SETTINGS)
+def test_compose_constant_is_restrict(seed):
+    manager = BDDManager(VARS)
+    rng = random.Random(seed)
+    f = _random_bdd(manager, rng)
+    x = rng.choice(VARS)
+    assert manager.compose(f, x, manager.constant(True)) == manager.restrict(
+        f, x, True
+    )
+    assert manager.compose(f, x, manager.constant(False)) == manager.restrict(
+        f, x, False
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(**_SETTINGS)
+def test_compose_restrict_commute_on_other_var(seed):
+    """restrict_y(compose_x(f, g)) == compose_x(restrict_y f, restrict_y g)
+    for y != x — the substituted function sees the restriction too."""
+    manager = BDDManager(VARS)
+    rng = random.Random(seed)
+    f = _random_bdd(manager, rng)
+    g = _random_bdd(manager, rng, depth=3)
+    x = rng.choice(VARS)
+    y = rng.choice([v for v in VARS if v != x])
+    value = rng.random() < 0.5
+    left = manager.restrict(manager.compose(f, x, g), y, value)
+    right = manager.compose(
+        manager.restrict(f, y, value), x, manager.restrict(g, y, value)
+    )
+    assert left == right
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(**_SETTINGS)
+def test_compose_truth_table(seed):
+    """evaluate(compose(f,x,g), a) == evaluate(f, a[x := g(a)]) on every
+    assignment — the semantic definition of substitution."""
+    manager = BDDManager(VARS)
+    rng = random.Random(seed)
+    f = _random_bdd(manager, rng)
+    g = _random_bdd(manager, rng, depth=3)
+    x = rng.choice(VARS)
+    h = manager.compose(f, x, g)
+    for assignment in _assignments():
+        patched = dict(assignment)
+        patched[x] = manager.evaluate(g, assignment)
+        assert manager.evaluate(h, assignment) == manager.evaluate(f, patched)
+    # A variable absent from f is absorbed without trace.
+    if x not in manager.support(f):
+        assert h == f
+    assert x not in manager.support(h) or x in manager.support(g)
+
+
+@given(tree=small_trees(max_basic_events=4))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_splice_identity_matches_reference(tree):
+    """Splicing an element's own BDD back into its abstraction recovers
+    Psi(top), which itself agrees with the reference semantics."""
+    manager = BDDManager(sorted(tree.basic_events))
+    translator = TreeTranslator(tree, manager)
+    top = translator.top()
+    semantics = ReferenceSemantics(tree)
+    events = sorted(tree.basic_events)
+    for site in tree.elements:
+        spliced = translator.splice(site, translator.element(site))
+        assert spliced == top
+    for bits in itertools.product([False, True], repeat=len(events)):
+        vector = dict(zip(events, bits))
+        assert manager.evaluate(top, vector) == semantics.holds(
+            Atom(tree.top), vector
+        )
+
+
+def test_compose_complement_edge_root():
+    """Pin: a complemented root edge routes its complement bit *around*
+    the cache so a hit on the regular edge cannot flip the result."""
+    manager = BDDManager(VARS)
+    a, b, c = (manager.var(v) for v in ("a", "b", "c"))
+    f = manager.and_(a, b)
+    nf = manager.negate(f)
+    g = manager.or_(b, c)
+    pos = manager.compose(f, "a", g)
+    neg = manager.compose(nf, "a", g)
+    assert neg == manager.negate(pos)
+    # Same regular edge twice: second call is a cache hit, complement
+    # still applied outside the cache.
+    before = manager.op_stats.compose_hits
+    assert manager.compose(nf, "a", g) == neg
+    assert manager.op_stats.compose_hits > before
+    for assignment in _assignments():
+        patched = dict(assignment)
+        patched["a"] = manager.evaluate(g, assignment)
+        assert manager.evaluate(pos, assignment) == manager.evaluate(
+            f, patched
+        )
+
+
+def test_compose_after_gc_holes():
+    """Pin: compose stays correct when the unique table has holes from a
+    collect() and the compose cache was cleared between calls."""
+    import gc as pygc
+
+    manager = BDDManager(VARS)
+    rng = random.Random(1234)
+    keep_f = _random_bdd(manager, rng)
+    keep_g = _random_bdd(manager, rng, depth=3)
+    expected = manager.compose(keep_f, "b", keep_g)
+    table = {}
+    for assignment in _assignments():
+        table[tuple(assignment.values())] = manager.evaluate(
+            expected, assignment
+        )
+    # Make garbage, then punch holes.
+    for seed in range(12):
+        _random_bdd(manager, random.Random(seed))
+    pygc.collect()
+    reclaimed = manager.collect()
+    assert reclaimed > 0
+    manager.check_invariants()
+    # Fresh structures may now reuse freed slots; compose again.
+    again = manager.compose(keep_f, "b", keep_g)
+    assert again == expected
+    for assignment in _assignments():
+        assert (
+            manager.evaluate(again, assignment)
+            == table[tuple(assignment.values())]
+        )
+
+
+def test_compose_cache_cleared_by_clear_caches():
+    manager = BDDManager(VARS)
+    f = manager.and_(manager.var("a"), manager.var("b"))
+    manager.compose(f, "a", manager.var("c"))
+    assert manager.cache_stats()["compose_cache_size"] > 0
+    manager.clear_caches()
+    assert manager.cache_stats()["compose_cache_size"] == 0
+
+
+def test_compose_survives_sift():
+    """compose results stay functionally right across an in-place sift
+    (which rewires levels and clears every memo table)."""
+    manager = BDDManager(VARS)
+    rng = random.Random(7)
+    f = _random_bdd(manager, rng)
+    g = _random_bdd(manager, rng, depth=3)
+    before = manager.compose(f, "c", g)
+    table = [
+        manager.evaluate(before, assignment)
+        for assignment in _assignments()
+    ]
+    manager.sift_inplace()
+    manager.check_invariants()
+    after = manager.compose(f, "c", g)
+    assert after == before  # same Ref identity: handles survive sifting
+    for assignment, want in zip(_assignments(), table):
+        assert manager.evaluate(after, assignment) == want
+
+
+def test_compose_unknown_variable():
+    manager = BDDManager(VARS)
+    f = manager.var("a")
+    with pytest.raises(Exception):
+        manager.compose(f, "zz", manager.var("b"))

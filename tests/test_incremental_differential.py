@@ -1,0 +1,237 @@
+"""Differential oracle for the incremental what-if path.
+
+Random base trees get random *edit scripts* (gate swap, subtree
+replace, event add/remove, weight change); after **every** edit the
+incremental arm — chained :meth:`AnalysisSession.fork_variant` sessions
+sharing one kernel, adopted element BDDs, compose-spliced tops — must
+answer exactly like a fresh from-scratch session on the same edited
+tree:
+
+* ``evaluate`` on every status vector (also cross-checked against the
+  enumerative structure function, an oracle independent of the whole
+  BDD stack);
+* MCS and MPS families;
+* satisfying vectors of an Evidence formula over surviving events;
+* ``P(top)`` and a conditional ``P(top | e)`` under shared weights.
+
+The ``memory`` arm replays the same scripts with the kernel's GC and
+in-place sifting exercised *between* edits — adopted refs, memoised
+abstract roots and the compose cache must all survive reclamation and
+level rewiring.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from bfl_strategies import small_trees
+from repro.checker import satisfying_vectors
+from repro.ft import (
+    EditError,
+    EventAdd,
+    EventRemove,
+    FaultTree,
+    GateSwap,
+    SubtreeReplace,
+    WeightChange,
+    apply_edits,
+    structure_function,
+)
+from repro.logic import Atom, Evidence
+from repro.service import AnalysisSession
+from repro.service.queries import sets_view
+
+_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.filter_too_much,
+    ],
+)
+
+
+def _default_weight(event: str) -> float:
+    """Deterministic per-event weight (no tree carries probabilities)."""
+    return 0.05 + (hash(event) % 17) / 20.0
+
+
+def _draw_edit(data, tree: FaultTree, step: int):
+    gates = sorted(tree.gate_names)
+    events = sorted(tree.basic_events)
+    removable = [
+        event
+        for event in events
+        if len(events) > 2
+        and all(
+            len(tree.gate(parent).children) >= 2
+            for parent in tree.parents(event)
+        )
+    ]
+    kinds = ["gate-swap", "weight-change", "event-add", "subtree-replace"]
+    if removable:
+        kinds.append("event-remove")
+    kind = data.draw(st.sampled_from(kinds), label=f"edit{step}")
+    if kind == "gate-swap":
+        gate = data.draw(st.sampled_from(gates), label="swap-target")
+        arity = len(tree.gate(gate).children)
+        gate_type = data.draw(
+            st.sampled_from(["and", "or", "vot"] if arity >= 2 else ["and", "or"]),
+            label="swap-type",
+        )
+        if gate_type == "vot":
+            threshold = data.draw(
+                st.integers(min_value=1, max_value=arity), label="swap-k"
+            )
+            return GateSwap(gate, "vot", threshold)
+        return GateSwap(gate, gate_type)
+    if kind == "weight-change":
+        event = data.draw(st.sampled_from(events), label="weight-target")
+        probability = data.draw(
+            st.sampled_from([0.05, 0.35, 0.9]), label="weight"
+        )
+        return WeightChange(event, probability)
+    if kind == "event-add":
+        gate = data.draw(st.sampled_from(gates), label="add-target")
+        return EventAdd(gate, f"x{step}", probability=0.2)
+    if kind == "event-remove":
+        return EventRemove(
+            data.draw(st.sampled_from(removable), label="remove-target")
+        )
+    target = data.draw(st.sampled_from(gates), label="replace-target")
+    shared = data.draw(st.sampled_from(events), label="replace-shared")
+    root = f"F{step}"
+    fresh = f"y{step}"
+    shape = data.draw(st.sampled_from(["or", "and", "nested"]), label="shape")
+    if shape == "nested":
+        inner = f"G{step}"
+        fragment = (
+            f'toplevel "{root}";\n'
+            f'"{root}" or "{inner}" "{shared}";\n'
+            f'"{inner}" and "{fresh}" "{shared}";\n'
+            f'"{fresh}" prob=0.15;\n'
+        )
+    else:
+        fragment = (
+            f'toplevel "{root}";\n'
+            f'"{root}" {shape} "{fresh}" "{shared}";\n'
+            f'"{fresh}" prob=0.15;\n'
+        )
+    return SubtreeReplace(target, fragment)
+
+
+def _compare(variant: AnalysisSession, tree: FaultTree) -> None:
+    """Assert the incremental session answers like a fresh rebuild."""
+    fresh = AnalysisSession(
+        "fresh", tree, probabilities=dict(variant._prob_overrides)
+    )
+    events = sorted(tree.basic_events)
+    top = tree.top
+
+    inc_top = variant.checker.translator.tree_translator.top()
+    ref_top = fresh.checker.translator.tree_translator.top()
+    inc_manager = variant.checker.manager
+    ref_manager = fresh.checker.manager
+    for bits in itertools.product([False, True], repeat=len(events)):
+        vector = dict(zip(events, bits))
+        want = structure_function(tree, vector)
+        assert inc_manager.evaluate(inc_top, vector) == want
+        assert ref_manager.evaluate(ref_top, vector) == want
+
+    assert sets_view(variant.checker.minimal_cut_sets()) == sets_view(
+        fresh.checker.minimal_cut_sets()
+    )
+    assert sets_view(variant.checker.minimal_path_sets()) == sets_view(
+        fresh.checker.minimal_path_sets()
+    )
+
+    evidence = Evidence(Atom(top), ((events[0], True),))
+    inc_vectors = {
+        tuple(sorted(v.items()))
+        for v in satisfying_vectors(variant.checker.translator, evidence)
+    }
+    ref_vectors = {
+        tuple(sorted(v.items()))
+        for v in satisfying_vectors(fresh.checker.translator, evidence)
+    }
+    assert inc_vectors == ref_vectors
+
+    inc_p = variant.prob_checker().probability(Atom(top))
+    ref_p = fresh.prob_checker().probability(Atom(top))
+    assert inc_p == pytest.approx(ref_p, abs=1e-12)
+    inc_c = variant.prob_checker().conditional(Atom(top), Atom(events[0]))
+    ref_c = fresh.prob_checker().conditional(Atom(top), Atom(events[0]))
+    assert inc_c == pytest.approx(ref_c, abs=1e-12)
+
+
+def _run_script(data, tree: FaultTree, memory: bool) -> None:
+    weights = {event: _default_weight(event) for event in tree.basic_events}
+    base = AnalysisSession("base", tree, probabilities=weights)
+    # Warm the base so forks actually have element BDDs to adopt and an
+    # abstract root to splice against.
+    base.checker.translator.tree_translator.top()
+    current = base
+    current_tree = tree
+    steps = data.draw(st.integers(min_value=1, max_value=3), label="steps")
+    for step in range(steps):
+        edit = _draw_edit(data, current_tree, step)
+        try:
+            new_tree = apply_edits(current_tree, [edit])
+        except EditError:
+            continue  # e.g. a replace collides with an earlier fragment
+        variant = current.fork_variant(f"v{step}", [edit])
+        assert variant.checker.manager is base.checker.manager
+        assert variant.variant_of == current.name
+        _compare(variant, new_tree)
+        if memory:
+            manager = variant.checker.manager
+            manager.collect()
+            if step % 2 == 1:
+                manager.sift_inplace(max_rounds=1)
+            manager.check_invariants()
+            # Post-GC/sift the same session must still agree.
+            _compare(variant, new_tree)
+        current = variant
+        current_tree = new_tree
+
+
+@given(data=st.data(), tree=small_trees(max_basic_events=4))
+@settings(**_SETTINGS)
+def test_incremental_matches_rebuild(data, tree):
+    _run_script(data, tree, memory=False)
+
+
+@given(data=st.data(), tree=small_trees(max_basic_events=4))
+@settings(**_SETTINGS)
+def test_incremental_matches_rebuild_under_gc_and_sift(data, tree):
+    _run_script(data, tree, memory=True)
+
+
+def test_fork_weight_change_drops_stale_override() -> None:
+    """A weight-change edit must win over an inherited override."""
+    from repro.ft import RandomTreeConfig, random_tree
+
+    tree = random_tree(3, RandomTreeConfig(n_basic_events=3, max_depth=2))
+    event = sorted(tree.basic_events)[0]
+    base = AnalysisSession(
+        "base",
+        tree,
+        probabilities={name: 0.5 for name in tree.basic_events},
+    )
+    variant = base.fork_variant("v", [WeightChange(event, 0.125)])
+    fresh = AnalysisSession(
+        "fresh",
+        variant.tree,
+        probabilities=dict(variant._prob_overrides),
+    )
+    assert variant.prob_checker().probability(
+        Atom(event)
+    ) == pytest.approx(0.125)
+    assert fresh.prob_checker().probability(
+        Atom(event)
+    ) == pytest.approx(0.125)

@@ -1,0 +1,144 @@
+"""Regression tests: random trees must exercise VOT arity boundaries.
+
+A VOT gate with threshold ``k == 1`` is OR-equivalent and with
+``k == n`` (its arity) AND-equivalent.  Those degenerate forms are the
+classic off-by-one sites in threshold lowering, yet a uniform threshold
+draw on 2-3 children almost never lands on them — so the property suite
+silently skipped them.  ``RandomTreeConfig.vot_boundary_bias`` pins the
+draw to the boundaries; these tests prove the generator produces both
+forms, that the shared hypothesis strategy covers them, and that their
+semantics match the equivalent OR/AND gate everywhere (structure
+function and BDD alike).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import find, settings
+
+from bfl_strategies import small_trees
+from repro.bdd import BDDManager
+from repro.ft import (
+    FaultTree,
+    GateSwap,
+    GateType,
+    RandomTreeConfig,
+    apply_edits,
+    random_tree,
+    structure_function,
+    tree_to_bdd,
+)
+
+BIASED = RandomTreeConfig(
+    n_basic_events=6, max_children=3, p_vot=1.0, vot_boundary_bias=1.0
+)
+
+
+def _vot_thresholds(tree: FaultTree) -> list:
+    return [
+        (tree.gate(name).threshold, len(tree.gate(name).children))
+        for name in tree.gate_names
+        if tree.gate(name).gate_type is GateType.VOT
+    ]
+
+
+def test_bias_validation() -> None:
+    with pytest.raises(ValueError):
+        RandomTreeConfig(vot_boundary_bias=1.5)
+    with pytest.raises(ValueError):
+        RandomTreeConfig(vot_boundary_bias=-0.1)
+
+
+def test_full_bias_generates_both_boundaries() -> None:
+    seen_or, seen_and = False, False
+    for seed in range(40):
+        tree = random_tree(seed, BIASED)
+        for name in tree.gate_names:
+            gate = tree.gate(name)
+            if gate.gate_type is not GateType.VOT:
+                continue
+            threshold, arity = gate.threshold, len(gate.children)
+            if name != tree.top:
+                # The top gate may absorb unused basic events after its
+                # threshold is drawn, widening its arity past the pin.
+                assert threshold in (1, arity), (
+                    "bias 1.0 must pin every VOT threshold to a boundary"
+                )
+            seen_or = seen_or or threshold == 1
+            seen_and = seen_and or (threshold == arity and arity > 1)
+    assert seen_or and seen_and
+
+
+def test_default_bias_unchanged() -> None:
+    # bias defaults to 0.0: the seeded stream (and thus every recorded
+    # benchmark tree) is identical to the pre-knob generator.
+    legacy = RandomTreeConfig(n_basic_events=6, max_children=3, p_vot=1.0)
+    biased_off = RandomTreeConfig(
+        n_basic_events=6, max_children=3, p_vot=1.0, vot_boundary_bias=0.0
+    )
+    for seed in (0, 7, 99):
+        a, b = random_tree(seed, legacy), random_tree(seed, biased_off)
+        assert a.elements == b.elements
+        assert _vot_thresholds(a) == _vot_thresholds(b)
+
+
+@pytest.mark.parametrize("boundary", ["or", "and"])
+def test_strategy_covers_boundary(boundary: str) -> None:
+    """The shared ``small_trees`` strategy can produce each boundary."""
+
+    def has_boundary(tree: FaultTree) -> bool:
+        for threshold, arity in _vot_thresholds(tree):
+            if boundary == "or" and threshold == 1:
+                return True
+            if boundary == "and" and arity > 1 and threshold == arity:
+                return True
+        return False
+
+    found = find(
+        small_trees(),
+        has_boundary,
+        settings=settings(max_examples=500, database=None),
+    )
+    assert has_boundary(found)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_boundary_vot_matches_and_or(seed: int) -> None:
+    """VOT(1/n) == OR and VOT(n/n) == AND on every status vector and
+    as BDDs (the gate-swap edit supplies the equivalent plain gate)."""
+    tree = random_tree(seed, BIASED)
+    sites = [
+        name
+        for name in tree.gate_names
+        if tree.gate(name).gate_type is GateType.VOT
+        and tree.gate(name).threshold
+        in (1, len(tree.gate(name).children))
+    ]
+    if not sites:
+        pytest.skip("seed drew no boundary VOT gate")
+    events = sorted(tree.basic_events)
+    for site in sites:
+        gate = tree.gate(site)
+        kind = "or" if gate.threshold == 1 else "and"
+        swapped = apply_edits(tree, [GateSwap(site, kind)])
+        for bits in itertools.product([False, True], repeat=len(events)):
+            vector = dict(zip(events, bits))
+            assert structure_function(tree, vector) == structure_function(
+                swapped, vector
+            )
+    manager = BDDManager(events)
+    assert tree_to_bdd(tree, manager) == tree_to_bdd(
+        apply_edits(
+            tree,
+            [
+                GateSwap(
+                    site,
+                    "or" if tree.gate(site).threshold == 1 else "and",
+                )
+                for site in sites
+            ],
+        ),
+        manager,
+    )
