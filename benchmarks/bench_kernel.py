@@ -1,0 +1,496 @@
+"""Array-native kernel vs the historical dict kernel.
+
+The kernel rewrite moved node storage from per-node Python objects and
+tuple-keyed dict tables into contiguous ``array('q')`` columns with an
+open-addressed unique table and packed-key computed tables, and added a
+vectorised multi-profile probability sweep
+(:meth:`BDDManager.probability_many`).  This benchmark pins both claims
+against an embedded **dict kernel** — a compact complement-edge ROBDD
+faithful to the pre-rewrite design (dict unique table keyed on
+``(level, low, high)`` tuples, dict apply cache, per-profile dict
+probability cache) — on the same workloads:
+
+* micro-loops (recorded, not individually gated): fresh-build of the
+  COVID-19 case-study element BDDs, cold-cache pairwise conjunctions,
+  and cold-cache single-profile probability;
+* the **covid battery** (gated): every COVID element evaluated under
+  ``BENCH_SWEEP_PROFILES`` probability profiles — the dict kernel walks
+  per profile, the array kernel answers with one vectorised sweep per
+  root.  Floor: ``BENCH_MIN_KERNEL_SPEEDUP`` (CI pins 2);
+* the **sweep arm** (gated): ``probability_many`` vs per-profile
+  :meth:`BDDManager.probability` calls on a ~thousand-node threshold
+  BDD.  Floor: ``BENCH_MIN_SWEEP_SPEEDUP`` (CI pins 5) at
+  ``BENCH_SWEEP_PROFILES`` profiles.
+
+Both gated floors measure the vectorised numpy path; without numpy (or
+under ``REPRO_NO_NUMPY=1``) the script still runs every arm and asserts
+value agreement, but records ``"gated": false`` with the reason instead
+of enforcing floors the pure-Python fallback never promised — the same
+degrade-with-a-reason pattern as ``bench_parallel.py`` on small boxes.
+
+Run directly for a self-checking report::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py
+
+Direct runs append a machine-readable record to
+``benchmarks/results/BENCH_kernel.json`` keyed by ``BENCH_LABEL``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Mapping, Tuple
+
+from bench_json import record_run
+
+from repro.bdd import _nputil
+from repro.bdd.manager import BDDManager
+from repro.casestudy import build_covid_tree
+from repro.ft.elements import GateType
+
+_TRUE = 0
+_FALSE = 1
+
+
+class DictKernel:
+    """The pre-rewrite storage design, reduced to what the arms need.
+
+    Complement-edge ROBDD with the historical table layout: node fields
+    in Python lists, the unique table a dict keyed on the
+    ``(level, low, high)`` tuple, the apply cache a dict keyed on the
+    operand pair, probability memoised in a per-profile dict.  Edge
+    encoding matches the real kernel (``index << 1 | complement``,
+    single ``1`` terminal at index 0) so results compare 1:1.
+    """
+
+    def __init__(self, names) -> None:
+        self.names = list(names)
+        self.levels = {name: i for i, name in enumerate(self.names)}
+        self.level = [2**31]
+        self.low = [0]
+        self.high = [0]
+        self.unique: Dict[Tuple[int, int, int], int] = {}
+        self.and_cache: Dict[Tuple[int, int], int] = {}
+
+    def mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        flip = high & 1
+        if flip:
+            low ^= 1
+            high ^= 1
+        key = (level, low, high)
+        index = self.unique.get(key)
+        if index is None:
+            index = len(self.level)
+            self.level.append(level)
+            self.low.append(low)
+            self.high.append(high)
+            self.unique[key] = index
+        return (index << 1) | flip
+
+    def var(self, name: str) -> int:
+        return self.mk(self.levels[name], _FALSE, _TRUE)
+
+    def and_(self, u: int, v: int) -> int:
+        if u == _TRUE or u == v:
+            return v
+        if v == _TRUE:
+            return u
+        if u == _FALSE or v == _FALSE or u == (v ^ 1):
+            return _FALSE
+        key = (u, v) if u <= v else (v, u)
+        cached = self.and_cache.get(key)
+        if cached is not None:
+            return cached
+        ui, vi = u >> 1, v >> 1
+        ul, vl = self.level[ui], self.level[vi]
+        level = ul if ul <= vl else vl
+        uc, vc = u & 1, v & 1
+        u0 = (self.low[ui] ^ uc) if ul == level else u
+        u1 = (self.high[ui] ^ uc) if ul == level else u
+        v0 = (self.low[vi] ^ vc) if vl == level else v
+        v1 = (self.high[vi] ^ vc) if vl == level else v
+        result = self.mk(level, self.and_(u0, v0), self.and_(u1, v1))
+        self.and_cache[key] = result
+        return result
+
+    def or_(self, u: int, v: int) -> int:
+        return self.and_(u ^ 1, v ^ 1) ^ 1
+
+    def probability(
+        self, edge: int, weights: Mapping[int, float], cache: Dict[int, float]
+    ) -> float:
+        """P[f = 1]; ``weights`` maps level -> weight, ``cache`` is the
+        per-profile memo keyed on regular node indices (complement edges
+        share entries through ``P(~f) = 1 - P(f)``)."""
+        index = edge >> 1
+        if index == 0:
+            value = 1.0
+        else:
+            value = cache.get(index)
+            if value is None:
+                p = weights[self.level[index]]
+                value = p * self.probability(
+                    self.high[index], weights, cache
+                ) + (1.0 - p) * self.probability(
+                    self.low[index], weights, cache
+                )
+                cache[index] = value
+        return 1.0 - value if edge & 1 else value
+
+
+def _covid_structure():
+    """The case-study tree flattened to (events, [(gate, op, children)])."""
+    tree = build_covid_tree()
+    gates = [
+        (name, tree.gate_type(name), tree.children(name))
+        for name in tree.gate_names
+    ]
+    return list(tree.basic_events), gates
+
+
+def build_dict_kernel(events, gates) -> Tuple[DictKernel, Dict[str, int]]:
+    kernel = DictKernel(events)
+    refs: Dict[str, int] = {name: kernel.var(name) for name in events}
+    for name, kind, children in gates:
+        acc = _TRUE if kind is GateType.AND else _FALSE
+        for child in children:
+            if kind is GateType.AND:
+                acc = kernel.and_(acc, refs[child])
+            else:
+                acc = kernel.or_(acc, refs[child])
+        refs[name] = acc
+    return kernel, refs
+
+
+def build_array_kernel(events, gates):
+    manager = BDDManager()
+    manager.declare(*events)
+    refs = {name: manager.var(name) for name in events}
+    for name, kind, children in gates:
+        nodes = [refs[child] for child in children]
+        refs[name] = (
+            manager.conjoin(nodes)
+            if kind is GateType.AND
+            else manager.disjoin(nodes)
+        )
+    return manager, refs
+
+
+def profiles_for(events, count: int) -> List[Dict[str, float]]:
+    """``count`` deterministic full-override profiles (no RNG: the same
+    workload on every run and every machine)."""
+    return [
+        {
+            name: ((i * 7 + j * 13) % 23 + 1) / 25.0
+            for i, name in enumerate(events)
+        }
+        for j in range(count)
+    ]
+
+
+def bench_build(events, gates, repeats: int) -> Dict[str, float]:
+    """Micro-loop: fresh-kernel construction of every covid element."""
+    start = time.perf_counter()
+    for _ in range(repeats):
+        build_dict_kernel(events, gates)
+    dict_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(repeats):
+        build_array_kernel(events, gates)
+    array_s = time.perf_counter() - start
+    return {
+        "repeats": repeats,
+        "dict_ms": round(dict_s * 1000.0, 3),
+        "array_ms": round(array_s * 1000.0, 3),
+        "speedup": round(dict_s / array_s, 2) if array_s else float("inf"),
+    }
+
+
+def bench_ite(events, gates, repeats: int) -> Dict[str, float]:
+    """Micro-loop: cold-cache pairwise conjunction of the gate BDDs."""
+    dict_kernel, dict_refs = build_dict_kernel(events, gates)
+    manager, array_refs = build_array_kernel(events, gates)
+    gate_names = [name for name, _, _ in gates]
+    pairs = [
+        (a, b) for i, a in enumerate(gate_names) for b in gate_names[i + 1:]
+    ]
+    start = time.perf_counter()
+    for _ in range(repeats):
+        dict_kernel.and_cache.clear()
+        for a, b in pairs:
+            dict_kernel.and_(dict_refs[a], dict_refs[b])
+    dict_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(repeats):
+        manager.clear_caches()
+        for a, b in pairs:
+            manager.and_(array_refs[a], array_refs[b])
+    array_s = time.perf_counter() - start
+    return {
+        "repeats": repeats,
+        "pairs": len(pairs),
+        "dict_ms": round(dict_s * 1000.0, 3),
+        "array_ms": round(array_s * 1000.0, 3),
+        "speedup": round(dict_s / array_s, 2) if array_s else float("inf"),
+    }
+
+
+def bench_probability(events, gates, repeats: int) -> Dict[str, float]:
+    """Micro-loop: cold-cache single-profile probability of every root."""
+    dict_kernel, dict_refs = build_dict_kernel(events, gates)
+    manager, array_refs = build_array_kernel(events, gates)
+    gate_names = [name for name, _, _ in gates]
+    profile = profiles_for(events, 1)[0]
+    level_weights = {dict_kernel.levels[k]: v for k, v in profile.items()}
+    start = time.perf_counter()
+    for _ in range(repeats):
+        cache: Dict[int, float] = {}
+        for name in gate_names:
+            dict_kernel.probability(dict_refs[name], level_weights, cache)
+    dict_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(repeats):
+        manager.clear_caches()
+        for name in gate_names:
+            manager.probability(array_refs[name], profile)
+    array_s = time.perf_counter() - start
+    return {
+        "repeats": repeats,
+        "dict_ms": round(dict_s * 1000.0, 3),
+        "array_ms": round(array_s * 1000.0, 3),
+        "speedup": round(dict_s / array_s, 2) if array_s else float("inf"),
+    }
+
+
+def bench_covid_battery(
+    events, gates, profiles: List[Dict[str, float]], repeats: int
+) -> Dict[str, object]:
+    """The gated arm: every covid element under every profile.
+
+    The dict kernel answers the way the old code had to — one memoised
+    walk per (profile, root), a fresh cache per profile; the array
+    kernel answers with one multi-root :meth:`probability_many` sweep
+    (shared nodes evaluated once for the whole battery).
+    """
+    dict_kernel, dict_refs = build_dict_kernel(events, gates)
+    manager, array_refs = build_array_kernel(events, gates)
+    gate_names = [name for name, _, _ in gates]
+
+    dict_values: List[List[float]] = []
+    start = time.perf_counter()
+    for _ in range(repeats):
+        dict_values = []
+        for profile in profiles:
+            level_weights = {
+                dict_kernel.levels[k]: v for k, v in profile.items()
+            }
+            cache: Dict[int, float] = {}
+            dict_values.append(
+                [
+                    dict_kernel.probability(
+                        dict_refs[name], level_weights, cache
+                    )
+                    for name in gate_names
+                ]
+            )
+    dict_s = time.perf_counter() - start
+
+    array_values: List[List[float]] = []
+    roots = [array_refs[name] for name in gate_names]
+    start = time.perf_counter()
+    for _ in range(repeats):
+        per_root = manager.probability_many(roots, profiles)
+        array_values = [
+            [per_root[r][p] for r in range(len(gate_names))]
+            for p in range(len(profiles))
+        ]
+    array_s = time.perf_counter() - start
+
+    worst = max(
+        abs(a - b)
+        for row_a, row_b in zip(dict_values, array_values)
+        for a, b in zip(row_a, row_b)
+    )
+    assert worst < 1e-9, (
+        f"kernels disagree on the covid battery (max delta {worst})"
+    )
+    return {
+        "repeats": repeats,
+        "profiles": len(profiles),
+        "roots": len(gate_names),
+        "dict_ms": round(dict_s * 1000.0, 3),
+        "array_ms": round(array_s * 1000.0, 3),
+        "speedup": round(dict_s / array_s, 2) if array_s else float("inf"),
+        "max_delta": worst,
+    }
+
+
+def threshold_bdd(manager: BDDManager, names, k: int):
+    """``>= k of n`` threshold function — the classical O(k * (n - k))
+    node count gives the sweep arm a BDD big enough to measure."""
+    memo = {}
+
+    def build(i: int, need: int):
+        if need <= 0:
+            return manager.true
+        if len(names) - i < need:
+            return manager.false
+        key = (i, need)
+        node = memo.get(key)
+        if node is None:
+            node = manager.ite(
+                manager.var(names[i]), build(i + 1, need - 1), build(i + 1, need)
+            )
+            memo[key] = node
+        return node
+
+    return build(0, k)
+
+
+def bench_sweep(profile_count: int, repeats: int) -> Dict[str, object]:
+    """The gated arm: one vectorised sweep vs per-profile kernel calls.
+
+    Both arms run on the *array* kernel — this gate prices
+    :meth:`probability_many` against the per-profile loop a caller
+    would otherwise write, on a threshold BDD sized like a real
+    multi-scenario battery.
+    """
+    names = [f"x{i:02d}" for i in range(72)]
+    manager = BDDManager()
+    manager.declare(*names)
+    root = threshold_bdd(manager, names, 36)
+    profiles = profiles_for(names, profile_count)
+
+    start = time.perf_counter()
+    per_profile: List[float] = []
+    for _ in range(repeats):
+        per_profile = [
+            manager.probability(root, profile) for profile in profiles
+        ]
+    loop_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    swept: List[float] = []
+    for _ in range(repeats):
+        swept = manager.probability_many(root, profiles)
+    sweep_s = time.perf_counter() - start
+
+    worst = max(abs(a - b) for a, b in zip(per_profile, swept))
+    assert worst < 1e-9, (
+        f"probability_many disagrees with per-profile calls "
+        f"(max delta {worst})"
+    )
+    return {
+        "repeats": repeats,
+        "profiles": profile_count,
+        "nodes": manager.node_count(),
+        "loop_ms": round(loop_s * 1000.0, 3),
+        "sweep_ms": round(sweep_s * 1000.0, 3),
+        "speedup": round(loop_s / sweep_s, 2) if sweep_s else float("inf"),
+        "max_delta": worst,
+    }
+
+
+def main() -> int:
+    min_kernel = float(os.environ.get("BENCH_MIN_KERNEL_SPEEDUP", "1"))
+    min_sweep = float(os.environ.get("BENCH_MIN_SWEEP_SPEEDUP", "1"))
+    profile_count = int(os.environ.get("BENCH_SWEEP_PROFILES", "64"))
+    repeats = int(os.environ.get("BENCH_KERNEL_REPEATS", "20"))
+    have_numpy = _nputil.np is not None
+    gated = have_numpy
+    gate_skip_reason = (
+        None
+        if gated
+        else (
+            "numpy unavailable (or REPRO_NO_NUMPY set) — agreement "
+            "checked, vectorised-path floors not enforced"
+        )
+    )
+
+    events, gates = _covid_structure()
+    profiles = profiles_for(events, profile_count)
+    print(
+        f"covid structure: {len(events)} events, {len(gates)} gates; "
+        f"{profile_count} profiles, {repeats} repeats, "
+        f"numpy={'yes' if have_numpy else 'no'}"
+    )
+
+    build = bench_build(events, gates, repeats)
+    print(
+        f"build   : dict {build['dict_ms']:8.1f} ms   "
+        f"array {build['array_ms']:8.1f} ms   {build['speedup']:5.2f}x"
+    )
+    ite = bench_ite(events, gates, repeats)
+    print(
+        f"conjoin : dict {ite['dict_ms']:8.1f} ms   "
+        f"array {ite['array_ms']:8.1f} ms   {ite['speedup']:5.2f}x"
+    )
+    prob = bench_probability(events, gates, repeats)
+    print(
+        f"prob    : dict {prob['dict_ms']:8.1f} ms   "
+        f"array {prob['array_ms']:8.1f} ms   {prob['speedup']:5.2f}x"
+    )
+    battery = bench_covid_battery(events, gates, profiles, repeats)
+    print(
+        f"battery : dict {battery['dict_ms']:8.1f} ms   "
+        f"array {battery['array_ms']:8.1f} ms   {battery['speedup']:5.2f}x"
+        f"   ({battery['roots']} roots x {battery['profiles']} profiles)"
+    )
+    sweep = bench_sweep(profile_count, repeats)
+    print(
+        f"sweep   : loop {sweep['loop_ms']:8.1f} ms   "
+        f"many  {sweep['sweep_ms']:8.1f} ms   {sweep['speedup']:5.2f}x"
+        f"   ({sweep['nodes']} nodes)"
+    )
+
+    path = record_run(
+        "kernel",
+        {
+            "events": len(events),
+            "gates": len(gates),
+            "profiles": profile_count,
+            "repeats": repeats,
+            "numpy": have_numpy,
+            # Whether the speedup floors were enforced on this run; a
+            # false record carries the reason (mirrors BENCH_parallel).
+            "gated": gated,
+            **(
+                {"gate_skip_reason": gate_skip_reason}
+                if gate_skip_reason
+                else {}
+            ),
+            "build": build,
+            "conjoin": ite,
+            "probability": prob,
+            "covid_battery": battery,
+            "sweep": sweep,
+        },
+    )
+    print(f"\nrecorded -> {path}")
+
+    if not gated:
+        print(
+            f"NOTE: {gate_skip_reason} (floors were "
+            f"{min_kernel:g}x battery, {min_sweep:g}x sweep)."
+        )
+        return 0
+    assert battery["speedup"] >= min_kernel, (
+        f"array kernel {battery['speedup']:.2f}x over the dict kernel on "
+        f"the covid battery regressed below the {min_kernel:g}x floor"
+    )
+    assert sweep["speedup"] >= min_sweep, (
+        f"probability_many {sweep['speedup']:.2f}x over per-profile calls "
+        f"regressed below the {min_sweep:g}x floor"
+    )
+    print(
+        f"OK: covid battery >= {min_kernel:g}x dict kernel and "
+        f"sweep >= {min_sweep:g}x per-profile calls."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -205,6 +205,15 @@ def main() -> int:
     )
 
     speedup = sequential_s / parallel_s if parallel_s else float("inf")
+    gated = cores >= workers
+    gate_skip_reason = (
+        None
+        if gated
+        else (
+            f"only {cores} core(s) for {workers} workers; agreement "
+            "checked, speedup floor not enforced"
+        )
+    )
     shards = parallel.stats["parallel"]["shards"]
     print(f"sequential (1 process):    {sequential_s * 1000:8.1f} ms")
     print(f"parallel ({workers} workers):     {parallel_s * 1000:8.1f} ms")
@@ -234,13 +243,22 @@ def main() -> int:
             "sequential_ms": round(sequential_s * 1000.0, 3),
             "parallel_ms": round(parallel_s * 1000.0, 3),
             "speedup": round(speedup, 2),
+            # Whether the speedup floor was actually enforced on this
+            # machine; a false record carries the reason so dashboards
+            # can tell "passed the floor" from "floor not applicable".
+            "gated": gated,
+            **(
+                {"gate_skip_reason": gate_skip_reason}
+                if gate_skip_reason
+                else {}
+            ),
             "shards": shards,
             "snapshot": snapshot,
         },
     )
     print(f"\nrecorded -> {path}")
 
-    if cores < workers:
+    if not gated:
         # The floor assumes the requested parallelism physically exists;
         # below that, agreement (asserted above) is the whole gate.
         print(

@@ -1,0 +1,33 @@
+"""Soft numpy dependency for the array-native kernel.
+
+The kernel's node store is plain ``array.array('q')`` buffers, so every
+algorithm has a pure-Python code path and the library works on a bare
+interpreter.  numpy, when importable, accelerates the bulk passes that
+are natural matrix work — the vectorised multi-profile probability
+sweep, snapshot validation/compaction, and the unique-table bulk rehash
+— by viewing those buffers zero-copy via ``np.frombuffer``.
+
+Callers must read :data:`np` through this module at *call time*
+(``_nputil.np``), never ``from ... import np``: the test suite and the
+no-numpy CI leg disable the fast paths by setting ``REPRO_NO_NUMPY=1``
+or monkeypatching ``_nputil.np`` to ``None``, and a frozen import would
+bypass that switch.  See DESIGN.md ("numpy is a soft dependency").
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as np  # type: ignore[import-not-found]
+except Exception:  # pragma: no cover - anything short of a clean import
+    np = None  # type: ignore[assignment]
+
+if os.environ.get("REPRO_NO_NUMPY"):
+    # Forced fallback: behave exactly as if numpy were not installed.
+    np = None  # type: ignore[assignment]
+
+
+def have_numpy() -> bool:
+    """True iff the vectorised fast paths are enabled right now."""
+    return np is not None

@@ -24,8 +24,20 @@ invariants on top of the complement-edge form:
 * *ordered* — on every root-to-terminal path variables appear in strictly
   increasing level order (``mk`` enforces ``level < child levels``);
 * *reduced* — no node has identical children (``mk`` short-circuits) and
-  no two distinct indices share ``(level, low, high)`` (the int-tuple
-  keyed unique table).
+  no two distinct indices share ``(level, low, high)`` (the
+  open-addressed unique table).
+
+The storage layer is *array-native*: the parallel node arrays are
+contiguous ``array.array('q')`` buffers (``_level``, ``_low``,
+``_high``, ``_refcount``), the unique table is an open-addressed hash
+table over those buffers (power-of-two capacity, linear probing,
+tombstone-free rebuild on GC), and the operation memo tables are lossy
+direct-mapped computed tables with packed integer keys in the
+CUDD tradition.  Because nodes are flat int64 buffers, bulk passes —
+the multi-profile :meth:`BDDManager.probability_many` sweep, snapshot
+compaction/validation, the unique-table bulk rehash — vectorise over
+zero-copy numpy views when numpy is importable (``_nputil``), with a
+pure-Python fallback keeping every feature available without it.
 
 The public currency is the interned :class:`~repro.bdd.ref.Ref` handle;
 all recursions below run on raw integer edges and only wrap at the API
@@ -60,9 +72,12 @@ memo tables — see the method docstrings and DESIGN.md for why.
 from __future__ import annotations
 
 import itertools
+import sys
 import weakref
+from array import array
 from dataclasses import dataclass, fields
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from math import nan
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import (
     ManagerMismatchError,
@@ -70,6 +85,7 @@ from ..errors import (
     SnapshotError,
     VariableError,
 )
+from . import _nputil
 from .ref import TERMINAL_LEVEL, Ref
 
 #: The two terminal edges: index 0 is the stored ``1`` terminal.
@@ -80,17 +96,16 @@ _FALSE = 1
 _FREE_LEVEL = -1
 
 
-def _release_external(extref: Dict[int, int], index: int) -> None:
+def _release_external(refcount: "array", index: int) -> None:
     """``weakref.finalize`` hook: the last Ref for an edge of ``index``
-    died.  Deliberately a module function over the plain dict so the
-    finalizer registry never pins the manager itself."""
-    count = extref.get(index, 0) - 1
-    if count > 0:
-        extref[index] = count
-    else:
-        extref.pop(index, None)
+    died.  Deliberately a module function over the refcount buffer so the
+    finalizer registry never pins the manager itself.  The buffer object
+    is identity-stable for the manager's lifetime (``array.array`` grows
+    in place), so hooks registered before any growth stay valid."""
+    if refcount[index] > 0:
+        refcount[index] -= 1
 
-#: Opcodes for the int-tuple-keyed binary operation cache.  Only AND and
+#: Opcodes for the packed-key binary operation cache.  Only AND and
 #: XOR run a recursion; every other connective is an O(1) complement
 #: rewrite of one of them (De Morgan and friends).
 _OP_AND = 0
@@ -102,11 +117,35 @@ _OP_NAMES = ("and", "or", "xor", "xnor", "nand", "nor", "implies")
 #: Weight profiles whose probability caches are retained (LRU beyond).
 _PROB_PROFILE_LIMIT = 4
 
+#: Bits reserved per tagged edge in packed computed-table keys.  2^44
+#: edges = 2^43 stored nodes; at 32 bytes/node that is ~256 TiB of node
+#: store, far beyond anything a single manager can hold, so the packing
+#: never truncates in practice.
+_EDGE_BITS = 44
+
+#: Knuth/Fibonacci-style multipliers for the open-addressed tables.
+_H1 = 0x9E3779B1
+_H2 = 0x85EBCA6B
+
+#: Unique-table sizing: power-of-two capacity, load factor kept <= 0.5.
+_UT_MIN_CAPACITY = 1 << 10
+
+#: Computed-table sizing (per op cache): direct-mapped and lossy, so a
+#: full table evicts rather than grows — but while a cache keeps
+#: missing, capacity doubles up to the max (CUDD's "reward" policy,
+#: crudely: one doubling per capacity-many insertions).
+_CACHE_MIN_BITS = 12
+_CACHE_MAX_BITS = 20
+
 #: Marker / version of the portable kernel snapshot format (see
-#: :meth:`BDDManager.save_snapshot`).  Bump the version on any layout
-#: change; :meth:`BDDManager.load_snapshot` rejects unknown versions.
+#: :meth:`BDDManager.save_snapshot`).  Version 1 payloads carry plain
+#: JSON-safe lists; version 2 payloads carry the same arrays as raw
+#: little/big-endian int64 ``bytes`` (``binary=True``), which shard
+#: workers adopt wholesale as buffers.  :meth:`BDDManager.load_snapshot`
+#: reads both and rejects anything else.
 SNAPSHOT_FORMAT = "repro-bdd-kernel"
 SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION_BINARY = 2
 
 _manager_counter = itertools.count()
 
@@ -143,6 +182,18 @@ class OperationCacheStats:
     prob_misses: int = 0
     #: O(1) complement flips (never a lookup, never an insertion).
     negations: int = 0
+    #: Open-addressed unique-table counters: ``ut_collisions`` counts
+    #: probe steps beyond the home slot on inserts (probe-length sum),
+    #: ``ut_resizes`` counts capacity doublings and GC rebuilds.  They
+    #: describe the node store, not a memo table, so they stay outside
+    #: the ``hits``/``misses`` totals.
+    ut_collisions: int = 0
+    ut_resizes: int = 0
+    #: Computed-table counters: ``cache_evictions`` counts entries
+    #: overwritten by a colliding insert (the tables are lossy and
+    #: direct-mapped), ``cache_resizes`` counts capacity doublings.
+    cache_evictions: int = 0
+    cache_resizes: int = 0
 
     @property
     def hits(self) -> int:
@@ -192,6 +243,67 @@ class OperationCacheStats:
         )
 
 
+class _OpCache:
+    """One lossy, direct-mapped computed table (CUDD style).
+
+    ``keys``/``vals`` are parallel lists of power-of-two length; an
+    entry's slot is a caller-supplied multiplicative hash of the operands
+    masked to the table, and its key is the operands packed into one
+    integer (``_EDGE_BITS`` bits per edge), so a hit is two list reads
+    and an int compare — no tuple allocation, no probing.  Colliding
+    inserts simply overwrite (``cache_evictions``): a computed table
+    trades completeness for constant-time, constant-memory operation,
+    and a dropped entry only ever costs a recomputation.  Sustained
+    insert pressure doubles the capacity up to ``_CACHE_MAX_BITS``
+    (``cache_resizes``); growth drops the contents rather than rehash —
+    slots are derived from the caller's unmasked hash, and the table is
+    lossy anyway.  :meth:`clear` keeps the learned capacity.
+    """
+
+    __slots__ = ("keys", "vals", "mask", "occupied", "inserts")
+
+    def __init__(self, bits: int = _CACHE_MIN_BITS) -> None:
+        size = 1 << bits
+        self.keys: List[Optional[int]] = [None] * size
+        self.vals: List[int] = [0] * size
+        self.mask = size - 1
+        self.occupied = 0
+        self.inserts = 0
+
+    def __len__(self) -> int:
+        return self.occupied
+
+    def put(
+        self, stats: OperationCacheStats, h: int, key: int, value: int
+    ) -> None:
+        """Store ``key -> value`` at the slot of unmasked hash ``h``."""
+        self.inserts += 1
+        keys = self.keys
+        slot = h & self.mask
+        prior = keys[slot]
+        if prior is None:
+            self.occupied += 1
+        elif prior != key:
+            stats.cache_evictions += 1
+        keys[slot] = key
+        self.vals[slot] = value
+        if self.inserts > len(keys) and len(keys) < (1 << _CACHE_MAX_BITS):
+            size = len(keys) * 2
+            self.keys = [None] * size
+            self.vals = [0] * size
+            self.mask = size - 1
+            self.occupied = 0
+            self.inserts = 0
+            stats.cache_resizes += 1
+
+    def clear(self) -> None:
+        size = len(self.keys)
+        self.keys = [None] * size
+        self.vals = [0] * size
+        self.occupied = 0
+        self.inserts = 0
+
+
 class BDDManager:
     """Factory and owner of complement-edge ROBDDs over a named, totally
     ordered variable set.
@@ -210,35 +322,51 @@ class BDDManager:
         self._id = next(_manager_counter)
         self._order: List[str] = []
         self._levels: Dict[str, int] = {}
-        # Parallel node arrays.  Index 0 is the `1` terminal; its child
-        # slots are unused placeholders.
-        self._level: List[int] = [TERMINAL_LEVEL]
-        self._low: List[int] = [0]
-        self._high: List[int] = [0]
-        # Unique table: (level, low edge, regular high edge) -> index.
-        self._unique: Dict[Tuple[int, int, int], int] = {}
-        # Memo tables, all keyed on int tuples.  They are kept
+        # Parallel node arrays: contiguous, growable int64 buffers.
+        # Index 0 is the `1` terminal; its child slots are unused
+        # placeholders.  Being real buffers (not Python lists), bulk
+        # passes can view them zero-copy via numpy and snapshots can
+        # serialise them with one memcpy.
+        self._level = array("q", [TERMINAL_LEVEL])
+        self._low = array("q", [0])
+        self._high = array("q", [0])
+        #: External reference counts, node index -> number of live Refs
+        #: whose edge points at that index (both polarities included).
+        #: Parallel to the node arrays; reclaimed slots always hold 0.
+        self._refcount = array("q", [0])
+        # Open-addressed unique table over the node arrays: slots hold a
+        # node index or -1 (empty); the key of an occupied slot is the
+        # node's (level, low, high) read straight from the arrays.
+        # Power-of-two capacity, linear probing, load kept <= 1/2;
+        # deletes backward-shift, GC rebuilds tombstone-free.
+        self._ut_slots = array("q", [-1]) * _UT_MIN_CAPACITY
+        self._ut_mask = _UT_MIN_CAPACITY - 1
+        self._ut_count = 0
+        self._ut_max_probe = 0
+        # Computed tables (lossy, direct-mapped, packed int keys).  Kept
         # per-operation so clearing one kind of cache (e.g. after
         # reordering) does not touch the others.
-        self._apply_cache: Dict[Tuple[int, int, int], int] = {}
-        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
-        self._restrict_cache: Dict[Tuple[int, int, int], int] = {}
-        self._compose_cache: Dict[Tuple[int, int, int], int] = {}
-        self._exists_cache: Dict[Tuple[int, FrozenSet[int]], int] = {}
+        self._apply_cache = _OpCache(_CACHE_MIN_BITS + 2)
+        self._ite_cache = _OpCache(_CACHE_MIN_BITS + 2)
+        self._restrict_cache = _OpCache()
+        self._compose_cache = _OpCache()
+        self._exists_cache = _OpCache()
+        # Quantified level sets are interned to small ints so the exists
+        # computed table can pack (edge, set) into one integer key.
+        self._exists_sets: Dict[FrozenSet[int], int] = {}
         self._support_cache: Dict[int, FrozenSet[int]] = {}
         # Weighted-evaluation (probability) caches: per weight *profile*
-        # (sorted name->weight tuple), a map of *regular* node index ->
-        # P[node = 1].  Keyed on the regular index because
-        # P(~f) = 1 - P(f) is free on complement edges, so a function and
-        # its negation share one entry.  A bounded LRU of profiles keeps
-        # mixed batteries (base profile interleaved with per-query
-        # settings) from thrashing each other's entries.  All of it
-        # participates in the GC/reordering lifecycle via clear_caches
-        # (reclaimed indices may be reused; swaps allocate fresh
-        # functions into old slots).
-        self._prob_caches: Dict[
-            Tuple[Tuple[str, float], ...], Dict[int, float]
-        ] = {}
+        # (sorted name->weight tuple), a dense float64 array parallel to
+        # the node store mapping *regular* node index -> P[node = 1]
+        # (NaN marks "not valued yet").  Keyed on the regular index
+        # because P(~f) = 1 - P(f) is free on complement edges, so a
+        # function and its negation share one entry.  A bounded LRU of
+        # profiles keeps mixed batteries (base profile interleaved with
+        # per-query settings) from thrashing each other's entries.  All
+        # of it participates in the GC/reordering lifecycle via
+        # clear_caches (reclaimed indices may be reused; swaps allocate
+        # fresh functions into old slots).
+        self._prob_caches: Dict[Tuple[Tuple[str, float], ...], array] = {}
         # Fast paths for the hot case of one mapping reused call after
         # call: skip rebuilding the sorted profile key when the weights
         # compare equal to the previous call's (a dict compare in C),
@@ -257,9 +385,6 @@ class BDDManager:
         self._refs: "weakref.WeakValueDictionary[int, Ref]" = (
             weakref.WeakValueDictionary()
         )
-        #: External reference counts, node index -> number of live Refs
-        #: whose edge points at that index (both polarities included).
-        self._extref: Dict[int, int] = {}
         #: Reclaimed node indices available for reuse by ``_mk``.
         self._free: List[int] = []
         self.true = self._wrap(_TRUE)
@@ -302,10 +427,10 @@ class BDDManager:
         if ref is None:
             ref = Ref(self, edge)
             self._refs[edge] = ref
-            extref = self._extref
+            refcount = self._refcount
             index = edge >> 1
-            extref[index] = extref.get(index, 0) + 1
-            weakref.finalize(ref, _release_external, extref, index)
+            refcount[index] += 1
+            weakref.finalize(ref, _release_external, refcount, index)
         return ref
 
     def _unwrap(self, ref: Ref) -> int:
@@ -370,6 +495,158 @@ class BDDManager:
         return self.true if value else self.false
 
     # ------------------------------------------------------------------
+    # Open-addressed unique table
+    # ------------------------------------------------------------------
+    #
+    # The table is an ``array('q')`` of slots holding a node index or -1
+    # (empty); an occupied slot's key is the node's (level, low, high)
+    # read straight from the parallel arrays, so the table itself stores
+    # no keys and rebuilding it is pure recomputation.  Capacity is a
+    # power of two, probing is linear, and the load factor stays <= 1/2
+    # (growth doubles).  Deletion backward-shifts the cluster (Knuth
+    # 6.4 R) so the table never accumulates tombstones; GC does a full
+    # tombstone-free rebuild sized to the surviving population instead.
+
+    def _ut_find(self, level: int, low: int, high: int) -> int:
+        """Index of the node with this key, or a negative value on miss
+        (``-slot - 1`` of the first empty slot probed; node indices in
+        the table are always >= 1, so the encodings cannot collide)."""
+        slots = self._ut_slots
+        mask = self._ut_mask
+        lv_a, lo_a, hi_a = self._level, self._low, self._high
+        slot = (level * _H1 + low * _H2 + high) & mask
+        while True:
+            idx = slots[slot]
+            if idx < 0:
+                return -slot - 1
+            if lv_a[idx] == level and lo_a[idx] == low and hi_a[idx] == high:
+                return idx
+            slot = (slot + 1) & mask
+
+    def _ut_insert(self, level: int, low: int, high: int, index: int) -> None:
+        """Insert ``index`` under its key (which the node arrays must
+        already hold).  The key must not be present."""
+        if (self._ut_count + 1) * 2 > len(self._ut_slots):
+            self._ut_grow()
+        slots = self._ut_slots
+        mask = self._ut_mask
+        slot = (level * _H1 + low * _H2 + high) & mask
+        probe = 0
+        while slots[slot] >= 0:
+            probe += 1
+            slot = (slot + 1) & mask
+        slots[slot] = index
+        self._ut_count += 1
+        if probe:
+            self.op_stats.ut_collisions += probe
+            if probe > self._ut_max_probe:
+                self._ut_max_probe = probe
+
+    def _ut_delete(self, level: int, low: int, high: int) -> None:
+        """Remove the entry with this key (KeyError if absent), closing
+        the probe cluster by backward shifting."""
+        slots = self._ut_slots
+        mask = self._ut_mask
+        lv_a, lo_a, hi_a = self._level, self._low, self._high
+        slot = (level * _H1 + low * _H2 + high) & mask
+        while True:
+            idx = slots[slot]
+            if idx < 0:
+                raise KeyError((level, low, high))
+            if lv_a[idx] == level and lo_a[idx] == low and hi_a[idx] == high:
+                break
+            slot = (slot + 1) & mask
+        self._ut_count -= 1
+        j = slot
+        k = slot
+        while True:
+            slots[j] = -1
+            while True:
+                k = (k + 1) & mask
+                idx = slots[k]
+                if idx < 0:
+                    return
+                home = (lv_a[idx] * _H1 + lo_a[idx] * _H2 + hi_a[idx]) & mask
+                # An entry may fill the hole iff its home slot does not
+                # lie (cyclically) strictly between the hole and it.
+                if (k - home) & mask >= (k - j) & mask:
+                    slots[j] = idx
+                    j = k
+                    break
+
+    def _ut_grow(self) -> None:
+        """Double the capacity, rehashing the *current slot contents*.
+
+        Re-placing what the slots hold (rather than sweeping the store)
+        keeps growth safe mid-:meth:`_swap_adjacent`, where the table
+        deliberately holds only part of the live store for a moment.
+        """
+        old = self._ut_slots
+        size = len(old) * 2
+        slots = array("q", [-1]) * size
+        mask = size - 1
+        lv_a, lo_a, hi_a = self._level, self._low, self._high
+        for idx in old:
+            if idx < 0:
+                continue
+            slot = (lv_a[idx] * _H1 + lo_a[idx] * _H2 + hi_a[idx]) & mask
+            while slots[slot] >= 0:
+                slot = (slot + 1) & mask
+            slots[slot] = idx
+        self._ut_slots = slots
+        self._ut_mask = mask
+        self.op_stats.ut_resizes += 1
+
+    def _ut_rebuild(self) -> None:
+        """Tombstone-free rebuild from the live store, sized to the
+        surviving population (used by :meth:`collect` and snapshot
+        adoption).  With numpy available the per-node home slots are
+        precomputed in one vectorised pass over the array buffers."""
+        level = self._level
+        nslots = len(level)
+        live = nslots - len(self._free) - 1
+        capacity = _UT_MIN_CAPACITY
+        while capacity <= 2 * live:
+            capacity <<= 1
+        slots = array("q", [-1]) * capacity
+        mask = capacity - 1
+        np_mod = _nputil.np
+        if np_mod is not None and nslots > 2048:
+            lv = np_mod.frombuffer(self._level, dtype=np_mod.int64)
+            lo = np_mod.frombuffer(self._low, dtype=np_mod.int64)
+            hi = np_mod.frombuffer(self._high, dtype=np_mod.int64)
+            # int64 products wrap mod 2^64, which preserves the low
+            # ``mask`` bits — identical to the arbitrary-precision slot.
+            homes = ((lv * _H1 + lo * _H2 + hi) & mask).tolist()
+        else:
+            lo_a, hi_a = self._low, self._high
+            homes = None
+        collisions = 0
+        max_probe = self._ut_max_probe
+        for idx in range(1, nslots):
+            if level[idx] == _FREE_LEVEL:
+                continue
+            if homes is not None:
+                slot = homes[idx]
+            else:
+                slot = (level[idx] * _H1 + lo_a[idx] * _H2 + hi_a[idx]) & mask
+            probe = 0
+            while slots[slot] >= 0:
+                probe += 1
+                slot = (slot + 1) & mask
+            slots[slot] = idx
+            if probe:
+                collisions += probe
+                if probe > max_probe:
+                    max_probe = probe
+        self._ut_slots = slots
+        self._ut_mask = mask
+        self._ut_count = live
+        self._ut_max_probe = max_probe
+        self.op_stats.ut_collisions += collisions
+        self.op_stats.ut_resizes += 1
+
+    # ------------------------------------------------------------------
     # Node construction
     # ------------------------------------------------------------------
 
@@ -391,9 +668,8 @@ class BDDManager:
             # Canonical form: stored high edges are regular.
             low ^= 1
             high ^= 1
-        key = (level, low, high)
-        index = self._unique.get(key)
-        if index is None:
+        index = self._ut_find(level, low, high)
+        if index < 0:
             if (
                 level >= self._level[low >> 1]
                 or level >= self._level[high >> 1]
@@ -404,7 +680,7 @@ class BDDManager:
                     f"{self._level[high >> 1]})"
                 )
             index = self._alloc_slot(level, low, high)
-            self._unique[key] = index
+            self._ut_insert(level, low, high, index)
         return (index << 1) | c
 
     def _alloc_slot(self, level: int, low: int, high: int) -> int:
@@ -423,6 +699,7 @@ class BDDManager:
             self._level.append(level)
             self._low.append(low)
             self._high.append(high)
+            self._refcount.append(0)
         live = len(self._level) - len(free)
         if live > self._peak_nodes:
             self._peak_nodes = live
@@ -456,11 +733,13 @@ class BDDManager:
             return _FALSE
         if u > v:  # commutative: one cache entry per unordered pair
             u, v = v, u
-        key = (_OP_AND, u, v)
-        cached = self._apply_cache.get(key)
-        if cached is not None:
+        cache = self._apply_cache
+        h = u * _H1 + v * _H2
+        slot = h & cache.mask
+        key = ((u << _EDGE_BITS) | v) << 1  # | _OP_AND (0)
+        if cache.keys[slot] == key:
             self.op_stats.apply_hits += 1
-            return cached
+            return cache.vals[slot]
         self.op_stats.apply_misses += 1
 
         level = self._level
@@ -478,7 +757,7 @@ class BDDManager:
         else:
             v0 = v1 = v
         result = self._mk(top, self._and_e(u0, v0), self._and_e(u1, v1))
-        self._apply_cache[key] = result
+        cache.put(self.op_stats, h, key, result)
         return result
 
     def _xor_e(self, u: int, v: int) -> int:
@@ -495,11 +774,13 @@ class BDDManager:
             return u ^ 1 ^ out
         if u > v:
             u, v = v, u
-        key = (_OP_XOR, u, v)
-        cached = self._apply_cache.get(key)
-        if cached is not None:
+        cache = self._apply_cache
+        h = u * _H1 + v * _H2 + _OP_XOR
+        slot = h & cache.mask
+        key = (((u << _EDGE_BITS) | v) << 1) | _OP_XOR
+        if cache.keys[slot] == key:
             self.op_stats.apply_hits += 1
-            return cached ^ out
+            return cache.vals[slot] ^ out
         self.op_stats.apply_misses += 1
 
         level = self._level
@@ -515,7 +796,7 @@ class BDDManager:
         else:
             v0 = v1 = v
         result = self._mk(top, self._xor_e(u0, v0), self._xor_e(u1, v1))
-        self._apply_cache[key] = result
+        cache.put(self.op_stats, h, key, result)
         return result ^ out
 
     def _or_e(self, u: int, v: int) -> int:
@@ -571,11 +852,13 @@ class BDDManager:
             g ^= 1
             h ^= 1
 
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
+        cache = self._ite_cache
+        ch = f * _H1 + g * _H2 + h
+        slot = ch & cache.mask
+        key = (((f << _EDGE_BITS) | g) << _EDGE_BITS) | h
+        if cache.keys[slot] == key:
             self.op_stats.ite_hits += 1
-            return cached ^ out
+            return cache.vals[slot] ^ out
         self.op_stats.ite_misses += 1
 
         level = self._level
@@ -597,7 +880,7 @@ class BDDManager:
         result = self._mk(
             top, self._ite_e(f0, g0, h0), self._ite_e(f1, g1, h1)
         )
-        self._ite_cache[key] = result
+        cache.put(self.op_stats, ch, key, result)
         return result ^ out
 
     # ------------------------------------------------------------------
@@ -747,11 +1030,15 @@ class BDDManager:
         if self._level[u >> 1] > level:
             # Terminals and nodes below `level` cannot mention the variable.
             return u ^ c
-        key = (u, level, value)
-        cached = self._restrict_cache.get(key)
-        if cached is not None:
+        cache = self._restrict_cache
+        h = u * _H1 + level * _H2 + value
+        slot = h & cache.mask
+        # Levels are < TERMINAL_LEVEL = 2^31, so 33 bits hold (level,
+        # value) and the edge sits above them.
+        key = (u << 33) | (level << 1) | value
+        if cache.keys[slot] == key:
             self.op_stats.restrict_hits += 1
-            return cached ^ c
+            return cache.vals[slot] ^ c
         self.op_stats.restrict_misses += 1
         index = u >> 1
         if self._level[index] == level:
@@ -762,7 +1049,7 @@ class BDDManager:
                 self._restrict_e(self._low[index], level, value),
                 self._restrict_e(self._high[index], level, value),
             )
-        self._restrict_cache[key] = result
+        cache.put(self.op_stats, h, key, result)
         return result ^ c
 
     def restrict_many(self, u: Ref, assignment: Mapping[str, bool]) -> Ref:
@@ -808,11 +1095,13 @@ class BDDManager:
             # substituting many different ``g`` at one site only ever
             # walks the spine that actually depends on it.
             return u ^ c
-        key = (u, level, g)
-        cached = self._compose_cache.get(key)
-        if cached is not None:
+        cache = self._compose_cache
+        h = u * _H1 + level * _H2 + g
+        slot = h & cache.mask
+        key = (((u << 32) | level) << _EDGE_BITS) | g
+        if cache.keys[slot] == key:
             self.op_stats.compose_hits += 1
-            return cached ^ c
+            return cache.vals[slot] ^ c
         self.op_stats.compose_misses += 1
         top = self._level[index]
         if top == level:
@@ -827,8 +1116,42 @@ class BDDManager:
             # recombining through ITE on the branch variable restores
             # the global order invariant.
             result = self._ite_e(self._mk(top, _FALSE, _TRUE), r1, r0)
-        self._compose_cache[key] = result
+        cache.put(self.op_stats, h, key, result)
         return result ^ c
+
+    # -- existential-quantification computed table (used by quantify.py)
+
+    def _exists_set_id(self, levels: FrozenSet[int]) -> int:
+        """Intern a quantified level set to a small integer, so the
+        exists computed table can use packed ``(edge, set)`` int keys.
+        The interning map is dropped with the caches — level sets are
+        meaningless across a reorder anyway."""
+        sets = self._exists_sets
+        sid = sets.get(levels)
+        if sid is None:
+            if len(sets) >= (1 << 20):
+                # Keys reserve 20 bits for the set id; recycling the id
+                # space must drop the cache or stale keys could alias.
+                sets.clear()
+                self._exists_cache.clear()
+            sid = len(sets)
+            sets[levels] = sid
+        return sid
+
+    def _exists_get(self, edge: int, sid: int) -> Optional[int]:
+        """Cached exists result for ``(edge, sid)``, or None."""
+        cache = self._exists_cache
+        slot = (edge * _H1 + sid * _H2) & cache.mask
+        key = (edge << 20) | sid
+        if cache.keys[slot] == key:
+            return cache.vals[slot]
+        return None
+
+    def _exists_put(self, edge: int, sid: int, result: int) -> None:
+        """Store an exists result for ``(edge, sid)``."""
+        self._exists_cache.put(
+            self.op_stats, edge * _H1 + sid * _H2, (edge << 20) | sid, result
+        )
 
     def rename(self, u: Ref, mapping: Mapping[str, str]) -> Ref:
         """Rename variables (the paper's ``B[V -> V']`` primed copy).
@@ -1054,13 +1377,18 @@ class BDDManager:
         caches = self._prob_caches
         # Popped for LRU recency; (re-)inserted only after a successful
         # sweep, so a MissingWeightError neither evicts a populated
-        # profile nor registers a useless empty one.
+        # profile nor registers a useless empty one.  Each cache is a
+        # dense float64 array parallel to the node store (NaN = not
+        # valued), extended when the store has grown since last use.
         cache = caches.pop(profile, None)
         fresh = cache is None
+        nslots = len(self._level)
         if fresh:
-            cache = {}
+            cache = array("d", [nan]) * nslots
+        elif len(cache) < nslots:
+            cache.extend(array("d", [nan]) * (nslots - len(cache)))
         stats = self.op_stats
-        if index in cache:
+        if cache[index] == cache[index]:  # NaN-check: valued already?
             stats.prob_hits += 1
         else:
             try:
@@ -1075,7 +1403,7 @@ class BDDManager:
                     i = stack.pop()
                     if i == 0:
                         continue
-                    if i in cache:
+                    if cache[i] == cache[i]:
                         stats.prob_hits += 1
                         continue
                     if level[i] not in level_weight:
@@ -1113,6 +1441,174 @@ class BDDManager:
         caches[profile] = cache  # (re-)insert as most recently used
         value = cache[index]
         return 1.0 - value if root & 1 else value
+
+    def probability_many(
+        self,
+        u: Union[Ref, Sequence[Ref]],
+        profiles: Sequence[Mapping[str, float]],
+    ) -> List:
+        """P[f = 1] under **many** weight profiles in one traversal.
+
+        The vectorised counterpart of :meth:`probability`: the reachable
+        DAG is collected once, sorted children-first (descending level),
+        and then every profile is evaluated simultaneously — with numpy,
+        one ``(nodes, profiles)`` value matrix is filled level block by
+        level block (``V = w * V[high] + (1 - w) * V[low]``, complement
+        edges folded as ``c + (1 - 2c) * V``), so the per-node Python
+        interpreter cost is paid once rather than once per profile.
+        Without numpy a single pure-Python traversal still evaluates all
+        profiles per node, which beats repeated :meth:`probability`
+        calls on traversal overhead alone.
+
+        ``u`` may also be a *sequence* of Refs: the union of their
+        reachable DAGs is swept once (shared nodes are evaluated once
+        for the whole battery) and one row of probabilities is returned
+        per root — the shape a multi-root battery wants, since profile
+        validation and the weight matrix are likewise paid once.
+
+        Deliberately stateless: results are not written to the
+        per-profile :meth:`probability` caches (a sweep's profiles are
+        typically one-shot — variant batteries, sensitivity grids — and
+        would only thrash the LRU).
+
+        Args:
+            u: The function to measure, or a sequence of functions.
+            profiles: Per-profile mappings of variable name -> weight.
+                Variables outside the BDDs' support may be omitted.
+
+        Returns:
+            One probability per profile, in order — or, for a sequence
+            of roots, one such list per root.
+
+        Raises:
+            MissingWeightError: If a BDD branches on a variable some
+                profile carries no weight for.
+        """
+        single = isinstance(u, Ref)
+        roots = [self._unwrap(u)] if single else [self._unwrap(r) for r in u]
+        profiles = list(profiles)
+        nprof = len(profiles)
+
+        def _shape(rows: List[List[float]]):
+            return rows[0] if single else rows
+
+        if not roots:
+            return []
+        if nprof == 0:
+            return _shape([[] for _ in roots])
+        level, low, high = self._level, self._low, self._high
+        # Phase 1: collect the union of the reachable DAGs and the
+        # levels they branch on.
+        pending: List[int] = []
+        used_levels: Set[int] = set()
+        seen = {0}
+        stack = [root >> 1 for root in roots]
+        while stack:
+            i = stack.pop()
+            if i in seen:
+                continue
+            seen.add(i)
+            pending.append(i)
+            used_levels.add(level[i])
+            for child_edge in (low[i], high[i]):
+                child = child_edge >> 1
+                if child not in seen:
+                    stack.append(child)
+        if not pending:
+            # Every root is a terminal edge.
+            return _shape(
+                [[0.0 if root & 1 else 1.0] * nprof for root in roots]
+            )
+        # Per-profile weight rows over the used levels, validated before
+        # any arithmetic so a missing weight fails like probability().
+        lv_sorted = sorted(used_levels)
+        names = [self.name_of(lv) for lv in lv_sorted]
+        weight_rows: List[List[float]] = []
+        for j, weights in enumerate(profiles):
+            row = []
+            for name in names:
+                if name not in weights:
+                    raise MissingWeightError(
+                        f"no weight for BDD variable {name!r} "
+                        f"in profile {j}"
+                    )
+                row.append(float(weights[name]))
+            weight_rows.append(row)
+        # Children sit at strictly greater levels: descending-level order
+        # is children-first, and nodes of one level block never reference
+        # each other — the block recurrence below is well-defined.
+        pending.sort(key=lambda i: -level[i])
+        lvrow = {lv: r for r, lv in enumerate(lv_sorted)}
+        np_mod = _nputil.np
+        if np_mod is not None:
+            np = np_mod
+            n = len(pending)
+            pos = {0: 0}
+            for k, i in enumerate(pending):
+                pos[i] = k + 1
+            lowpos = np.empty(n, dtype=np.intp)
+            lowc = np.empty(n, dtype=np.float64)
+            highpos = np.empty(n, dtype=np.intp)
+            wrow = np.empty(n, dtype=np.intp)
+            for k, i in enumerate(pending):
+                le = low[i]
+                he = high[i]  # stored high edges are regular (invariant)
+                lowpos[k] = pos[le >> 1]
+                lowc[k] = le & 1
+                highpos[k] = pos[he >> 1]
+                wrow[k] = lvrow[level[i]]
+            # Row 0 is the terminal (value 1.0); node k fills row k + 1.
+            value = np.empty((n + 1, nprof), dtype=np.float64)
+            value[0] = 1.0
+            weight = np.asarray(weight_rows, dtype=np.float64).T[wrow]
+            lv_arr = [level[i] for i in pending]
+            start = 0
+            while start < n:
+                lv = lv_arr[start]
+                end = start + 1
+                while end < n and lv_arr[end] == lv:
+                    end += 1
+                sl = slice(start, end)
+                lval = value[lowpos[sl]]
+                comp = lowc[sl][:, None]
+                lval = comp + (1.0 - 2.0 * comp) * lval
+                hval = value[highpos[sl]]
+                w = weight[sl]
+                value[start + 1 : end + 1] = w * hval + (1.0 - w) * lval
+                start = end
+            rows = []
+            for root in roots:
+                out = value[pos[root >> 1]]
+                if root & 1:
+                    out = 1.0 - out
+                rows.append([float(x) for x in out])
+            return _shape(rows)
+        # Pure-Python fallback: same sweep, a list of per-profile values
+        # per node (all profiles advanced in one traversal).
+        level_w = {
+            lv: [weight_rows[p][r] for p in range(nprof)]
+            for r, lv in enumerate(lv_sorted)
+        }
+        vals: Dict[int, List[float]] = {0: [1.0] * nprof}
+        for i in pending:
+            le = low[i]
+            he = high[i]
+            lval = vals[le >> 1]
+            if le & 1:
+                lval = [1.0 - x for x in lval]
+            hval = vals[he >> 1]
+            ws = level_w[level[i]]
+            vals[i] = [
+                w * hv + (1.0 - w) * lv_
+                for w, hv, lv_ in zip(ws, hval, lval)
+            ]
+        rows = []
+        for root in roots:
+            out_list = vals[root >> 1]
+            if root & 1:
+                out_list = [1.0 - x for x in out_list]
+            rows.append([float(x) for x in out_list])
+        return _shape(rows)
 
     def node_count(self) -> int:
         """Number of live stored nodes (unique table plus the ``1``
@@ -1160,7 +1656,7 @@ class BDDManager:
             )
             assert level < self._level[low >> 1], f"node {index} breaks the order"
             assert level < self._level[high >> 1], f"node {index} breaks the order"
-            assert self._unique.get((level, low, high)) == index, (
+            assert self._ut_find(level, low, high) == index, (
                 f"node {index} missing from the unique table"
             )
         assert holes == len(self._free), "free list out of sync with the store"
@@ -1169,12 +1665,30 @@ class BDDManager:
             assert self._level[index] == _FREE_LEVEL, (
                 f"free-listed slot {index} still holds a live node"
             )
-        assert len(self._unique) == self.node_count() - 1
-        for index, count in list(self._extref.items()):
-            assert count > 0, f"stale zero refcount for index {index}"
-            assert index == 0 or self._level[index] != _FREE_LEVEL, (
-                f"externally referenced node {index} was reclaimed"
+        assert self._ut_count == self.node_count() - 1
+        entries = [idx for idx in self._ut_slots if idx >= 0]
+        assert len(entries) == self._ut_count, (
+            "unique-table slot population out of sync with its count"
+        )
+        assert len(set(entries)) == len(entries), (
+            "unique table holds duplicate slot entries"
+        )
+        for idx in entries:
+            assert self._level[idx] != _FREE_LEVEL, (
+                f"unique table references the freed slot {idx}"
             )
+        assert len(self._ut_slots) >= 2 * self._ut_count, (
+            "unique table over its load factor"
+        )
+        assert len(self._refcount) == len(self._level), (
+            "refcount array out of sync with the node arrays"
+        )
+        for index, count in enumerate(self._refcount):
+            assert count >= 0, f"negative refcount for index {index}"
+            if count > 0:
+                assert index == 0 or self._level[index] != _FREE_LEVEL, (
+                    f"externally referenced node {index} was reclaimed"
+                )
         for edge, ref in list(self._refs.items()):
             assert ref.edge == edge, "interning table maps an edge to a foreign Ref"
             index = edge >> 1
@@ -1200,11 +1714,26 @@ class BDDManager:
         data["ite_cache_size"] = len(self._ite_cache)
         data["restrict_cache_size"] = len(self._restrict_cache)
         data["compose_cache_size"] = len(self._compose_cache)
-        data["prob_cache_size"] = sum(
-            len(cache) for cache in self._prob_caches.values()
-        )
+        np_mod = _nputil.np
+        prob_entries = 0
+        for cache in self._prob_caches.values():
+            if np_mod is not None:
+                view = np_mod.frombuffer(cache, dtype=np_mod.float64)
+                prob_entries += int((view == view).sum())
+            else:
+                prob_entries += sum(1 for v in cache if v == v)
+        data["prob_cache_size"] = prob_entries
         data["prob_profiles"] = len(self._prob_caches)
-        data["unique_table_size"] = len(self._unique)
+        data["unique_table_size"] = self._ut_count
+        data["unique_capacity"] = len(self._ut_slots)
+        data["ut_max_probe"] = self._ut_max_probe
+        data["cache_capacity"] = (
+            len(self._apply_cache.keys)
+            + len(self._ite_cache.keys)
+            + len(self._restrict_cache.keys)
+            + len(self._compose_cache.keys)
+            + len(self._exists_cache.keys)
+        )
         data["live_nodes"] = self.node_count()
         data["peak_live_nodes"] = self._peak_nodes
         data["free_list"] = len(self._free)
@@ -1230,6 +1759,7 @@ class BDDManager:
         self._restrict_cache.clear()
         self._compose_cache.clear()
         self._exists_cache.clear()
+        self._exists_sets.clear()
         self._support_cache.clear()
         self._prob_caches.clear()
         # The level->weight memo maps *levels*, whose meaning a swap
@@ -1242,7 +1772,10 @@ class BDDManager:
     # ------------------------------------------------------------------
 
     def save_snapshot(
-        self, roots: Optional[Mapping[str, Ref]] = None
+        self,
+        roots: Optional[Mapping[str, Ref]] = None,
+        *,
+        binary: bool = False,
     ) -> Dict[str, object]:
         """Serialise the node store into a portable, JSON-safe dict.
 
@@ -1263,18 +1796,31 @@ class BDDManager:
         (descending-level) numbering, which is what lets
         :meth:`load_snapshot` rebuild the store in one append-only pass.
 
+        With ``binary=True`` the three node arrays are emitted as raw
+        native-endian int64 ``bytes`` (version 2) instead of lists —
+        one ``memcpy`` out of the compacted buffers, and on load the
+        receiving manager adopts them wholesale with ``frombytes``
+        rather than rebuilding node-by-node.  Binary payloads are what
+        the shard workers ship (pickle handles ``bytes`` natively);
+        they are *not* JSON-safe, and they record ``sys.byteorder`` so
+        a foreign-endian payload fails loudly instead of silently
+        misreading.  The default stays the version-1 JSON-safe lists.
+
         Args:
             roots: Named handles to preserve.  When given, only nodes
                 reachable from these roots are saved (dead and unrelated
                 nodes are left behind); when omitted, every live stored
                 node is saved and ``roots`` is empty in the result.
+            binary: Emit the node arrays as int64 ``bytes`` (version 2).
 
         Returns:
             A dict of plain lists/ints/strings — safe for ``json.dumps``
-            and for pickling across process boundaries.
+            and for pickling across process boundaries — or, with
+            ``binary=True``, the same dict with ``bytes`` node arrays.
         """
         level, low, high = self._level, self._low, self._high
         root_edges: Dict[str, int] = {}
+        np_mod = _nputil.np
         if roots is not None:
             for name, ref in roots.items():
                 root_edges[str(name)] = self._unwrap(ref)
@@ -1289,6 +1835,9 @@ class BDDManager:
                 live.append(index)
                 stack.append(low[index] >> 1)
                 stack.append(high[index] >> 1)
+        elif np_mod is not None:
+            lv_view = np_mod.frombuffer(level, dtype=np_mod.int64)
+            live = np_mod.nonzero(lv_view != _FREE_LEVEL)[0][1:].tolist()
         else:
             live = [
                 index
@@ -1298,25 +1847,80 @@ class BDDManager:
         # Children sit at strictly greater levels, so descending-level
         # order lists every child before its parents; ties (one level)
         # cannot be related, and the index tie-break keeps it stable.
+        if np_mod is not None and live:
+            np = np_mod
+            lv_view = np.frombuffer(level, dtype=np.int64)
+            lo_view = np.frombuffer(low, dtype=np.int64)
+            hi_view = np.frombuffer(high, dtype=np.int64)
+            live_arr = np.asarray(live, dtype=np.int64)
+            # lexsort: last key is primary (descending level, then index).
+            order = np.lexsort((live_arr, -lv_view[live_arr]))
+            live_arr = live_arr[order]
+            remap_arr = np.zeros(len(level), dtype=np.int64)
+            remap_arr[live_arr] = np.arange(1, len(live_arr) + 1)
+            lo_live = lo_view[live_arr]
+            hi_live = hi_view[live_arr]
+            out_levels = lv_view[live_arr]
+            out_lows = (remap_arr[lo_live >> 1] << 1) | (lo_live & 1)
+            out_highs = (remap_arr[hi_live >> 1] << 1) | (hi_live & 1)
+            out_roots = {
+                name: int((remap_arr[edge >> 1] << 1) | (edge & 1))
+                for name, edge in root_edges.items()
+            }
+            if binary:
+                return {
+                    "format": SNAPSHOT_FORMAT,
+                    "version": SNAPSHOT_VERSION_BINARY,
+                    "variables": list(self._order),
+                    "byteorder": sys.byteorder,
+                    "levels": out_levels.tobytes(),
+                    "lows": out_lows.tobytes(),
+                    "highs": out_highs.tobytes(),
+                    "roots": out_roots,
+                }
+            return {
+                "format": SNAPSHOT_FORMAT,
+                "version": SNAPSHOT_VERSION,
+                "variables": list(self._order),
+                "levels": out_levels.tolist(),
+                "lows": out_lows.tolist(),
+                "highs": out_highs.tolist(),
+                "roots": out_roots,
+            }
         live.sort(key=lambda i: (-level[i], i))
         remap = {0: 0}
         for position, index in enumerate(live):
             remap[index] = position + 1
+        levels_list = [level[i] for i in live]
+        lows_list = [
+            (remap[low[i] >> 1] << 1) | (low[i] & 1) for i in live
+        ]
+        highs_list = [
+            (remap[high[i] >> 1] << 1) | (high[i] & 1) for i in live
+        ]
+        roots_out = {
+            name: (remap[edge >> 1] << 1) | (edge & 1)
+            for name, edge in root_edges.items()
+        }
+        if binary:
+            return {
+                "format": SNAPSHOT_FORMAT,
+                "version": SNAPSHOT_VERSION_BINARY,
+                "variables": list(self._order),
+                "byteorder": sys.byteorder,
+                "levels": array("q", levels_list).tobytes(),
+                "lows": array("q", lows_list).tobytes(),
+                "highs": array("q", highs_list).tobytes(),
+                "roots": roots_out,
+            }
         return {
             "format": SNAPSHOT_FORMAT,
             "version": SNAPSHOT_VERSION,
             "variables": list(self._order),
-            "levels": [level[i] for i in live],
-            "lows": [
-                (remap[low[i] >> 1] << 1) | (low[i] & 1) for i in live
-            ],
-            "highs": [
-                (remap[high[i] >> 1] << 1) | (high[i] & 1) for i in live
-            ],
-            "roots": {
-                name: (remap[edge >> 1] << 1) | (edge & 1)
-                for name, edge in root_edges.items()
-            },
+            "levels": levels_list,
+            "lows": lows_list,
+            "highs": highs_list,
+            "roots": roots_out,
         }
 
     @classmethod
@@ -1354,22 +1958,51 @@ class BDDManager:
                 f"not a kernel snapshot (format={data.get('format')!r}, "
                 f"expected {SNAPSHOT_FORMAT!r})"
             )
-        if data.get("version") != SNAPSHOT_VERSION:
+        version = data.get("version")
+        if version not in (SNAPSHOT_VERSION, SNAPSHOT_VERSION_BINARY):
             raise SnapshotError(
-                f"unsupported snapshot version {data.get('version')!r} "
-                f"(this kernel reads version {SNAPSHOT_VERSION})"
+                f"unsupported snapshot version {version!r} "
+                f"(this kernel reads versions {SNAPSHOT_VERSION} and "
+                f"{SNAPSHOT_VERSION_BINARY})"
             )
         variables = data.get("variables")
         levels = data.get("levels")
         lows = data.get("lows")
         highs = data.get("highs")
         raw_roots = data.get("roots", {})
-        for what, value in (
-            ("variables", variables), ("levels", levels),
-            ("lows", lows), ("highs", highs),
-        ):
-            if not isinstance(value, list):
-                raise SnapshotError(f"snapshot {what!r} must be a list")
+        if not isinstance(variables, list):
+            raise SnapshotError("snapshot 'variables' must be a list")
+        if version == SNAPSHOT_VERSION:
+            for what, value in (
+                ("levels", levels), ("lows", lows), ("highs", highs),
+            ):
+                if not isinstance(value, list):
+                    raise SnapshotError(f"snapshot {what!r} must be a list")
+        else:
+            byteorder = data.get("byteorder")
+            if byteorder != sys.byteorder:
+                raise SnapshotError(
+                    f"binary snapshot byte order {byteorder!r} does not "
+                    f"match this host ({sys.byteorder!r}); use the "
+                    "version-1 list format across architectures"
+                )
+            decoded = []
+            for what, value in (
+                ("levels", levels), ("lows", lows), ("highs", highs),
+            ):
+                if not isinstance(value, (bytes, bytearray)):
+                    raise SnapshotError(
+                        f"binary snapshot {what!r} must be bytes"
+                    )
+                if len(value) % 8:
+                    raise SnapshotError(
+                        f"binary snapshot {what!r} is not a whole number "
+                        "of int64 values"
+                    )
+                arr = array("q")
+                arr.frombytes(value)
+                decoded.append(arr)
+            levels, lows, highs = decoded
         if not isinstance(raw_roots, Mapping):
             raise SnapshotError("snapshot 'roots' must be a mapping")
         if not len(levels) == len(lows) == len(highs):
@@ -1380,43 +2013,66 @@ class BDDManager:
 
         manager = cls(variables)  # VariableError on empty/duplicate names
         n_vars = len(manager._order)
-        for position, (lv, lo, hi) in enumerate(zip(levels, lows, highs)):
-            index = position + 1
-            lv = _int(lv, f"node {index}: level")
-            lo = _int(lo, f"node {index}: low edge")
-            hi = _int(hi, f"node {index}: high edge")
-            if not 0 <= lv < n_vars:
-                raise SnapshotError(
-                    f"node {index}: level {lv} outside the "
-                    f"{n_vars}-variable order"
-                )
-            for label, edge in (("low", lo), ("high", hi)):
-                if edge < 0 or (edge >> 1) >= index:
+        np_mod = _nputil.np
+        if np_mod is not None and len(levels) and cls._validate_arrays_np(
+            np_mod, levels, lows, highs, n_vars
+        ):
+            # Bulk adoption: every invariant vectorised-verified above,
+            # so the three buffers append onto the node arrays in one
+            # memcpy each and the unique table rebuilds tombstone-free.
+            n = len(levels)
+            if isinstance(levels, array):
+                manager._level.frombytes(levels.tobytes())
+                manager._low.frombytes(lows.tobytes())
+                manager._high.frombytes(highs.tobytes())
+            else:
+                manager._level.extend(levels)
+                manager._low.extend(lows)
+                manager._high.extend(highs)
+            manager._refcount.frombytes(bytes(8 * n))
+            manager._peak_nodes = n + 1
+            manager._ut_rebuild()
+        else:
+            # Pure-Python path (and the precise-diagnosis path when the
+            # vectorised validator saw anything suspect): node-by-node
+            # checks with exact per-node error messages.
+            for position, (lv, lo, hi) in enumerate(zip(levels, lows, highs)):
+                index = position + 1
+                lv = _int(lv, f"node {index}: level")
+                lo = _int(lo, f"node {index}: low edge")
+                hi = _int(hi, f"node {index}: high edge")
+                if not 0 <= lv < n_vars:
                     raise SnapshotError(
-                        f"node {index}: {label} edge {edge} does not "
-                        "reference an earlier snapshot node"
+                        f"node {index}: level {lv} outside the "
+                        f"{n_vars}-variable order"
                     )
-            if hi & 1:
-                raise SnapshotError(
-                    f"node {index}: stored high edge is complemented"
-                )
-            if lo == hi:
-                raise SnapshotError(f"node {index}: identical children")
-            if (
-                lv >= manager._level[lo >> 1]
-                or lv >= manager._level[hi >> 1]
-            ):
-                raise SnapshotError(
-                    f"node {index}: level {lv} does not precede its "
-                    "children"
-                )
-            key = (lv, lo, hi)
-            if key in manager._unique:
-                raise SnapshotError(
-                    f"node {index}: duplicates node {manager._unique[key]}"
-                )
-            slot = manager._alloc_slot(lv, lo, hi)
-            manager._unique[key] = slot
+                for label, edge in (("low", lo), ("high", hi)):
+                    if edge < 0 or (edge >> 1) >= index:
+                        raise SnapshotError(
+                            f"node {index}: {label} edge {edge} does not "
+                            "reference an earlier snapshot node"
+                        )
+                if hi & 1:
+                    raise SnapshotError(
+                        f"node {index}: stored high edge is complemented"
+                    )
+                if lo == hi:
+                    raise SnapshotError(f"node {index}: identical children")
+                if (
+                    lv >= manager._level[lo >> 1]
+                    or lv >= manager._level[hi >> 1]
+                ):
+                    raise SnapshotError(
+                        f"node {index}: level {lv} does not precede its "
+                        "children"
+                    )
+                prior = manager._ut_find(lv, lo, hi)
+                if prior >= 0:
+                    raise SnapshotError(
+                        f"node {index}: duplicates node {prior}"
+                    )
+                slot = manager._alloc_slot(lv, lo, hi)
+                manager._ut_insert(lv, lo, hi, slot)
         roots: Dict[str, Ref] = {}
         for name, edge in raw_roots.items():
             edge = _int(edge, f"root {name!r}")
@@ -1426,6 +2082,56 @@ class BDDManager:
                 )
             roots[str(name)] = manager._wrap(edge)
         return manager, roots
+
+    @staticmethod
+    def _validate_arrays_np(np, levels, lows, highs, n_vars: int) -> bool:
+        """Vectorised snapshot validation: True iff every node passes
+        every canonical-form check.  Returns False (never raises) on any
+        violation *or* any non-integer payload, handing off to the
+        per-node Python loop for an exact diagnostic."""
+        try:
+            lv = np.asarray(levels)
+            lo = np.asarray(lows)
+            hi = np.asarray(highs)
+        except (TypeError, ValueError, OverflowError):
+            return False
+        for arr in (lv, lo, hi):
+            if arr.dtype.kind not in "iu" or arr.ndim != 1:
+                return False
+        lv = lv.astype(np.int64, copy=False)
+        lo = lo.astype(np.int64, copy=False)
+        hi = hi.astype(np.int64, copy=False)
+        n = len(lv)
+        positions = np.arange(n, dtype=np.int64)
+        if not (
+            bool(((lv >= 0) & (lv < n_vars)).all())
+            and bool((lo >= 0).all())
+            and bool((hi >= 0).all())
+            and bool(((lo >> 1) <= positions).all())
+            and bool(((hi >> 1) <= positions).all())
+            and bool((hi & 1 == 0).all())
+            and bool((lo != hi).all())
+        ):
+            return False
+        # Strict level order: children (earlier snapshot positions, or
+        # the terminal at pseudo-position 0) sit at greater levels.
+        full = np.empty(n + 1, dtype=np.int64)
+        full[0] = TERMINAL_LEVEL
+        full[1:] = lv
+        if not (
+            bool((lv < full[lo >> 1]).all())
+            and bool((lv < full[hi >> 1]).all())
+        ):
+            return False
+        # No two nodes may share a (level, low, high) key.
+        order = np.lexsort((hi, lo, lv))
+        slv, slo, shi = lv[order], lo[order], hi[order]
+        dup = (
+            (slv[1:] == slv[:-1])
+            & (slo[1:] == slo[:-1])
+            & (shi[1:] == shi[:-1])
+        )
+        return not bool(dup.any())
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -1442,14 +2148,26 @@ class BDDManager:
         marked = bytearray(len(self._level))
         marked[0] = 1
         count = 1
-        stack: List[int] = []
-        # Snapshot: finalizers of cycle-collected Refs may mutate
-        # _extref at any allocation point (e.g. growing `stack`).
-        for index, refs in list(self._extref.items()):
-            if refs > 0 and not marked[index]:
+        # Root scan over the refcount buffer.  Finalizers of
+        # cycle-collected Refs may decrement counts at any allocation
+        # point, which only ever shrinks the root set — a stale positive
+        # read keeps a node alive one collection longer, never frees a
+        # live one.
+        np_mod = _nputil.np
+        if np_mod is not None:
+            view = np_mod.frombuffer(self._refcount, dtype=np_mod.int64)
+            stack = np_mod.nonzero(view > 0)[0].tolist()
+        else:
+            stack = [
+                index
+                for index, refs in enumerate(self._refcount)
+                if refs > 0
+            ]
+        for index in stack:
+            if not marked[index]:
                 marked[index] = 1
                 count += 1
-                stack.append(index)
+        stack = [index for index in stack if index]
         while stack:
             index = stack.pop()
             for child in (low[index] >> 1, high[index] >> 1):
@@ -1479,19 +2197,21 @@ class BDDManager:
         index space.
         """
         marked, _ = self._mark_external()
-        level, low, high = self._level, self._low, self._high
-        unique = self._unique
+        level = self._level
         free = self._free
         dead = 0
         for index in range(1, len(level)):
-            lv = level[index]
-            if lv != _FREE_LEVEL and not marked[index]:
-                del unique[(lv, low[index], high[index])]
+            if level[index] != _FREE_LEVEL and not marked[index]:
                 level[index] = _FREE_LEVEL
                 free.append(index)
                 dead += 1
         if dead:
             self.clear_caches()
+            # Tombstone-free rebuild sized to the survivors: reclaiming
+            # per-key would backward-shift every cluster the dead nodes
+            # sat in; one sweep over the store is cheaper and leaves a
+            # collision-free table.
+            self._ut_rebuild()
         self._gc_runs += 1
         self._reclaimed += dead
         self._gc_trigger = max(
@@ -1635,11 +2355,10 @@ class BDDManager:
         if c:
             low ^= 1
             high ^= 1
-        key = (level, low, high)
-        index = self._unique.get(key)
-        if index is None:
+        index = self._ut_find(level, low, high)
+        if index < 0:
             index = self._swap_alloc(level, low, high, parents)
-            self._unique[key] = index
+            self._ut_insert(level, low, high, index)
             bucket.add(index)
         return (index << 1) | c
 
@@ -1664,20 +2383,19 @@ class BDDManager:
         """
         j = i + 1
         level, low, high = self._level, self._low, self._high
-        unique = self._unique
         x_nodes = members.get(i, set())
         y_nodes = members.get(j, set())
         # Both levels leave the unique table; everything re-enters below
         # under its post-swap key.
         for idx in x_nodes:
-            del unique[(i, low[idx], high[idx])]
+            self._ut_delete(i, low[idx], high[idx])
         for idx in y_nodes:
-            del unique[(j, low[idx], high[idx])]
+            self._ut_delete(j, low[idx], high[idx])
         # Lower-level nodes keep their children and move up one level
         # (their variable now sits at level i).
         for idx in y_nodes:
             level[idx] = i
-            unique[(i, low[idx], high[idx])] = idx
+            self._ut_insert(i, low[idx], high[idx], idx)
         new_i = set(y_nodes)
         new_j: Set[int] = set()
         members[i] = new_i
@@ -1690,8 +2408,8 @@ class BDDManager:
                 rewire.append(idx)
             else:
                 level[idx] = j
-                assert (j, low[idx], high[idx]) not in unique
-                unique[(j, low[idx], high[idx])] = idx
+                assert self._ut_find(j, low[idx], high[idx]) < 0
+                self._ut_insert(j, low[idx], high[idx], idx)
                 new_j.add(idx)
         for idx in rewire:
             e0, e1 = low[idx], high[idx]  # e1 is regular (invariant)
@@ -1711,8 +2429,8 @@ class BDDManager:
             # so h1 is regular and idx keeps its canonical stored form.
             low[idx] = h0
             high[idx] = h1
-            assert (i, h0, h1) not in unique
-            unique[(i, h0, h1)] = idx
+            assert self._ut_find(i, h0, h1) < 0
+            self._ut_insert(i, h0, h1, idx)
             new_i.add(idx)
             parents[h0 >> 1] += 1
             parents[h1 >> 1] += 1
@@ -1727,23 +2445,23 @@ class BDDManager:
         # external handle) are dead; reclaim them now.  The cascade can
         # only reach strictly deeper nodes, whose other parents keep them
         # alive in the common case.
-        extref = self._extref
+        refcount = self._refcount
         free = self._free
         stack = [
             idx
             for idx in y_nodes
-            if parents[idx] == 0 and not extref.get(idx)
+            if parents[idx] == 0 and not refcount[idx]
         ]
         while stack:
             idx = stack.pop()
             lv = level[idx]
-            del unique[(lv, low[idx], high[idx])]
+            self._ut_delete(lv, low[idx], high[idx])
             members[lv].discard(idx)
             for child_edge in (low[idx], high[idx]):
                 child = child_edge >> 1
                 if child:
                     parents[child] -= 1
-                    if parents[child] == 0 and not extref.get(child):
+                    if parents[child] == 0 and not refcount[child]:
                         stack.append(child)
             level[idx] = _FREE_LEVEL
             free.append(idx)

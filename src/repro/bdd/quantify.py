@@ -42,28 +42,30 @@ def exists(manager: BDDManager, u: Ref, names: Iterable[str]) -> Ref:
     edge = manager._unwrap(u)
     if not levels:
         return u
-    return manager._wrap(_exists_e(manager, edge, levels, max(levels)))
+    # The level set is interned to a small integer so the computed
+    # table can pack (edge, set) into one packed int key.
+    sid = manager._exists_set_id(levels)
+    return manager._wrap(_exists_e(manager, edge, levels, max(levels), sid))
 
 
 def _exists_e(
-    manager: BDDManager, edge: int, levels: frozenset, deepest: int
+    manager: BDDManager, edge: int, levels: frozenset, deepest: int, sid: int
 ) -> int:
     index = edge >> 1
     if index == 0 or manager._level[index] > deepest:
         return edge
-    key = (edge, levels)
-    cached = manager._exists_cache.get(key)
+    cached = manager._exists_get(edge, sid)
     if cached is not None:
         return cached
     c = edge & 1
-    low = _exists_e(manager, manager._low[index] ^ c, levels, deepest)
-    high = _exists_e(manager, manager._high[index] ^ c, levels, deepest)
+    low = _exists_e(manager, manager._low[index] ^ c, levels, deepest, sid)
+    high = _exists_e(manager, manager._high[index] ^ c, levels, deepest, sid)
     level = manager._level[index]
     if level in levels:
         result = manager._or_e(low, high)
     else:
         result = manager._mk(level, low, high)
-    manager._exists_cache[key] = result
+    manager._exists_put(edge, sid, result)
     return result
 
 

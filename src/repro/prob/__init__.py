@@ -7,6 +7,7 @@ from .measure import (
     MissingProbabilityError,
     ZeroProbabilityEvidenceError,
     bdd_probability,
+    bdd_probability_many,
     conditional_probability,
     enumeration_probability,
     event_probabilities,
@@ -29,6 +30,7 @@ __all__ = [
     "ProbabilityOutcome",
     "ZeroProbabilityEvidenceError",
     "bdd_probability",
+    "bdd_probability_many",
     "parse_prob_query",
     "conditional_probability",
     "enumeration_probability",

@@ -23,7 +23,7 @@ rejected explicitly rather than silently defaulted).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..bdd.manager import BDDManager
 from ..bdd.ref import Ref
@@ -98,6 +98,27 @@ def bdd_probability(
     """
     try:
         return manager.probability(node, probabilities)
+    except MissingWeightError as error:
+        raise MissingProbabilityError(str(error)) from None
+
+
+def bdd_probability_many(
+    manager: BDDManager,
+    node: Ref,
+    profiles: "Sequence[Mapping[str, float]]",
+) -> "List[float]":
+    """P(f = 1) under many weight profiles, in one traversal.
+
+    Delegates to the kernel's vectorised multi-profile sweep
+    (:meth:`BDDManager.probability_many
+    <repro.bdd.manager.BDDManager.probability_many>`): the reachable DAG
+    is collected once and all profiles are evaluated simultaneously
+    (one numpy pass of shape ``(nodes, profiles)`` when numpy is
+    available), so a battery of per-scenario settings or a variant
+    weight sweep pays one traversal instead of one per profile.
+    """
+    try:
+        return manager.probability_many(node, profiles)
     except MissingWeightError as error:
         raise MissingProbabilityError(str(error)) from None
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..checker.translate import FormulaTranslator
 from ..errors import BFLSyntaxError
@@ -39,6 +39,7 @@ from .measure import (
     MissingProbabilityError,
     ZeroProbabilityEvidenceError,
     bdd_probability,
+    bdd_probability_many,
     event_probabilities,
 )
 
@@ -253,6 +254,47 @@ class ProbabilityChecker:
             holds=holds,
             condition_probability=condition_probability,
         )
+
+    def sweep(
+        self,
+        formula,
+        profiles: Sequence[Mapping[str, float]],
+    ) -> List[float]:
+        """``P(formula)`` under many probability profiles at once.
+
+        Each profile is a per-event override mapping applied on top of
+        the tree's base probabilities (exactly like a query's
+        ``[e := p]`` settings); the result is one probability per
+        profile, in order.  The formula's BDD is built once and handed
+        to the kernel's vectorised multi-profile sweep
+        (:meth:`BDDManager.probability_many
+        <repro.bdd.manager.BDDManager.probability_many>`), so a variant
+        battery or a sensitivity grid pays one traversal instead of one
+        :meth:`probability` call per profile.
+
+        Raises:
+            MissingProbabilityError: On overrides for unknown basic
+                events.
+        """
+        base = self.probabilities
+        known = self.tree.basic_events
+        merged: List[Mapping[str, float]] = []
+        for overrides in profiles:
+            unknown = set(overrides) - set(known)
+            if unknown:
+                raise MissingProbabilityError(
+                    "overrides for unknown basic events: "
+                    + ", ".join(sorted(unknown))
+                )
+            if overrides:
+                weights = dict(base)
+                for name, value in overrides.items():
+                    weights[name] = float(value)
+                merged.append(weights)
+            else:
+                merged.append(base)
+        root = self.translator.bdd(self._formula(formula))
+        return bdd_probability_many(self.translator.manager, root, merged)
 
     def check(self, query: Union[ProbQuery, ProbabilityQuery, str]) -> bool:
         """Evaluate ``P(formula) |><| bound`` to its verdict."""

@@ -304,14 +304,20 @@ class AnalysisSession:
             child_tt.adopt({new_tree.top: parent_tt.splice(site, subtree)})
         return child
 
-    def kernel_snapshot(self) -> Dict[str, Any]:
+    def kernel_snapshot(self, *, binary: bool = False) -> Dict[str, Any]:
         """Portable kernel snapshot of this session's manager, rooted at
         every element BDD translated so far (the reusable, per-tree part
         of the session — formula combinations are cheap to redo and are
-        keyed on ASTs a snapshot cannot name)."""
+        keyed on ASTs a snapshot cannot name).
+
+        ``binary=True`` selects the zero-copy v2 array encoding (raw
+        ``bytes`` columns a worker adopts as buffers without per-node
+        decoding) — right for pickled worker payloads, wrong for JSON
+        snapshot files, which stay on the list-based v1 layout."""
         translator = self.checker.translator
         return self.checker.manager.save_snapshot(
-            roots=translator.tree_translator.export_cache()
+            roots=translator.tree_translator.export_cache(),
+            binary=binary,
         )
 
     def snapshot(self) -> Dict[str, Any]:
@@ -779,9 +785,12 @@ class BatchAnalyzer:
                 session is not None
                 and session.checker.translator.tree_translator.cached_elements
             ):
+                # Worker payloads travel by pickle, so the binary v2
+                # encoding applies: workers adopt the raw array columns
+                # as buffers instead of decoding node lists.
                 snapshots[name] = {
                     "tree": tree_fingerprint(session.tree),
-                    "kernel": session.kernel_snapshot(),
+                    "kernel": session.kernel_snapshot(binary=True),
                 }
             elif name in self._snapshots:
                 snapshots[name] = dict(self._snapshots[name])
@@ -964,6 +973,24 @@ class BatchAnalyzer:
                     f"query {spec.id!r}: kind 'probability' needs a "
                     "layer-1 formula or a P(...) query"
                 )
+        if spec.kind == "probability-sweep":
+            statement = statements[0]
+            if (
+                isinstance(statement, ProbabilityQuery)
+                and statement.condition is None
+                and statement.comparator is None
+                and not statement.settings
+            ):
+                # Accept a bare `P(phi)` spelling; the sweep measures phi
+                # under each profile, so only the inner formula matters.
+                statement = statement.formula
+            if not isinstance(statement, Formula):
+                raise QuerySpecError(
+                    f"query {spec.id!r}: kind 'probability-sweep' needs "
+                    "a layer-1 formula (per-profile settings come from "
+                    "'profiles', not the query text)"
+                )
+            statements = [statement]
         if spec.kind == "independence":
             statements.append(session.parse(spec.other))
         return statements
@@ -975,7 +1002,7 @@ class BatchAnalyzer:
         checker = session.checker
         start = time.perf_counter()
         holds = sets = vector_count = counterexample = independence = None
-        probability = condition_probability = None
+        probability = condition_probability = probabilities = None
         formula_text = (
             format_statement(statement) if statement is not None else None
         )
@@ -997,6 +1024,17 @@ class BatchAnalyzer:
                 probability = outcome.value
                 holds = outcome.holds
                 condition_probability = outcome.condition_probability
+            elif spec.kind == "probability-sweep":
+                if spec.failed is not None or spec.bits is not None:
+                    raise QuerySpecError(
+                        f"query {spec.id!r}: probabilistic queries "
+                        "measure over all vectors; do not pass "
+                        "failed=/bits="
+                    )
+                values = session.prob_checker().sweep(
+                    statement, spec.profiles or ()
+                )
+                probabilities = tuple(values)
             elif spec.kind == "check":
                 # ModelChecker.check rejects a vector on a layer-2 query
                 # and a missing vector on a layer-1 formula; pass the
@@ -1068,6 +1106,7 @@ class BatchAnalyzer:
             independence=independence,
             probability=probability,
             condition_probability=condition_probability,
+            probabilities=probabilities,
             error=error,
         )
 
@@ -1097,8 +1136,26 @@ class BatchAnalyzer:
             "bdd": op_delta,
             "bdd_nodes": manager.node_count(),
             "bdd_peak_nodes": manager.peak_node_count(),
-            # node store == unique table + the one stored terminal
-            "bdd_unique_table": manager.node_count() - 1,
+            # live unique-table entries (the terminal is stored outside it)
+            "bdd_unique_table": kernel["unique_table_size"],
+            # Open-addressed table health, surfaced in `bfl batch`
+            # reports: capacity/probing behaviour of the unique table and
+            # the lossy computed tables.  Collision/resize counters are
+            # monotone for the manager's lifetime.
+            "tables": {
+                "unique": {
+                    "capacity": kernel["unique_capacity"],
+                    "entries": kernel["unique_table_size"],
+                    "collisions": kernel["ut_collisions"],
+                    "resizes": kernel["ut_resizes"],
+                    "max_probe": kernel["ut_max_probe"],
+                },
+                "caches": {
+                    "capacity": kernel["cache_capacity"],
+                    "evictions": kernel["cache_evictions"],
+                    "resizes": kernel["cache_resizes"],
+                },
+            },
             # Kernel memory management (garbage collection + in-place
             # reordering), surfaced in `bfl batch` reports.
             "memory": {

@@ -318,6 +318,11 @@ _MAX_STAT_KEYS = frozenset(
         "dead_nodes",
         "free_list",
         "prob_cache",
+        # Open-addressed table health (per-manager sizes/watermarks):
+        # adding capacities across shards would describe no machine.
+        "capacity",
+        "entries",
+        "max_probe",
     }
 )
 
