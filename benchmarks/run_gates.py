@@ -181,6 +181,30 @@ GATES: Tuple[GateSpec, ...] = (
         },
     ),
     GateSpec(
+        name="timeout-overhead",
+        script="bench_robustness.py",
+        title="armed governor (battery deadline + per-query timeout) "
+        "costs < 5% on the covid battery",
+        override="BENCH_MAX_GOVERNOR_OVERHEAD",
+        defaults={
+            "BENCH_ROBUSTNESS_ARM": "overhead",
+            "BENCH_MAX_GOVERNOR_OVERHEAD": "0.05",
+            "BENCH_REPEATS": "5",
+        },
+    ),
+    GateSpec(
+        name="chaos",
+        script="bench_robustness.py",
+        title="chaos battery: killed worker recovered by retry, corrupt "
+        "snapshot degraded to cold build, budget trip structured; "
+        "non-injected queries agree with fault-free sequential",
+        override="BENCH_CHAOS_WORKERS",
+        defaults={
+            "BENCH_ROBUSTNESS_ARM": "chaos",
+            "BENCH_CHAOS_WORKERS": "4",
+        },
+    ),
+    GateSpec(
         name="coverage",
         script="coverage_gate.py",
         title="tier-1 suite line coverage >= 70% of repro "

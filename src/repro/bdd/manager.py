@@ -71,6 +71,7 @@ memo tables — see the method docstrings and DESIGN.md for why.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import sys
 import weakref
@@ -80,9 +81,11 @@ from math import nan
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import (
+    ExecutionError,
     ManagerMismatchError,
     MissingWeightError,
     SnapshotError,
+    SnapshotIntegrityError,
     VariableError,
 )
 from . import _nputil
@@ -94,6 +97,13 @@ _FALSE = 1
 
 #: Level sentinel marking a reclaimed (free-listed) node slot.
 _FREE_LEVEL = -1
+
+#: Constructions (or sweep iterations) between full governor checks.
+#: An armed governor costs one decrement and compare per ``_mk``; the
+#: full tick — live-node count, budget compares, amortised clock read —
+#: runs every stride and credits the governor with this many steps.
+#: Budget/deadline overshoot is bounded by one stride of work.
+_GOV_STRIDE = 64
 
 
 def _release_external(refcount: "array", index: int) -> None:
@@ -146,6 +156,52 @@ _CACHE_MAX_BITS = 20
 SNAPSHOT_FORMAT = "repro-bdd-kernel"
 SNAPSHOT_VERSION = 1
 SNAPSHOT_VERSION_BINARY = 2
+
+
+def snapshot_checksum(data: Mapping[str, object]) -> str:
+    """Canonical sha256 content digest of a snapshot payload.
+
+    Covers everything that determines the reconstructed kernel —
+    version, variable order, the three node columns (raw bytes for
+    version 2, decimal digits for version-1 lists, so the digest is
+    endianness-independent where the payload is), and the named roots —
+    and deliberately nothing else, so adding metadata keys to a snapshot
+    file never invalidates existing checksums.  Non-canonical values
+    (wrong types smuggled into a column) still hash deterministically
+    via ``str``; they change the digest, which is exactly what a
+    checksum should do with corruption.
+    """
+    h = hashlib.sha256()
+    h.update(str(data.get("version")).encode())
+    for name in data.get("variables") or ():
+        h.update(b"\x00")
+        h.update(str(name).encode())
+    for column in ("levels", "lows", "highs"):
+        value = data.get(column)
+        h.update(b"\x01")
+        if isinstance(value, (bytes, bytearray)):
+            h.update(bytes(value))
+        elif isinstance(value, array):
+            h.update(value.tobytes())
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                h.update(str(item).encode())
+                h.update(b",")
+        else:
+            h.update(str(value).encode())
+    roots = data.get("roots")
+    if isinstance(roots, Mapping):
+        for name in sorted(str(key) for key in roots):
+            h.update(b"\x02")
+            h.update(f"{name}={roots.get(name)}".encode())
+    return h.hexdigest()
+
+
+def _stamp_snapshot(payload: Dict[str, object]) -> Dict[str, object]:
+    """Embed the content checksum into a freshly built snapshot dict."""
+    payload["sha256"] = snapshot_checksum(payload)
+    return payload
+
 
 _manager_counter = itertools.count()
 
@@ -409,6 +465,13 @@ class BDDManager:
         self._auto_reorders = 0
         self._sift_runs = 0
         self._swaps = 0
+        # Resource governance (repro.runtime.limits.Governor, or any
+        # object with the same tick/check_deadline duck type).  None
+        # means ungoverned: the kernel's safe points reduce to one
+        # ``is not None`` branch.
+        self._governor = None
+        self._gov_countdown = 1
+        self._gov_stride = _GOV_STRIDE
         for name in variables:
             self.declare(name)
 
@@ -647,6 +710,78 @@ class BDDManager:
         self.op_stats.ut_resizes += 1
 
     # ------------------------------------------------------------------
+    # Resource governance
+    # ------------------------------------------------------------------
+
+    @property
+    def governor(self):
+        """The installed :class:`~repro.runtime.limits.Governor`
+        (``None`` = ungoverned).  Install one around a unit of work and
+        remove it after; the kernel consults it at cheap safe points —
+        :meth:`_mk`, the entries of :meth:`ite` / :meth:`compose`, the
+        probability sweeps, and between :meth:`sift_inplace` swaps — and
+        a tripped budget surfaces as a structured
+        :class:`~repro.errors.ResourceLimitError` /
+        :class:`~repro.errors.QueryDeadlineError` with the manager left
+        consistent (:meth:`check_invariants` passes)."""
+        return self._governor
+
+    @governor.setter
+    def governor(self, governor) -> None:
+        self._governor = governor
+        # Deadline/step governors amortise the full check over
+        # _GOV_STRIDE allocations (the armed cost per _mk is a
+        # decrement and a compare); a node budget wants allocation
+        # precision, so it checks every allocation and overshoots by
+        # at most one node.  The first governed _mk always runs a full
+        # check either way.
+        self._gov_stride = (
+            1
+            if governor is not None
+            and getattr(governor, "node_budget", None) is not None
+            else _GOV_STRIDE
+        )
+        self._gov_countdown = 1
+
+    def _governed_abort(self) -> None:
+        """Restore cache consistency before a governor trip propagates.
+
+        The node store itself is always consistent at a safe point (the
+        tick runs *before* any mutation in :meth:`_mk`, and between
+        whole swaps while sifting), but an aborted operation may leave
+        memo-table entries for intermediate results whose nodes no Ref
+        pins — dropping the caches makes those nodes ordinary GC fodder
+        and guarantees no stale entry survives the abort."""
+        self.clear_caches()
+
+    def _governed_point(self, live_nodes: int = 0, weight: int = 1) -> None:
+        """One governed safe point: tick the installed governor (if
+        any), running the abort protocol before a trip propagates."""
+        governor = self._governor
+        if governor is not None:
+            try:
+                governor.tick(live_nodes, weight)
+            except ExecutionError:
+                self._governed_abort()
+                raise
+
+    def _governed_mk_point(self) -> None:
+        """The strided `_mk` safe point: full check, stride credit.
+
+        With a node budget the stride is 1 (overshoot at most one
+        node); otherwise deadline overshoot is bounded by one stride of
+        allocations — well under a millisecond of extra work."""
+        stride = self._gov_stride
+        self._gov_countdown = stride
+        try:
+            self._governor.tick(
+                len(self._level) - len(self._free), stride
+            )
+        except ExecutionError:
+            self._governed_abort()
+            raise
+
+    # ------------------------------------------------------------------
     # Node construction
     # ------------------------------------------------------------------
 
@@ -670,6 +805,19 @@ class BDDManager:
             high ^= 1
         index = self._ut_find(level, low, high)
         if index < 0:
+            # Governed safe point *before* any mutation, on the
+            # allocation path only: node budgets move exactly when
+            # nodes are allocated, and long-running apply recursions
+            # allocate steadily, so deadline coverage rides along.
+            # Cache-hit constructions pay one `is not None` branch.
+            # A budget trip here leaves the store as the caller found
+            # it.  Full checks are strided (every _GOV_STRIDE
+            # allocations), bounding overshoot by one stride.
+            if self._governor is not None:
+                countdown = self._gov_countdown - 1
+                self._gov_countdown = countdown
+                if countdown <= 0:
+                    self._governed_mk_point()
             if (
                 level >= self._level[low >> 1]
                 or level >= self._level[high >> 1]
@@ -980,6 +1128,7 @@ class BDDManager:
         edges, and commuting forms (``or``, ``and`` expressed as ITE) are
         rewritten to one representative before the lookup.
         """
+        self._governed_point()
         return self._wrap(
             self._ite_e(
                 self._unwrap(cond), self._unwrap(then), self._unwrap(other)
@@ -1070,6 +1219,7 @@ class BDDManager:
         the GC/reordering lifecycle via :meth:`clear_caches`, which makes
         the primitive safe to use across :meth:`checkpoint` boundaries.
         """
+        self._governed_point()
         return self._wrap(
             self._compose_e(
                 self._unwrap(u), self.level_of(name), self._unwrap(g)
@@ -1388,6 +1538,7 @@ class BDDManager:
         elif len(cache) < nslots:
             cache.extend(array("d", [nan]) * (nslots - len(cache)))
         stats = self.op_stats
+        governed = self._governor is not None
         if cache[index] == cache[index]:  # NaN-check: valued already?
             stats.prob_hits += 1
         else:
@@ -1399,7 +1550,15 @@ class BDDManager:
                 pending: List[int] = []
                 seen = {index}
                 stack = [index]
+                gov_ticks = 0
                 while stack:
+                    if governed:
+                        # Strided safe point: nothing mutated yet this
+                        # sweep, and one check per 64 nodes keeps the
+                        # armed cost to a counter bump.
+                        gov_ticks += 1
+                        if gov_ticks & 63 == 1:
+                            self._governed_point(weight=_GOV_STRIDE)
                     i = stack.pop()
                     if i == 0:
                         continue
@@ -1425,7 +1584,12 @@ class BDDManager:
             # Phase 2: children sit at strictly greater levels, so a
             # level-descending sweep values them before their parents.
             pending.sort(key=lambda i: -level[i])
-            for i in pending:
+            for gov_ticks, i in enumerate(pending):
+                if governed and gov_ticks & 63 == 0:
+                    # Strided safe point: an abort drops the popped
+                    # cache whole (it is only re-registered after a
+                    # full sweep).
+                    self._governed_point(weight=_GOV_STRIDE)
                 p = level_weight[level[i]]
                 lo = low[i]
                 lv = 1.0 if lo >> 1 == 0 else cache[lo >> 1]
@@ -1497,13 +1661,19 @@ class BDDManager:
         if nprof == 0:
             return _shape([[] for _ in roots])
         level, low, high = self._level, self._low, self._high
+        governed = self._governor is not None
         # Phase 1: collect the union of the reachable DAGs and the
         # levels they branch on.
         pending: List[int] = []
         used_levels: Set[int] = set()
         seen = {0}
         stack = [root >> 1 for root in roots]
+        gov_ticks = 0
         while stack:
+            if governed:
+                gov_ticks += 1
+                if gov_ticks & 63 == 1:
+                    self._governed_point(weight=_GOV_STRIDE)
             i = stack.pop()
             if i in seen:
                 continue
@@ -1868,7 +2038,7 @@ class BDDManager:
                 for name, edge in root_edges.items()
             }
             if binary:
-                return {
+                return _stamp_snapshot({
                     "format": SNAPSHOT_FORMAT,
                     "version": SNAPSHOT_VERSION_BINARY,
                     "variables": list(self._order),
@@ -1877,8 +2047,8 @@ class BDDManager:
                     "lows": out_lows.tobytes(),
                     "highs": out_highs.tobytes(),
                     "roots": out_roots,
-                }
-            return {
+                })
+            return _stamp_snapshot({
                 "format": SNAPSHOT_FORMAT,
                 "version": SNAPSHOT_VERSION,
                 "variables": list(self._order),
@@ -1886,7 +2056,7 @@ class BDDManager:
                 "lows": out_lows.tolist(),
                 "highs": out_highs.tolist(),
                 "roots": out_roots,
-            }
+            })
         live.sort(key=lambda i: (-level[i], i))
         remap = {0: 0}
         for position, index in enumerate(live):
@@ -1903,7 +2073,7 @@ class BDDManager:
             for name, edge in root_edges.items()
         }
         if binary:
-            return {
+            return _stamp_snapshot({
                 "format": SNAPSHOT_FORMAT,
                 "version": SNAPSHOT_VERSION_BINARY,
                 "variables": list(self._order),
@@ -1912,8 +2082,8 @@ class BDDManager:
                 "lows": array("q", lows_list).tobytes(),
                 "highs": array("q", highs_list).tobytes(),
                 "roots": roots_out,
-            }
-        return {
+            })
+        return _stamp_snapshot({
             "format": SNAPSHOT_FORMAT,
             "version": SNAPSHOT_VERSION,
             "variables": list(self._order),
@@ -1921,7 +2091,7 @@ class BDDManager:
             "lows": lows_list,
             "highs": highs_list,
             "roots": roots_out,
-        }
+        })
 
     @classmethod
     def load_snapshot(
@@ -1965,6 +2135,20 @@ class BDDManager:
                 f"(this kernel reads versions {SNAPSHOT_VERSION} and "
                 f"{SNAPSHOT_VERSION_BINARY})"
             )
+        # Content integrity comes before structural decoding: a
+        # truncated or bit-flipped payload is reported as corruption
+        # (SnapshotIntegrityError), not as whichever downstream shape
+        # check it happens to trip.  Snapshots written before checksums
+        # existed carry no digest and stay loadable.
+        declared = data.get("sha256")
+        if declared is not None:
+            actual = snapshot_checksum(data)
+            if declared != actual:
+                raise SnapshotIntegrityError(
+                    "snapshot payload failed its sha256 content checksum "
+                    f"(stored {str(declared)[:16]}…, computed "
+                    f"{actual[:16]}…): corrupt or truncated snapshot"
+                )
         variables = data.get("variables")
         levels = data.get("levels")
         lows = data.get("lows")
@@ -2609,6 +2793,11 @@ class BDDManager:
                     key=lambda v: -len(members.get(self._levels[v], ()))
                 )
             for name in candidates:
+                # Governed safe point between whole variables: a trip
+                # here leaves the order mid-sift but every invariant
+                # intact (swaps are atomic; the session context is
+                # discarded with the abort).
+                self._governed_point(self.node_count())
                 before = self.node_count()
                 self._sift_one(name, parents, members, max_growth, lower_bound)
                 if self.node_count() < before:
@@ -2641,6 +2830,10 @@ class BDDManager:
                 self._swap_adjacent(at, parents, members)
                 lvl += direction
                 size = self.node_count()
+                # Between whole swaps the store is consistent: a
+                # governed abort here skips the park-back but leaves a
+                # valid (if unoptimised) order behind.
+                self._governed_point(size)
                 if size < best_size:
                     best_size, best_lvl = size, lvl
                 if size > limit:

@@ -172,6 +172,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
           "auto_reorder": false,            // automatic in-place sifting
           "workers": 4,                     // multi-process shard execution
           "snapshot": "kernels.json",       // kernel snapshot cache file
+          "deadline_ms": 60000,             // whole-battery wall-clock budget
+          "query_timeout_ms": 5000,         // default per-query budget
+          "shard_retries": 2,               // crashed/hung shard resubmits
+          "retry_backoff_ms": 250,          // base retry delay (doubles)
+          "watchdog_ms": 30000,             // hung-worker detection
           "uniform": 0.1,                   // failure probability floor
           "probabilities": {"H1": 0.02},    // per-event (or per-scenario) map
           "variants": {                     // copy-on-write what-if scenarios
@@ -181,7 +186,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             ]}
           },
           "queries": [
-            {"id": "p1", "formula": "forall (IS => MoT)"},
+            {"id": "p1", "formula": "forall (IS => MoT)", "timeout_ms": 500},
             {"formula": "[[ MCS(MoT) & IS ]]"},
             {"kind": "mcs", "element": "MoT"},
             {"kind": "check", "formula": "MCS(TLE)", "failed": ["H1", "VW"]},
@@ -294,6 +299,39 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         raise QuerySpecError(
             f"'workers' must be an integer >= 1, got {workers!r}"
         )
+    # Governance knobs follow the same CLI-flag-wins convention.
+    def _governance_value(flag_value, key, kind, check, requirement):
+        value = flag_value if flag_value is not None else data.get(key)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, kind):
+            raise QuerySpecError(f"{key!r} must be {requirement}, got {value!r}")
+        value = float(value) if kind == (int, float) else value
+        if not check(value):
+            raise QuerySpecError(f"{key!r} must be {requirement}, got {value!r}")
+        return value
+
+    query_timeout_ms = _governance_value(
+        args.query_timeout, "query_timeout_ms", (int, float),
+        lambda v: v > 0, "a positive duration in milliseconds",
+    )
+    deadline_ms = _governance_value(
+        args.deadline, "deadline_ms", (int, float),
+        lambda v: v > 0, "a positive duration in milliseconds",
+    )
+    shard_retries = _governance_value(
+        args.shard_retries, "shard_retries", int,
+        lambda v: v >= 0, "an integer >= 0",
+    )
+    retry_backoff_ms = _governance_value(
+        args.retry_backoff, "retry_backoff_ms", (int, float),
+        lambda v: v >= 0, "a non-negative duration in milliseconds",
+    )
+    watchdog_ms = _governance_value(
+        args.watchdog, "watchdog_ms", (int, float),
+        lambda v: v > 0, "a positive duration in milliseconds",
+    )
+
     snapshot_path = args.snapshot or data.get("snapshot")
     if snapshot_path is not None and not isinstance(snapshot_path, str):
         raise QuerySpecError(
@@ -337,6 +375,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         workers=workers,
         snapshots=snapshots,
         variants=variants,
+        deadline_ms=deadline_ms,
+        query_timeout_ms=query_timeout_ms,
+        **(
+            {"shard_retries": shard_retries}
+            if shard_retries is not None else {}
+        ),
+        **(
+            {"retry_backoff_ms": retry_backoff_ms}
+            if retry_backoff_ms is not None else {}
+        ),
+        watchdog_ms=watchdog_ms,
     )
     if snapshot_path and snapshots is None:
         # First run with a snapshot cache: translate the trees now so
@@ -533,6 +582,49 @@ def build_parser() -> argparse.ArgumentParser:
         "name -> {base, edits, probabilities}), merged over the query "
         "file's 'variants' key; variant sessions fork the warm base "
         "kernel instead of rebuilding per scenario",
+    )
+    p_batch.add_argument(
+        "--query-timeout",
+        type=float,
+        metavar="MS",
+        help="default per-query wall-clock budget in milliseconds (a "
+        "query's own timeout_ms wins); an expired query is reported as "
+        "a structured error_kind=deadline failure while the rest of "
+        "the battery continues (overrides the file's 'query_timeout_ms')",
+    )
+    p_batch.add_argument(
+        "--deadline",
+        type=float,
+        metavar="MS",
+        help="whole-battery wall-clock budget in milliseconds; queries "
+        "that cannot start before it expires are reported as "
+        "error_kind=deadline failures (overrides the file's "
+        "'deadline_ms')",
+    )
+    p_batch.add_argument(
+        "--shard-retries",
+        type=int,
+        metavar="N",
+        help="with --workers: resubmit a crashed or hung shard to a "
+        "fresh worker up to N times before reporting a structured "
+        "worker-crash failure (default 2; overrides the file's "
+        "'shard_retries')",
+    )
+    p_batch.add_argument(
+        "--retry-backoff",
+        type=float,
+        metavar="MS",
+        help="base delay before a shard retry round, doubled each "
+        "round (default 250 ms; overrides the file's "
+        "'retry_backoff_ms')",
+    )
+    p_batch.add_argument(
+        "--watchdog",
+        type=float,
+        metavar="MS",
+        help="with --workers: treat a shard with no result after this "
+        "many milliseconds as hung — kill its worker pool and retry it "
+        "(off by default; overrides the file's 'watchdog_ms')",
     )
     p_batch.set_defaults(handler=_cmd_batch)
 

@@ -33,6 +33,65 @@ class SnapshotError(BDDError):
     """A kernel snapshot is malformed or does not fit its target."""
 
 
+class ExecutionError(ReproError):
+    """Base class for runtime-governance and fault-tolerance errors.
+
+    These mark *execution* failures — budgets, deadlines, dead workers,
+    corrupt caches — rather than modelling errors.  Every subclass
+    carries a stable machine-readable :attr:`kind` string so batch
+    reports can classify failures structurally (``error_kind``) instead
+    of forcing callers to parse free-text messages.
+    """
+
+    #: Stable machine-readable discriminator, mirrored into
+    #: ``QueryResult.error_kind`` by the batch service.
+    kind = "execution"
+
+
+class ResourceLimitError(ExecutionError):
+    """A governed operation exceeded its node or apply-step budget."""
+
+    kind = "resource-limit"
+
+
+class QueryDeadlineError(ExecutionError):
+    """A governed operation exceeded its wall-clock deadline."""
+
+    kind = "deadline"
+
+
+class WorkerCrashError(ExecutionError):
+    """A parallel worker process died (crash or watchdog timeout).
+
+    Attributes:
+        traceback_text: Worker-side traceback when one was captured
+            (None for hard crashes, which leave no Python frame behind).
+    """
+
+    kind = "worker-crash"
+
+    def __init__(self, message: str, traceback_text: "str | None" = None) -> None:
+        super().__init__(message)
+        self.traceback_text = traceback_text
+
+
+class SnapshotIntegrityError(ExecutionError, SnapshotError):
+    """A snapshot payload failed its sha256 content checksum (corrupt
+    or truncated bytes).  Also a :class:`SnapshotError`, so existing
+    ``except SnapshotError`` handlers keep working."""
+
+    kind = "snapshot-integrity"
+
+
+def error_kind(exc: BaseException) -> str:
+    """The structured ``error_kind`` string for any exception the batch
+    service reports: the :class:`ExecutionError` ``kind`` when there is
+    one, else the exception class name (stable and greppable)."""
+    if isinstance(exc, ExecutionError):
+        return exc.kind
+    return type(exc).__name__
+
+
 class FaultTreeError(ReproError):
     """Base class for errors in fault-tree construction or analysis."""
 

@@ -1,0 +1,13 @@
+"""Execution-runtime services: resource governance and fault tolerance.
+
+The :mod:`repro.runtime.limits` module defines the :class:`Governor`
+that :class:`~repro.bdd.manager.BDDManager` consults at cheap safe
+points, turning runaway queries into structured
+:class:`~repro.errors.ResourceLimitError` /
+:class:`~repro.errors.QueryDeadlineError` failures instead of unbounded
+node growth.
+"""
+
+from .limits import Governor
+
+__all__ = ["Governor"]

@@ -1,0 +1,229 @@
+"""Cooperative resource governance for the BDD kernel.
+
+A :class:`Governor` is a small budget/deadline object a caller installs
+on a :class:`~repro.bdd.manager.BDDManager` (``manager.governor = g``)
+around a unit of work.  The kernel then *cooperates*: its hot
+construction paths (``_mk``) and long passes (``probability``,
+``sift_inplace``) call :meth:`Governor.tick` at points where aborting is
+safe — between whole node constructions or adjacent-level swaps, never
+inside the unique-table/swap machinery — and the governor raises a
+structured :class:`~repro.errors.ResourceLimitError` or
+:class:`~repro.errors.QueryDeadlineError` once a budget is exhausted.
+
+Design constraints (why it looks the way it does):
+
+* **Cheap when armed** — a tick is one attribute read, one integer
+  increment, and two integer compares; the wall clock is only consulted
+  every ``check_interval`` ticks (``time.monotonic`` is ~100x the cost
+  of the increment).  The ``timeout-overhead`` benchmark gate pins the
+  end-to-end cost of an armed-but-never-tripping governor on the covid
+  battery below 5%.
+* **Free when disarmed** — an ungoverned manager pays one ``is None``
+  branch per ``_mk``.
+* **Consistent aborts** — the kernel only ticks at safe points, so when
+  a trip propagates the manager's invariants hold (verified by
+  ``check_invariants`` in the chaos suite).  The manager drops its memo
+  tables on the way out (`BDDManager._governed_abort`): an aborted
+  operation may have allocated nodes that no Ref pins, and dropping the
+  caches guarantees no stale entry outlives the abort while the dead
+  nodes remain ordinary GC fodder.
+
+The clock is injectable for tests (and for the chaos harness, which
+fakes the passage of time deterministically).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..errors import QueryDeadlineError, ResourceLimitError
+
+__all__ = ["Governor"]
+
+#: Ticks between wall-clock checks.  2^10 `_mk` calls take well under a
+#: millisecond even on slow hardware, so deadline overshoot stays small
+#: while the monotonic() call amortises to noise.
+DEFAULT_CHECK_INTERVAL = 1024
+
+
+class Governor:
+    """Wall-clock deadline plus node and apply-step budgets.
+
+    Args:
+        deadline_ms: Wall-clock budget in milliseconds, measured from
+            :meth:`start` (called automatically on first tick if the
+            caller did not).  ``None`` disables the deadline.
+        node_budget: Maximum *live* stored nodes the governed manager
+            may hold (checked on every allocation path through ``_mk``,
+            so peak growth is caught within one node).  ``None``
+            disables it.
+        step_budget: Maximum number of governed safe-point ticks —
+            effectively an apply-step budget, since ``_mk`` dominates
+            tick traffic.  ``None`` disables it.
+        check_interval: Elementary steps between wall-clock reads (the
+            default keeps deadline overshoot < 1 ms); weighted ticks
+            count toward the interval with their full weight.
+        clock: Monotonic-seconds source (injectable for tests/chaos).
+        label: Optional caller context (query id, battery name) echoed
+            in error messages.
+
+    A governor is reusable: :meth:`start` re-arms the deadline and
+    resets the step counter, so one object can govern a battery of
+    queries back to back.
+    """
+
+    __slots__ = (
+        "deadline_ms",
+        "node_budget",
+        "step_budget",
+        "label",
+        "_clock",
+        "_interval",
+        "_until_clock",
+        "_steps",
+        "_deadline_at",
+        "_started_at",
+        "trips",
+    )
+
+    def __init__(
+        self,
+        *,
+        deadline_ms: Optional[float] = None,
+        node_budget: Optional[int] = None,
+        step_budget: Optional[int] = None,
+        check_interval: int = DEFAULT_CHECK_INTERVAL,
+        clock: Callable[[], float] = time.monotonic,
+        label: str = "",
+    ) -> None:
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms!r}")
+        if node_budget is not None and node_budget < 1:
+            raise ValueError(f"node_budget must be >= 1, got {node_budget!r}")
+        if step_budget is not None and step_budget < 1:
+            raise ValueError(f"step_budget must be >= 1, got {step_budget!r}")
+        if check_interval < 1:
+            raise ValueError(
+                f"check_interval must be >= 1, got {check_interval!r}"
+            )
+        self.deadline_ms = deadline_ms
+        self.node_budget = node_budget
+        self.step_budget = step_budget
+        self.label = label
+        self._clock = clock
+        self._interval = check_interval
+        # Ticks remaining until the next wall-clock read.  A countdown
+        # (rather than a modulo on the step count) stays correct when
+        # callers credit weighted ticks — the kernel batches its `_mk`
+        # safe points and reports them 64 at a time.
+        self._until_clock = 1
+        self._steps = 0
+        self._deadline_at: Optional[float] = None
+        self._started_at: Optional[float] = None
+        #: Number of times this governor has raised (monotone; the chaos
+        #: suite uses it to assert injected trips actually fired).
+        self.trips = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "Governor":
+        """Arm the deadline from *now* and reset the step counter."""
+        self._steps = 0
+        # First tick always reads the clock: an already-expired
+        # deadline must trip immediately, not check_interval ticks in.
+        self._until_clock = 1
+        self._started_at = self._clock()
+        if self.deadline_ms is not None:
+            self._deadline_at = self._started_at + self.deadline_ms / 1000.0
+        else:
+            self._deadline_at = None
+        return self
+
+    @property
+    def steps(self) -> int:
+        """Safe-point ticks consumed since the last :meth:`start`."""
+        return self._steps
+
+    def remaining_ms(self) -> Optional[float]:
+        """Milliseconds left before the deadline (None when undated)."""
+        if self._deadline_at is None:
+            return None
+        if self._started_at is None:
+            return self.deadline_ms
+        return max(0.0, (self._deadline_at - self._clock()) * 1000.0)
+
+    # ------------------------------------------------------------------
+    # The hot path
+    # ------------------------------------------------------------------
+
+    def tick(self, live_nodes: int = 0, weight: int = 1) -> None:
+        """One governed safe point; raises when a budget is exhausted.
+
+        Args:
+            live_nodes: The governed manager's current live node count
+                (0 skips the node check — callers on node-free paths
+                pass nothing).
+            weight: How many elementary steps this safe point stands
+                for.  The kernel batches its per-``_mk`` checks and
+                reports them 64 at a time, so the per-construction cost
+                of an armed governor is a decrement and a compare.
+
+        Raises:
+            ResourceLimitError: Node or step budget exhausted.
+            QueryDeadlineError: Wall-clock deadline passed.
+        """
+        if self._started_at is None:
+            self.start()
+        steps = self._steps + weight
+        self._steps = steps
+        if self.node_budget is not None and live_nodes > self.node_budget:
+            self.trips += 1
+            raise ResourceLimitError(
+                f"{self._context()}node budget exhausted: "
+                f"{live_nodes} live nodes > budget {self.node_budget}"
+            )
+        if self.step_budget is not None and steps > self.step_budget:
+            self.trips += 1
+            raise ResourceLimitError(
+                f"{self._context()}apply-step budget exhausted: "
+                f"{steps} steps > budget {self.step_budget}"
+            )
+        self._until_clock -= weight
+        if self._until_clock <= 0:
+            self._until_clock = self._interval
+            if (
+                self._deadline_at is not None
+                and self._clock() > self._deadline_at
+            ):
+                self.trips += 1
+                raise QueryDeadlineError(
+                    f"{self._context()}deadline of "
+                    f"{self.deadline_ms:g} ms exceeded"
+                )
+
+    def check_deadline(self) -> None:
+        """Unconditional wall-clock check (no step accounting).
+
+        For coarse safe points — between sifting swaps, between
+        probability sweep phases — where the per-tick counter would
+        undercount the elapsed work.
+        """
+        if self._deadline_at is not None and self._clock() > self._deadline_at:
+            self.trips += 1
+            raise QueryDeadlineError(
+                f"{self._context()}deadline of {self.deadline_ms:g} ms exceeded"
+            )
+
+    def _context(self) -> str:
+        return f"{self.label}: " if self.label else ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Governor(deadline_ms={self.deadline_ms!r}, "
+            f"node_budget={self.node_budget!r}, "
+            f"step_budget={self.step_budget!r}, steps={self._steps}, "
+            f"trips={self.trips})"
+        )

@@ -25,12 +25,21 @@ cache hit/miss deltas for the batch.
 from __future__ import annotations
 
 import hashlib
+import logging
+import os
 import time
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..bdd.manager import BDDManager, OperationCacheStats
 from ..checker.engine import ModelChecker
-from ..errors import ReproError, SnapshotError
+from ..errors import (
+    QueryDeadlineError,
+    ReproError,
+    SnapshotError,
+    SnapshotIntegrityError,
+    error_kind,
+)
+from ..runtime.limits import Governor
 from ..ft.galileo import dumps as galileo_dumps
 from ..ft.tree import FaultTree
 from ..logic.ast_nodes import (
@@ -57,6 +66,8 @@ from .queries import (
     sets_view,
     specs_from_any,
 )
+
+logger = logging.getLogger(__name__)
 
 
 def tree_fingerprint(tree: FaultTree) -> str:
@@ -382,6 +393,29 @@ class BatchAnalyzer:
             (:meth:`AnalysisSession.fork_variant`) of the warm base
             session — sharing the base kernel instead of rebuilding —
             which is what makes wide what-if sweeps cheap.
+        deadline_ms: Wall-clock budget for a whole battery
+            (:meth:`run`).  Translation and evaluation run under a
+            kernel governor bounded by the remaining budget; once it is
+            spent, every not-yet-answered query is reported as a
+            structured ``error_kind="deadline"`` failure and the report
+            still comes back complete and in order.
+        query_timeout_ms: Default per-query wall-clock budget, applied
+            to every query that does not carry its own
+            ``QuerySpec.timeout_ms``.  A timed-out query becomes a
+            structured ``error_kind="deadline"`` failure; the rest of
+            the battery continues (the kernel is left consistent by the
+            governor's abort protocol).
+        shard_retries: Parallel mode only — how many times a failed
+            shard (worker crash, watchdog expiry) is resubmitted to a
+            respawned worker before its queries are reported as
+            structured ``error_kind="worker-crash"`` failures.
+        retry_backoff_ms: Parallel mode only — base delay before the
+            first shard retry; doubles per attempt (exponential
+            backoff).
+        watchdog_ms: Parallel mode only — per-shard hang detector: a
+            shard that produces no result within this wall-clock budget
+            is treated as crashed (and retried, subject to
+            ``shard_retries``).  ``None`` disables the watchdog.
 
     Example:
         >>> from repro.ft import figure1_tree
@@ -405,6 +439,11 @@ class BatchAnalyzer:
         workers: int = 1,
         snapshots: Optional[Mapping[str, Mapping[str, Any]]] = None,
         variants: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        deadline_ms: Optional[float] = None,
+        query_timeout_ms: Optional[float] = None,
+        shard_retries: int = 2,
+        retry_backoff_ms: float = 250.0,
+        watchdog_ms: Optional[float] = None,
     ) -> None:
         if isinstance(workers, bool) or not isinstance(workers, int):
             raise QuerySpecError(
@@ -414,6 +453,39 @@ class BatchAnalyzer:
             raise QuerySpecError(
                 f"workers must be an integer >= 1, got {workers}"
             )
+        for label, value in (
+            ("deadline_ms", deadline_ms),
+            ("query_timeout_ms", query_timeout_ms),
+            ("watchdog_ms", watchdog_ms),
+        ):
+            if value is not None and not value > 0:
+                raise QuerySpecError(
+                    f"{label} must be > 0, got {value!r}"
+                )
+        if (
+            isinstance(shard_retries, bool)
+            or not isinstance(shard_retries, int)
+            or shard_retries < 0
+        ):
+            raise QuerySpecError(
+                f"shard_retries must be an integer >= 0, got {shard_retries!r}"
+            )
+        if not retry_backoff_ms >= 0:
+            raise QuerySpecError(
+                f"retry_backoff_ms must be >= 0, got {retry_backoff_ms!r}"
+            )
+        self._deadline_ms = deadline_ms
+        self._query_timeout_ms = query_timeout_ms
+        self._shard_retries = shard_retries
+        self._retry_backoff_ms = retry_backoff_ms
+        self._watchdog_ms = watchdog_ms
+        #: perf_counter() instant the current battery must finish by
+        #: (armed per run(); None = no battery deadline).
+        self._battery_deadline_at: Optional[float] = None
+        #: Structured warnings accumulated while building sessions
+        #: (e.g. a corrupt snapshot that degraded to a cold build);
+        #: surfaced under ``report.stats["warnings"]``.
+        self._warnings: List[Dict[str, str]] = []
         self._scope = scope
         self._monotone_fast_path = monotone_fast_path
         self._auto_gc = auto_gc
@@ -620,9 +692,7 @@ class BatchAnalyzer:
 
     def _build_session(self, name: str) -> AnalysisSession:
         tree = self._trees[name]
-        session = AnalysisSession(
-            name,
-            tree,
+        kwargs: Dict[str, Any] = dict(
             scope=self._scope,
             monotone_fast_path=self._monotone_fast_path,
             auto_gc=self._auto_gc,
@@ -630,8 +700,34 @@ class BatchAnalyzer:
             gc_trigger=self._gc_trigger,
             reorder_trigger=self._reorder_trigger,
             probabilities=self._overrides_for(name, tree),
-            snapshot=self._validated_kernel(name, tree),
         )
+        snapshot = self._validated_kernel(name, tree)
+        if snapshot is not None:
+            try:
+                session = AnalysisSession(
+                    name, tree, snapshot=snapshot, **kwargs
+                )
+                self._sessions[name] = session
+                return session
+            except SnapshotIntegrityError as exc:
+                # A corrupt cache file must not kill the battery: the
+                # snapshot is only an accelerator, so degrade to a cold
+                # build (prewarm from the tree) and say so — both in the
+                # log and structurally in the report stats.
+                message = (
+                    f"scenario {name!r}: kernel snapshot failed its "
+                    f"integrity check ({exc}); rebuilding from the tree"
+                )
+                logger.warning("%s", message)
+                self._warnings.append(
+                    {
+                        "scenario": name,
+                        "kind": exc.kind,
+                        "message": message,
+                    }
+                )
+                self._snapshots.pop(name, None)
+        session = AnalysisSession(name, tree, **kwargs)
         self._sessions[name] = session
         return session
 
@@ -717,6 +813,21 @@ class BatchAnalyzer:
     def workers(self) -> int:
         """Configured worker-process count (1 = in-process)."""
         return self._workers
+
+    @property
+    def shard_retries(self) -> int:
+        """Parallel mode: resubmission budget per failed shard."""
+        return self._shard_retries
+
+    @property
+    def retry_backoff_ms(self) -> float:
+        """Parallel mode: base backoff before the first shard retry."""
+        return self._retry_backoff_ms
+
+    @property
+    def watchdog_ms(self) -> Optional[float]:
+        """Parallel mode: per-shard hang-detector budget (None = off)."""
+        return self._watchdog_ms
 
     def run(
         self,
@@ -819,6 +930,11 @@ class BatchAnalyzer:
             "snapshots": snapshots,
             "variants": variants,
             "workers": 1,
+            # Per-query governance travels to the workers; the battery
+            # deadline does too — each shard runs under it in parallel,
+            # and the parent's shard watchdog backs it up.
+            "deadline_ms": self._deadline_ms,
+            "query_timeout_ms": self._query_timeout_ms,
         }
 
     @staticmethod
@@ -834,46 +950,134 @@ class BatchAnalyzer:
             "parse_misses": 0,
         }
 
+    def _battery_remaining_ms(self) -> Optional[float]:
+        """Milliseconds left of the battery deadline (None = undated)."""
+        if self._battery_deadline_at is None:
+            return None
+        return (self._battery_deadline_at - time.perf_counter()) * 1000.0
+
+    def _query_budget_ms(self, spec: QuerySpec) -> Optional[float]:
+        """Effective wall-clock budget for one query: its own
+        ``timeout_ms`` (falling back to the analyzer default), clamped
+        by whatever is left of the battery deadline."""
+        timeout = (
+            spec.timeout_ms
+            if spec.timeout_ms is not None
+            else self._query_timeout_ms
+        )
+        remaining = self._battery_remaining_ms()
+        if timeout is None:
+            return remaining
+        if remaining is None:
+            return timeout
+        return min(timeout, remaining)
+
+    def _error_result(
+        self, spec: QuerySpec, message: str, kind: Optional[str]
+    ) -> QueryResult:
+        """A structured failure row for a query that never evaluated."""
+        return QueryResult(
+            id=spec.id,
+            kind=spec.kind,
+            tree=spec.tree,
+            formula=(
+                spec.formula if isinstance(spec.formula, str) else None
+            ),
+            ok=False,
+            elapsed_ms=0.0,
+            error=message,
+            error_kind=kind,
+        )
+
     def _run_specs(self, specs: List[QuerySpec]) -> BatchReport:
         """The in-process three-phase pipeline over normalised specs."""
         batch_start = time.perf_counter()
+        if self._deadline_ms is not None:
+            self._battery_deadline_at = (
+                batch_start + self._deadline_ms / 1000.0
+            )
+        else:
+            self._battery_deadline_at = None
         before = {
             name: session.snapshot() for name, session in self._sessions.items()
         }
 
-        # Phase 1: parse everything up front.
+        # Phase 1: parse everything up front.  Per-query errors are
+        # (message, error_kind) pairs from here on.
         parse_start = time.perf_counter()
-        parsed: List[Tuple[QuerySpec, Optional[Statement], Optional[str]]] = []
+        parsed: List[
+            Tuple[QuerySpec, Optional[Statement], Optional[Tuple[str, str]]]
+        ] = []
         to_warm: Dict[str, List[Statement]] = {}
         seen: Dict[str, set] = {}
+        #: (scenario, statement) -> tightest per-query budget among the
+        #: queries that need it, so shared translation is governed by
+        #: the most impatient dependent (plus the battery deadline).
+        warm_timeout: Dict[Tuple[str, Statement], Optional[float]] = {}
         statement_count = 0
         for spec in specs:
             try:
                 session = self.session(spec.tree)
                 statements = self._statements_for(spec, session)
             except ReproError as error:
-                parsed.append((spec, None, str(error)))
+                parsed.append(
+                    (spec, None, (str(error), error_kind(error)))
+                )
                 continue
             parsed.append((spec, statements[0] if statements else None, None))
             statement_count += len(statements)
             bucket = seen.setdefault(spec.tree, set())
+            timeout = (
+                spec.timeout_ms
+                if spec.timeout_ms is not None
+                else self._query_timeout_ms
+            )
             for statement in statements:
+                key = (spec.tree, statement)
                 if statement not in bucket:
                     bucket.add(statement)
                     to_warm.setdefault(spec.tree, []).append(statement)
+                    warm_timeout[key] = timeout
+                elif timeout is not None:
+                    prior = warm_timeout.get(key)
+                    if prior is None or timeout < prior:
+                        warm_timeout[key] = timeout
         parse_ms = (time.perf_counter() - parse_start) * 1000.0
 
         # Phase 2: shared translation, one Algorithm 1 run per distinct
-        # statement per scenario.
+        # statement per scenario — governed, so a pathological formula
+        # cannot blow past the deadline while *building* its BDD.
         translate_start = time.perf_counter()
-        translate_errors: Dict[Tuple[str, Statement], str] = {}
+        translate_errors: Dict[Tuple[str, Statement], Tuple[str, str]] = {}
         for name, statements in to_warm.items():
             session = self._sessions[name]
+            manager = session.checker.manager
             for statement in statements:
+                timeout = warm_timeout.get((name, statement))
+                remaining = self._battery_remaining_ms()
+                budget = timeout
+                if remaining is not None and (
+                    budget is None or remaining < budget
+                ):
+                    budget = remaining
+                if budget is not None and budget <= 0:
+                    translate_errors[(name, statement)] = (
+                        "battery deadline exceeded before translation",
+                        QueryDeadlineError.kind,
+                    )
+                    continue
+                if budget is not None:
+                    manager.governor = Governor(
+                        deadline_ms=budget, label=f"translate[{name}]"
+                    ).start()
                 try:
                     session.prewarm(statement)
                 except ReproError as error:
-                    translate_errors[(name, statement)] = str(error)
+                    translate_errors[(name, statement)] = (
+                        str(error), error_kind(error)
+                    )
+                finally:
+                    manager.governor = None
         translate_ms = (time.perf_counter() - translate_start) * 1000.0
 
         # Phase 3: evaluate each query against the warm caches.
@@ -882,19 +1086,19 @@ class BatchAnalyzer:
             if error is None and statement is not None:
                 error = translate_errors.get((spec.tree, statement))
             if error is not None:
+                message, kind = error
+                results.append(self._error_result(spec, message, kind))
+                continue
+            remaining = self._battery_remaining_ms()
+            if remaining is not None and remaining <= 0:
+                # Budget spent: the battery still completes — every
+                # unanswered query gets a structured deadline row.
                 results.append(
-                    QueryResult(
-                        id=spec.id,
-                        kind=spec.kind,
-                        tree=spec.tree,
-                        formula=(
-                            spec.formula
-                            if isinstance(spec.formula, str)
-                            else None
-                        ),
-                        ok=False,
-                        elapsed_ms=0.0,
-                        error=error,
+                    self._error_result(
+                        spec,
+                        f"battery deadline of {self._deadline_ms:g} ms "
+                        "exceeded before this query evaluated",
+                        QueryDeadlineError.kind,
                     )
                 )
                 continue
@@ -926,6 +1130,11 @@ class BatchAnalyzer:
                 for name in sorted(seen)
             },
         }
+        if self._warnings:
+            # Structured degradation notes (snapshot integrity
+            # fallbacks), drained per battery.
+            stats["warnings"] = list(self._warnings)
+            self._warnings = []
         return BatchReport(
             results=tuple(results), stats=stats, elapsed_ms=elapsed_ms
         )
@@ -1007,7 +1216,30 @@ class BatchAnalyzer:
             format_statement(statement) if statement is not None else None
         )
         error: Optional[str] = None
+        kind: Optional[str] = None
+        # Per-query governance: the spec's own timeout (or the analyzer
+        # default), clamped by the battery deadline.  The governor is
+        # removed in the finally below, so a trip never leaks into the
+        # next query; its abort protocol leaves the kernel consistent.
+        budget = self._query_budget_ms(spec)
+        manager = checker.manager
+        if budget is not None:
+            manager.governor = Governor(
+                deadline_ms=max(budget, 1e-3), label=f"query {spec.id}"
+            ).start()
+        if os.environ.get("REPRO_CHAOS"):
+            from ..testing.chaos import governor_for
+
+            tripper = governor_for(spec.id)
+            if tripper is not None:
+                manager.governor = tripper
         try:
+            # One governed safe point at query start: catches a battery
+            # deadline that expired between queries (and gives
+            # budget-style governors a guaranteed tick even for queries
+            # whose evaluation is served entirely from caches).
+            if manager.governor is not None:
+                manager._governed_point(manager.node_count())
             if isinstance(statement, ProbabilityQuery) and spec.kind in (
                 "check", "probability"
             ):
@@ -1091,6 +1323,9 @@ class BatchAnalyzer:
                 }
         except ReproError as exc:
             error = str(exc)
+            kind = error_kind(exc)
+        finally:
+            manager.governor = None
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         return QueryResult(
             id=spec.id,
@@ -1108,6 +1343,7 @@ class BatchAnalyzer:
             condition_probability=condition_probability,
             probabilities=probabilities,
             error=error,
+            error_kind=kind,
         )
 
     def _scenario_stats(

@@ -16,22 +16,37 @@ into a multi-process engine in three deterministic steps:
    battery — no randomness, no timing feedback — so reruns shard
    identically.
 
-2. **Worker pool** (:func:`run_parallel`) — a
+2. **Worker pool with bounded retry** (:func:`run_parallel`) — a
    :class:`concurrent.futures.ProcessPoolExecutor` whose initializer
    builds one private ``BatchAnalyzer`` (and therefore one private
    :class:`~repro.bdd.manager.BDDManager` per scenario) in every worker
    process; nothing is shared, nothing needs locking.  Workers can be
    warm-started from portable kernel snapshots
    (``BDDManager.save_snapshot``) shipped in the worker payload, so they
-   skip per-scenario ``Psi_FT`` translation entirely.
+   skip per-scenario ``Psi_FT`` translation entirely.  A shard whose
+   worker dies (crash, or a hang caught by the per-shard watchdog) is
+   *resubmitted* to a freshly spawned pool — up to
+   ``BatchAnalyzer(shard_retries=...)`` times, with exponential backoff
+   — because one dead process must not permanently cost its queries.
+   Worker-side exceptions travel back as picklable
+   :class:`ShardFailure` records carrying the worker's own traceback,
+   so crashes stay diagnosable from the merged report.
 
 3. **Deterministic merge** (:func:`merge_reports`) — per-shard reports
    are stitched back in original battery order (query-for-query
    identical to a sequential run, timing aside), per-query errors such
    as ``ZeroProbabilityEvidenceError`` stay attached to their query, a
-   crashed shard surfaces as per-query ``worker shard failed`` errors
-   rather than poisoning the batch, and stats are aggregated (counters
-   summed, peaks maxed, a ``parallel`` block describing the plan).
+   shard that exhausted its retries surfaces as per-query ``worker
+   shard failed`` errors with a structured ``error_kind`` rather than
+   poisoning the batch, and stats are aggregated (counters summed,
+   peaks maxed, a ``parallel`` block describing the plan, per-shard
+   attempts and outcomes).
+
+Fault injection for all of the above lives in
+:mod:`repro.testing.chaos`: with the ``REPRO_CHAOS`` environment
+variable set, workers consult the (deterministic, seedable) chaos plan
+at shard start — the hook that lets the chaos gate kill workers
+mid-shard and delay shards without any test-only branches elsewhere.
 """
 
 from __future__ import annotations
@@ -39,14 +54,19 @@ from __future__ import annotations
 import json
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..errors import SnapshotError
+from ..errors import SnapshotError, WorkerCrashError, error_kind
 from ..ft.tree import FaultTree
 from ..logic.parser import format_statement
 from .queries import BatchReport, QueryResult, QuerySpec
+
+#: Ceiling on the exponential shard-retry backoff.
+_MAX_BACKOFF_MS = 5000.0
 
 #: Marker / version of the multi-scenario snapshot-set file written by
 #: ``bfl batch --snapshot`` (one kernel snapshot per scenario, each
@@ -240,7 +260,7 @@ def plan_shards(
 
 
 # ----------------------------------------------------------------------
-# Worker pool
+# Worker pool with bounded retry
 # ----------------------------------------------------------------------
 
 #: Per-process analyzer, built once by the pool initializer.  Module
@@ -248,6 +268,26 @@ def plan_shards(
 #: state, and each worker process owns exactly one analyzer (and thus
 #: one BDD manager per scenario).
 _WORKER_ANALYZER = None
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """Picklable record of one shard attempt that produced no report.
+
+    Attributes:
+        message: Human-readable failure description (becomes the
+            per-query ``worker shard failed: ...`` error text).
+        kind: Structured ``error_kind`` discriminator — usually
+            ``"worker-crash"``; a worker-side exception keeps its own
+            kind (e.g. ``"resource-limit"``).
+        traceback_text: The worker-side traceback when a Python frame
+            was there to capture one (None for hard crashes and
+            watchdog expiries).
+    """
+
+    message: str
+    kind: str = WorkerCrashError.kind
+    traceback_text: Optional[str] = None
 
 
 def _worker_init(payload: Dict[str, Any]) -> None:
@@ -258,9 +298,47 @@ def _worker_init(payload: Dict[str, Any]) -> None:
     _WORKER_ANALYZER = BatchAnalyzer(**payload)
 
 
-def _worker_run(specs: Sequence[QuerySpec]) -> BatchReport:
-    """Answer one shard inside the worker's private analyzer."""
-    return _WORKER_ANALYZER._run_specs(list(specs))
+def _worker_run(
+    specs: Sequence[QuerySpec],
+) -> Union[BatchReport, ShardFailure]:
+    """Answer one shard inside the worker's private analyzer.
+
+    Never raises: an exception escaping the batch pipeline (which
+    already converts per-query ``ReproError`` failures into result
+    rows) is a worker-side defect, and re-raising it would hand the
+    parent a pickled exception *without* the worker's stack.  It is
+    captured here — traceback and all — as a :class:`ShardFailure` the
+    merge can report structurally.
+    """
+    if os.environ.get("REPRO_CHAOS"):
+        # Fault injection (tests / chaos gate only — one env check in
+        # production).  May sleep, or kill this process outright.
+        from ..testing.chaos import on_shard_start
+
+        on_shard_start([spec.id for spec in specs])
+    try:
+        return _WORKER_ANALYZER._run_specs(list(specs))
+    except Exception as exc:
+        return ShardFailure(
+            message=f"{type(exc).__name__}: {exc}",
+            kind=error_kind(exc),
+            traceback_text=traceback.format_exc(),
+        )
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly end a pool that still owns hung workers.
+
+    ``shutdown(wait=True)`` would block on the hung process, so the
+    workers are terminated first (private attribute, guarded — worst
+    case the interpreter falls back to a blocking shutdown)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_parallel(analyzer, specs: Sequence[QuerySpec]) -> BatchReport:
@@ -271,6 +349,21 @@ def run_parallel(analyzer, specs: Sequence[QuerySpec]) -> BatchReport:
     The parent analyzer's sessions are never touched — each worker
     reconstructs its own from the (picklable) trees, configuration and
     any kernel snapshots the parent has to offer.
+
+    Failure handling is a bounded-retry state machine.  Each round
+    submits every still-unanswered shard to a *fresh* pool (a crashed
+    worker breaks its whole ``ProcessPoolExecutor``, so pools are
+    per-round disposables):
+
+    * a shard whose worker crashed (``BrokenProcessPool``) or whose
+      result did not arrive within ``analyzer.watchdog_ms`` is marked
+      failed and re-queued;
+    * a shard that returned a :class:`ShardFailure` (worker-side
+      exception, traceback attached) is likewise re-queued;
+    * after ``analyzer.shard_retries`` re-submissions — with
+      exponentially growing backoff in between — whatever is still
+      failing is reported as structured per-query errors, and every
+      other shard's results stand.
     """
     start = time.perf_counter()
     trees = analyzer.trees
@@ -282,22 +375,90 @@ def run_parallel(analyzer, specs: Sequence[QuerySpec]) -> BatchReport:
         return analyzer._run_specs(list(specs))
 
     payload = analyzer._worker_config()
+    retries = getattr(analyzer, "shard_retries", 0)
+    backoff_ms = getattr(analyzer, "retry_backoff_ms", 0.0)
+    watchdog_ms = getattr(analyzer, "watchdog_ms", None)
     reports: List[Optional[BatchReport]] = [None] * len(shards)
-    errors: List[Optional[str]] = [None] * len(shards)
-    with ProcessPoolExecutor(
-        max_workers=len(shards),
-        initializer=_worker_init,
-        initargs=(payload,),
-    ) as pool:
-        futures = [pool.submit(_worker_run, shard.specs) for shard in shards]
-        for position, future in enumerate(futures):
-            try:
-                reports[position] = future.result()
-            except Exception as exc:  # worker died / payload failed
-                errors[position] = f"{type(exc).__name__}: {exc}"
+    failures: List[Optional[ShardFailure]] = [None] * len(shards)
+    attempts = [0] * len(shards)
+    pending = list(range(len(shards)))
+    for round_index in range(retries + 1):
+        if round_index and backoff_ms:
+            time.sleep(
+                min(backoff_ms * 2 ** (round_index - 1), _MAX_BACKOFF_MS)
+                / 1000.0
+            )
+        pool = ProcessPoolExecutor(
+            max_workers=len(pending),
+            initializer=_worker_init,
+            initargs=(payload,),
+        )
+        hung = False
+        try:
+            submitted_at = time.monotonic()
+            futures = {
+                position: pool.submit(_worker_run, shards[position].specs)
+                for position in pending
+            }
+            for position in pending:
+                attempts[position] += 1
+            still_failed: List[int] = []
+            for position, future in futures.items():
+                timeout = None
+                if watchdog_ms is not None:
+                    # Shards run concurrently, so each one's watchdog
+                    # counts from pool submission, not from the end of
+                    # its predecessor's wait.
+                    timeout = max(
+                        0.0,
+                        submitted_at
+                        + watchdog_ms / 1000.0
+                        - time.monotonic(),
+                    )
+                try:
+                    outcome = future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    hung = True
+                    failures[position] = ShardFailure(
+                        message=(
+                            "hung worker: no shard result within the "
+                            f"{watchdog_ms:g} ms watchdog"
+                        ),
+                    )
+                    still_failed.append(position)
+                    continue
+                except Exception as exc:
+                    # Worker process died before returning anything
+                    # (BrokenProcessPool and friends): no worker-side
+                    # frame exists, so there is no traceback to ship.
+                    failures[position] = ShardFailure(
+                        message=f"{type(exc).__name__}: {exc}",
+                    )
+                    still_failed.append(position)
+                    continue
+                if isinstance(outcome, ShardFailure):
+                    failures[position] = outcome
+                    still_failed.append(position)
+                else:
+                    reports[position] = outcome
+                    failures[position] = None
+        finally:
+            if hung:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+        pending = still_failed
+        if not pending:
+            break
     elapsed_ms = (time.perf_counter() - start) * 1000.0
     return merge_reports(
-        specs, shards, reports, errors, analyzer.workers, elapsed_ms
+        specs,
+        shards,
+        reports,
+        failures,
+        analyzer.workers,
+        elapsed_ms,
+        attempts=attempts,
     )
 
 
@@ -356,17 +517,24 @@ def merge_reports(
     specs: Sequence[QuerySpec],
     shards: Sequence[Shard],
     reports: Sequence[Optional[BatchReport]],
-    errors: Sequence[Optional[str]],
+    errors: Sequence[Optional[Union[str, ShardFailure]]],
     workers: int,
     elapsed_ms: float,
+    attempts: Optional[Sequence[int]] = None,
 ) -> BatchReport:
     """Stitch per-shard reports into one battery-ordered report.
 
     Per-query ordering follows the original battery exactly; a failed
     shard contributes one ``ok=False`` result per member query (errors
-    in place, never a lost query).  Stats are aggregated with
-    :func:`_merge_stat_dict` plus a ``parallel`` block recording the
-    plan and per-shard outcomes.
+    in place, never a lost query) carrying both the compatible ``worker
+    shard failed: ...`` message and the structured ``error_kind``.
+    Stats are aggregated with :func:`_merge_stat_dict` plus a
+    ``parallel`` block recording the plan and per-shard outcomes
+    (including retry attempts and any captured worker traceback).
+
+    ``errors`` entries may be plain strings (legacy callers) or
+    :class:`ShardFailure` records; ``attempts`` optionally records how
+    many times each shard was submitted (1 = first try succeeded).
     """
     merged: List[Optional[QueryResult]] = [None] * len(specs)
     shard_rows: List[Dict[str, Any]] = []
@@ -384,8 +552,20 @@ def merge_reports(
             "cost": round(shard.cost, 3),
             "scenarios": list(shard.scenarios),
         }
+        if attempts is not None:
+            row["attempts"] = attempts[position]
+            row["retried"] = attempts[position] > 1
         if error is not None:
-            row["error"] = error
+            if isinstance(error, ShardFailure):
+                message = error.message
+                kind = error.kind
+                if error.traceback_text:
+                    row["traceback"] = error.traceback_text
+            else:
+                message = str(error)
+                kind = WorkerCrashError.kind
+            row["error"] = message
+            row["error_kind"] = kind
             # The failed shard's queries still count: without this the
             # merged totals would claim a smaller, error-free battery.
             _merge_stat_dict(
@@ -408,7 +588,8 @@ def merge_reports(
                     ),
                     ok=False,
                     elapsed_ms=0.0,
-                    error=f"worker shard failed: {error}",
+                    error=f"worker shard failed: {message}",
+                    error_kind=kind,
                 )
         else:
             row["elapsed_ms"] = round(report.elapsed_ms, 3)
@@ -419,6 +600,10 @@ def merge_reports(
             _merge_stat_dict(
                 stats["scenarios"], report.stats.get("scenarios", {})
             )
+            # Structured degradation warnings (e.g. a corrupt snapshot
+            # rebuilt from the tree) must survive the merge.
+            for warning in report.stats.get("warnings", ()):
+                stats.setdefault("warnings", []).append(warning)
         shard_rows.append(row)
     stats["parallel"] = {"workers": workers, "shards": shard_rows}
     return BatchReport(

@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the package.
+
+Only :mod:`repro.testing.chaos` lives here for now — the deterministic
+fault-injection harness used by the chaos test suite and the ``chaos``
+benchmark gate.  Production code never imports this package unless the
+``REPRO_CHAOS`` environment variable is set.
+"""
+
+from __future__ import annotations
+
+__all__ = ["chaos"]
