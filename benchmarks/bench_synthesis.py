@@ -1,0 +1,206 @@
+"""Repair-candidate sweep: BDD quantification vs vector enumeration.
+
+The workload is the study-shaped question behind the ``synthesize``
+query kind: "across many candidate repair sets, which events *must*
+fail, which must be repaired, and which are free?"  A sweep of
+``BENCH_SYNTH_SETS`` (>= 200) candidate sets runs against two families:
+
+* the paper's COVID-19 ward tree with the Sec. VII-flavoured property
+  ``IWoS /\\ !IS`` (ward fails although no surface is infected);
+* seeded random trees (``repro.ft.random_tree``) with ``top /\\ !e``
+  properties, so the sweep also covers VOT gates and shared subtrees.
+
+The *quantification* arm is the production path
+(:func:`repro.checker.synthesis.synthesis_regions`): project the
+property's BDD onto the candidates with existential quantification,
+classify each candidate with two ``restrict`` calls — no vector
+enumeration, warm translator cache across the whole sweep.  The
+*enumeration* arm is the reference oracle
+(:func:`synthesis_regions_enumeration`): all ``2^n`` status vectors
+through the reference semantics.  Enumeration runs on a deterministic
+sample of the sweep (``BENCH_SYNTH_ENUM_SAMPLE`` sets — full
+enumeration of hundreds of 2^13 sweeps would dominate the benchmark
+without changing the verdict); **agreement is asserted on every
+enumerated set regardless of gating**, and the speedup floor compares
+the two arms on exactly those sampled sets.
+
+Gated in CI via ``benchmarks/run_gates.py``: quantification must beat
+enumeration by ``BENCH_MIN_SYNTH_SPEEDUP`` (CI pins 5).
+
+Env:
+    BENCH_SYNTH_SETS          candidate sets in the sweep (default 220)
+    BENCH_SYNTH_ENUM_SAMPLE   sets cross-checked by enumeration (default 20)
+    BENCH_MIN_SYNTH_SPEEDUP   speedup floor (default 1)
+
+Run directly for a self-checking report::
+
+    PYTHONPATH=src python benchmarks/bench_synthesis.py
+
+Direct runs append a machine-readable record to
+``benchmarks/results/BENCH_synthesis.json`` keyed by ``BENCH_LABEL``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from bench_json import record_run
+
+from repro.casestudy import build_covid_tree
+from repro.checker import ModelChecker
+from repro.checker.synthesis import (
+    synthesis_regions,
+    synthesis_regions_enumeration,
+)
+from repro.ft import RandomTreeConfig, random_tree
+from repro.logic.ast_nodes import Atom, Not
+
+
+def build_workload(total_sets: int):
+    """``(label, tree, checker, formula, candidate_sets)`` per family.
+
+    Candidate sets are drawn with a fixed seed: every run of this
+    benchmark sweeps the identical workload.
+    """
+    rng = random.Random(20220627)  # the paper's DSN 2022 vintage
+    families = []
+
+    covid = build_covid_tree()
+    families.append(
+        (
+            "covid",
+            covid,
+            Atom(covid.top) & Not(Atom("IS")),
+        )
+    )
+    for seed in (11, 23):
+        tree = random_tree(
+            seed,
+            RandomTreeConfig(
+                n_basic_events=10,
+                max_children=3,
+                p_vot=0.3,
+                p_share=0.3,
+                max_depth=4,
+            ),
+        )
+        avoid = sorted(tree.basic_events)[seed % 3]
+        families.append(
+            (f"random-{seed}", tree, Atom(tree.top) & Not(Atom(avoid)))
+        )
+
+    per_family = (total_sets + len(families) - 1) // len(families)
+    workload = []
+    for label, tree, formula in families:
+        events = sorted(tree.basic_events)
+        sets = [[name] for name in events]  # every single-event repair
+        while len(sets) < per_family:
+            width = rng.randint(2, min(6, len(events)))
+            sets.append(sorted(rng.sample(events, width)))
+        workload.append((label, tree, formula, sets[:per_family]))
+    return workload
+
+
+def main() -> int:
+    total_sets = int(os.environ.get("BENCH_SYNTH_SETS", "220"))
+    sample_size = int(os.environ.get("BENCH_SYNTH_ENUM_SAMPLE", "20"))
+    floor = float(os.environ.get("BENCH_MIN_SYNTH_SPEEDUP", "1"))
+
+    workload = build_workload(total_sets)
+    swept = sum(len(sets) for _, _, _, sets in workload)
+    print(
+        f"synthesis sweep: {swept} candidate sets over "
+        f"{len(workload)} families, enumeration cross-check on "
+        f"~{sample_size} sets"
+    )
+
+    # --- quantification arm: the full sweep on warm translators -------
+    checkers = {
+        label: ModelChecker(tree) for label, tree, _, _ in workload
+    }
+    quant_results = {}
+    t0 = time.perf_counter()
+    for label, _, formula, sets in workload:
+        translator = checkers[label].translator
+        for index, candidates in enumerate(sets):
+            quant_results[(label, index)] = synthesis_regions(
+                translator, formula, candidates
+            )
+    quant_total_s = time.perf_counter() - t0
+
+    # --- enumeration arm: deterministic sample, agreement enforced ----
+    flat = [
+        (label, tree, formula, index, candidates)
+        for label, tree, formula, sets in workload
+        for index, candidates in enumerate(sets)
+    ]
+    stride = max(1, len(flat) // sample_size)
+    sampled = flat[::stride][:sample_size]
+
+    enum_s = 0.0
+    quant_sampled_s = 0.0
+    disagreements = 0
+    for label, tree, formula, index, candidates in sampled:
+        translator = checkers[label].translator
+        t0 = time.perf_counter()
+        fast = synthesis_regions(translator, formula, candidates)
+        quant_sampled_s += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        oracle = synthesis_regions_enumeration(tree, formula, candidates)
+        enum_s += time.perf_counter() - t0
+        if fast != oracle:
+            disagreements += 1
+            print(f"  DISAGREEMENT [{label} #{index}] {candidates}")
+        if fast != quant_results[(label, index)]:
+            disagreements += 1
+            print(f"  NON-DETERMINISTIC [{label} #{index}] {candidates}")
+
+    speedup = (
+        enum_s / quant_sampled_s if quant_sampled_s > 0 else float("inf")
+    )
+    per_set_ms = quant_total_s / swept * 1000.0
+
+    print(
+        f"quantification: {swept} sets in {quant_total_s:.3f}s "
+        f"({per_set_ms:.3f} ms/set)"
+    )
+    print(
+        f"enumeration:    {len(sampled)} sets in {enum_s:.3f}s "
+        f"(same sets via quantification: {quant_sampled_s:.3f}s)"
+    )
+    print(f"speedup on the enumerated sample: {speedup:.1f}x")
+
+    gated = floor > 0
+    ok = disagreements == 0 and (not gated or speedup >= floor)
+    record_run(
+        "synthesis",
+        {
+            "sets": swept,
+            "families": [label for label, _, _, _ in workload],
+            "enum_sample": len(sampled),
+            "quant_total_s": round(quant_total_s, 6),
+            "quant_ms_per_set": round(per_set_ms, 6),
+            "enum_sample_s": round(enum_s, 6),
+            "quant_sample_s": round(quant_sampled_s, 6),
+            "speedup": round(speedup, 3),
+            "min_speedup": floor,
+            "agreement": disagreements == 0,
+            "gated": gated,
+            "ok": ok,
+        },
+    )
+
+    if disagreements:
+        print(f"FAIL: {disagreements} disagreement(s) with the oracle")
+        return 1
+    if gated and speedup < floor:
+        print(f"FAIL: speedup {speedup:.1f}x below floor {floor:g}x")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -205,6 +205,18 @@ GATES: Tuple[GateSpec, ...] = (
         },
     ),
     GateSpec(
+        name="synthesis",
+        script="bench_synthesis.py",
+        title="repair-candidate sweep: BDD quantification >= 5x over "
+        "vector enumeration (agreement always enforced)",
+        override="BENCH_MIN_SYNTH_SPEEDUP",
+        defaults={
+            "BENCH_MIN_SYNTH_SPEEDUP": "5",
+            "BENCH_SYNTH_SETS": "220",
+            "BENCH_SYNTH_ENUM_SAMPLE": "20",
+        },
+    ),
+    GateSpec(
         name="coverage",
         script="coverage_gate.py",
         title="tier-1 suite line coverage >= 70% of repro "

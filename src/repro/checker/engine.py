@@ -17,22 +17,16 @@ Example:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Union
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Union
 
 from ..bdd.manager import BDDManager
-from ..bdd.quantify import is_satisfiable, is_tautology
 from ..errors import LogicError, StatusVectorError
 from ..ft.tree import FaultTree, StatusVector
 from ..logic.ast_nodes import (
     MCS,
     MPS,
-    SUP,
     Atom,
-    Exists,
-    Forall,
     Formula,
-    IDP,
-    ProbabilityQuery,
     Query,
     Statement,
 )
@@ -167,25 +161,12 @@ class ModelChecker:
         )
 
     def _check_query(self, query: Query) -> bool:
-        manager = self.translator.manager
-        if isinstance(query, Exists):
-            return is_satisfiable(manager, self.translator.bdd(query.operand))
-        if isinstance(query, Forall):
-            return is_tautology(manager, self.translator.bdd(query.operand))
-        if isinstance(query, IDP):
-            return self.independence(query.left, query.right).independent
-        if isinstance(query, SUP):
-            return self.independence(
-                Atom(query.element), Atom(self.tree.top)
-            ).independent
-        if isinstance(query, ProbabilityQuery):
-            raise LogicError(
-                "probabilistic queries need failure probabilities; use "
-                "repro.prob.ProbabilityChecker (sharing this checker's "
-                "translator) or the batch service's probability "
-                "configuration"
-            )
-        raise TypeError(f"cannot check {query!r}")
+        # The statement-type dispatch lives next to the query-kind
+        # registry so the checker facade and the service layer cannot
+        # drift apart (lazy import: the registry sits above this module).
+        from ..engine import check_statement
+
+        return check_statement(self, query)
 
     # ------------------------------------------------------------------
     # Satisfaction sets (Algorithm 3)
@@ -275,6 +256,74 @@ class ModelChecker:
                 )
             return result
         raise ValueError(f"unknown counterexample method {method!r}")
+
+    # ------------------------------------------------------------------
+    # Repair regions (SYNTHESIZE)
+    # ------------------------------------------------------------------
+
+    def synthesize(
+        self,
+        formula: StatementLike,
+        candidates: Optional[Sequence[str]] = None,
+    ):
+        """Must-1 / must-0 / don't-care repair regions of ``formula``.
+
+        Args:
+            formula: Layer-1 target property, or a ``SYNTHESIZE(...)``
+                statement (whose embedded candidates win; passing both
+                is an error).
+
+        Returns:
+            :class:`repro.checker.synthesis.SynthesisRegions`.
+        """
+        from ..logic.ast_nodes import Synthesize
+        from .synthesis import synthesis_regions
+
+        parsed = self._statement(formula)
+        if isinstance(parsed, Synthesize):
+            if candidates is not None and parsed.candidates:
+                raise LogicError(
+                    "pass candidates either in the SYNTHESIZE(...) text "
+                    "or as the candidates argument, not both"
+                )
+            target = parsed.formula
+            chosen = candidates or parsed.candidates or None
+        else:
+            target = self._formula(parsed)
+            chosen = candidates
+        return synthesis_regions(self.translator, target, chosen)
+
+    # ------------------------------------------------------------------
+    # Service-layer specs (the query-kind registry)
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query,
+        probabilities: Optional[Mapping[str, float]] = None,
+    ):
+        """Answer one service-layer query spec through the query-kind
+        registry — the same hooks :class:`repro.service.BatchAnalyzer`
+        dispatches with, minus governors and sharding.
+
+        Args:
+            query: A :class:`repro.service.QuerySpec`, a JSON-style
+                mapping, DSL text, or an AST statement.
+            probabilities: Per-event failure probabilities for the
+                ``probability`` / ``probability-sweep`` kinds.
+
+        Returns:
+            :class:`repro.service.QueryResult` (errors are captured in
+            the result row, exactly as the batch service reports them).
+        """
+        from ..engine import CheckerSession, run_query
+        from ..service.queries import QuerySpec, specs_from_any
+
+        if isinstance(query, QuerySpec):
+            spec = query
+        else:
+            spec = specs_from_any([query])[0]
+        return run_query(CheckerSession(self, probabilities), spec)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -13,7 +13,11 @@ given a vector ``b`` and a formula ``chi``, find a tree ``T`` with
 * :func:`infer_fault_tree` — a genetic-programming structure learner in
   the spirit of the paper's reference [31] (Jimenez Roa et al.): evolve a
   tree whose structure function classifies a set of labelled status
-  vectors.
+  vectors;
+* :func:`synthesis_regions` — repair-region decomposition: for a target
+  property ``phi`` and a candidate event set ``C``, classify each
+  candidate as must-1 / must-0 / don't-care via restrict + existential
+  quantification on the BDD kernel (no enumeration on the hot path).
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..bdd.quantify import exists
 from ..errors import SynthesisError
 from ..ft.elements import BasicEvent, Gate, GateType
 from ..ft.random_trees import RandomTreeConfig, random_tree
@@ -420,3 +425,171 @@ def infer_fault_tree(
         population = next_population
         best = max(population, key=fitness)
     return genome_to_tree(best, basic_events)
+
+
+# ----------------------------------------------------------------------
+# Repair-region decomposition (must-1 / must-0 / don't-care)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SynthesisRegions:
+    """Repair-region decomposition of a target property over candidates.
+
+    Project the property's satisfaction set onto the candidate events
+    ``C`` (existentially quantifying everything else away).  Each
+    candidate is then:
+
+    * **must-1** — it fails in *every* projected satisfying assignment
+      (a repair must set it);
+    * **must-0** — it is operational in every projected satisfying
+      assignment (a repair must clear it);
+    * **don't-care** — the remaining candidates (some freedom remains,
+      though they need not be independent of each other).
+
+    ``choices`` counts the satisfying assignments of the projection over
+    ``C`` — the number of distinct candidate configurations compatible
+    with the property.  An unsatisfiable property yields empty regions
+    and zero choices.
+    """
+
+    candidates: Tuple[str, ...]
+    satisfiable: bool
+    must_1: Tuple[str, ...]
+    must_0: Tuple[str, ...]
+    dont_care: Tuple[str, ...]
+    choices: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "candidates": list(self.candidates),
+            "satisfiable": self.satisfiable,
+            "must_1": list(self.must_1),
+            "must_0": list(self.must_0),
+            "dont_care": list(self.dont_care),
+            "choices": self.choices,
+        }
+
+
+def _resolve_candidates(
+    tree: FaultTree, candidates: Optional[Sequence[str]]
+) -> Tuple[str, ...]:
+    if candidates is None or not tuple(candidates):
+        return tuple(tree.basic_events)
+    resolved = tuple(candidates)
+    unknown = [name for name in resolved if name not in tree.basic_events]
+    if unknown:
+        raise SynthesisError(
+            "SYNTHESIZE candidates must be basic events of the tree; "
+            "unknown: " + ", ".join(sorted(set(unknown)))
+        )
+    if len(set(resolved)) != len(resolved):
+        raise SynthesisError("SYNTHESIZE candidates must be distinct")
+    return resolved
+
+
+def synthesis_regions(
+    translator,
+    formula: Formula,
+    candidates: Optional[Sequence[str]] = None,
+) -> SynthesisRegions:
+    """Compute must-1 / must-0 / don't-care regions on the BDD kernel.
+
+    Args:
+        translator: A :class:`repro.checker.FormulaTranslator` (shared
+            with the owning checker, so BDD caches are reused).
+        formula: Layer-1 target property ``phi``.
+        candidates: Candidate basic events ``C`` (default: all basic
+            events of the translator's tree).
+
+    The projection ``g = exists(V \\ C). [[phi]]`` is built with one
+    memoised quantification pass; each candidate is classified with two
+    constant-time-per-node restrict calls, and ``choices`` is one
+    ``sat_count`` over ``C`` — no vector enumeration anywhere.
+    """
+    resolved = _resolve_candidates(translator.tree, candidates)
+    manager = translator.manager
+    f = translator.bdd(formula)
+    chosen = set(resolved)
+    others = [name for name in manager.variables if name not in chosen]
+    g = exists(manager, f, others)
+    if g is manager.false:
+        return SynthesisRegions(
+            candidates=resolved,
+            satisfiable=False,
+            must_1=(),
+            must_0=(),
+            dont_care=(),
+            choices=0,
+        )
+    must_1 = tuple(
+        name
+        for name in resolved
+        if manager.restrict(g, name, False) is manager.false
+    )
+    must_0 = tuple(
+        name
+        for name in resolved
+        if manager.restrict(g, name, True) is manager.false
+    )
+    fixed = set(must_1) | set(must_0)
+    dont_care = tuple(name for name in resolved if name not in fixed)
+    choices = int(manager.sat_count(g, over=resolved))
+    return SynthesisRegions(
+        candidates=resolved,
+        satisfiable=True,
+        must_1=must_1,
+        must_0=must_0,
+        dont_care=dont_care,
+        choices=choices,
+    )
+
+
+def synthesis_regions_enumeration(
+    tree: FaultTree,
+    formula: Formula,
+    candidates: Optional[Sequence[str]] = None,
+) -> SynthesisRegions:
+    """Brute-force oracle for :func:`synthesis_regions`.
+
+    Enumerates all ``2^n`` status vectors with the reference semantics
+    and projects the satisfying ones onto the candidates.  Exponential —
+    for tests and the benchmark baseline only.
+    """
+    from ..logic.semantics import ReferenceSemantics
+
+    resolved = _resolve_candidates(tree, candidates)
+    semantics = ReferenceSemantics(tree)
+    projections = set()
+    for vector in semantics.iter_vectors():
+        if semantics.holds(formula, vector):
+            projections.add(tuple(bool(vector[name]) for name in resolved))
+    if not projections:
+        return SynthesisRegions(
+            candidates=resolved,
+            satisfiable=False,
+            must_1=(),
+            must_0=(),
+            dont_care=(),
+            choices=0,
+        )
+    must_1 = tuple(
+        name
+        for position, name in enumerate(resolved)
+        if all(projection[position] for projection in projections)
+    )
+    must_0 = tuple(
+        name
+        for position, name in enumerate(resolved)
+        if not any(projection[position] for projection in projections)
+    )
+    fixed = set(must_1) | set(must_0)
+    dont_care = tuple(name for name in resolved if name not in fixed)
+    return SynthesisRegions(
+        candidates=resolved,
+        satisfiable=True,
+        must_1=must_1,
+        must_0=must_0,
+        dont_care=dont_care,
+        choices=len(projections),
+    )

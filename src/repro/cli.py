@@ -7,9 +7,11 @@ Sub-commands::
     bfl mcs     --tree T.dft [--element MoT]            minimal cut sets
     bfl mps     --tree T.dft [--element MoT]            minimal path sets
     bfl cex     --tree T.dft "MCS(e1)" --bits 0,1,0     counterexample
+    bfl synth   --tree T.dft "TLE" [--candidates a,b]   repair regions
     bfl show    --tree T.dft [--failed IW,H3]           ASCII rendering
     bfl dot     --tree T.dft [--failed IW,H3]           Graphviz export
     bfl batch   queries.json [--output report.json]     batch service run
+    bfl batch   --list-kinds                            query-kind registry
     bfl covid-report                                    Sec. VII analysis
 
 ``--tree covid`` (the default) loads the built-in COVID-19 tree of Fig. 2;
@@ -159,6 +161,42 @@ def _cmd_covid_report(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_synth(args: argparse.Namespace) -> int:
+    """Must-1 / must-0 / don't-care repair regions for a property.
+
+    The query routes through the query-kind registry exactly like a
+    batch ``kind: "synthesize"`` entry, so the CLI, the batch service
+    and ``ModelChecker.execute`` cannot drift apart.
+    """
+    import json
+
+    checker = _checker(args)
+    spec = {"id": "synth", "kind": "synthesize", "formula": args.formula}
+    candidates = _split_names(args.candidates)
+    if candidates:
+        spec["candidates"] = candidates
+    result = checker.execute(spec)
+    if not result.ok:
+        print(f"error: {result.error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.holds else 1
+    regions = result.synthesis
+    print(f"target: {result.formula}")
+    if not regions["satisfiable"]:
+        print("the property is unsatisfiable: no repair region exists")
+        return 1
+    def _fmt(names):
+        return ", ".join(names) if names else "(none)"
+    print(f"candidates: {_fmt(regions['candidates'])}")
+    print(f"must fail (must-1): {_fmt(regions['must_1'])}")
+    print(f"must be operational (must-0): {_fmt(regions['must_0'])}")
+    print(f"don't care: {_fmt(regions['dont_care'])}")
+    print(f"satisfying candidate configurations: {regions['choices']}")
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Run a query file through the batch service and emit a JSON report.
 
@@ -222,6 +260,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from .service import BatchAnalyzer, read_snapshot_file, write_snapshot_file
     from .service.queries import QuerySpecError
 
+    if args.list_kinds:
+        _print_kinds()
+        return 0
+    if args.queries is None:
+        raise QuerySpecError(
+            "bfl batch needs a query file (or --list-kinds)"
+        )
     try:
         with open(args.queries, "r", encoding="utf-8") as handle:
             data = json.load(handle)
@@ -402,6 +447,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _print_kinds() -> None:
+    """``bfl batch --list-kinds``: the query-kind registry, one row per
+    kind with its required spec fields (the single source of truth the
+    batch service validates against)."""
+    from .engine import REGISTRY
+
+    width = max(len(kind.name) for kind in REGISTRY)
+    for kind in REGISTRY:
+        required = ", ".join(kind.required_fields()) or "-"
+        optional = ", ".join(kind.accepts)
+        line = f"{kind.name:<{width}}  requires: {required}"
+        if optional:
+            line += f"  accepts: {optional}"
+        print(line)
+        print(f"{'':<{width}}  {kind.summary}  [{kind.cli}]")
+
+
 def _parse_probability(text: Optional[str]) -> dict:
     if not text:
         return {}
@@ -520,6 +582,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cex.set_defaults(handler=_cmd_cex)
 
+    p_synth = sub.add_parser(
+        "synth",
+        help="must-1/must-0/don't-care repair regions for a property",
+    )
+    _add_tree_option(p_synth)
+    p_synth.add_argument(
+        "formula", help="layer-1 target property, or SYNTHESIZE(...) text"
+    )
+    p_synth.add_argument(
+        "--candidates",
+        help="comma-separated candidate basic events (default: all; may "
+        "also be embedded in the SYNTHESIZE(phi; e1, e2) text)",
+    )
+    p_synth.add_argument(
+        "--json", action="store_true", help="emit the JSON result row"
+    )
+    p_synth.set_defaults(handler=_cmd_synth)
+
     p_show = sub.add_parser("show", help="render the tree as ASCII art")
     _add_tree_option(p_show)
     p_show.add_argument("--failed")
@@ -536,7 +616,15 @@ def build_parser() -> argparse.ArgumentParser:
         "batch", help="answer a JSON battery of queries via the service layer"
     )
     _add_tree_option(p_batch)
-    p_batch.add_argument("queries", help="JSON query file (see docs)")
+    p_batch.add_argument(
+        "queries", nargs="?", help="JSON query file (see docs)"
+    )
+    p_batch.add_argument(
+        "--list-kinds",
+        action="store_true",
+        help="print every registered query kind with its required spec "
+        "fields and exit",
+    )
     p_batch.add_argument(
         "--output", help="write the JSON report here instead of stdout"
     )

@@ -1,0 +1,143 @@
+"""The query-kind registry: one descriptor per query kind.
+
+Before PR 9, adding a query kind meant hand-threading it through six
+layers: a :class:`~repro.checker.engine.ModelChecker` method, the kind
+dispatch in :mod:`repro.service.batch`, ``QuerySpec`` validation, the
+parallel planner's per-kind cost weights, a ``bfl`` CLI surface, and
+report shaping.  A :class:`QueryKind` bundles all of that into one
+object, and :class:`QueryKindRegistry` is the single source of truth the
+service layer, the checker facade, the shard planner and the CLI consult.
+
+Registering a new kind is one :func:`QueryKindRegistry.register` call —
+see :mod:`repro.engine.kinds` for the built-ins (the ``synthesize`` kind
+is the worked example: it arrived with this module and touched no
+dispatch code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import QuerySpecError
+
+#: ``execute`` hooks return a mapping of ``QueryResult`` field names
+#: (``holds``, ``sets``, ``probability``, ``synthesis``, ...) to values;
+#: the caller merges them into the result row.
+ResultFields = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class QueryKind:
+    """Everything the engine knows about one query kind.
+
+    Attributes:
+        name: The spec's ``kind`` string (``"check"``, ``"mcs"``, ...).
+        summary: One-line description for ``bfl batch --list-kinds`` and
+            the docs kind table.
+        weight: Relative evaluation weight for the shard planner's cost
+            model (:func:`repro.service.parallel.estimate_cost`).
+        requires: ``(field, message)`` pairs: spec fields that must be
+            set for this kind.  ``message`` is a format template (it may
+            reference ``{kind}``) rendered into the ``QuerySpecError``.
+        accepts: Kind-owned *optional* spec fields (``profiles``,
+            ``candidates``, ...).  Setting such a field on a spec of a
+            kind that does not accept it is rejected with a derived
+            "only applies to" message — no kind lists another's fields.
+        validate: Optional extra validation hook ``(spec) -> None``
+            (raise :class:`~repro.errors.QuerySpecError` to reject).
+            Runs after the generic field checks.
+        statements: ``(spec, session) -> [Statement]``: the statement(s)
+            the spec needs parsed/translated (first entry is the query's
+            principal statement).  ``None`` means the default — parse
+            ``spec.formula``.
+        execute: ``(session, spec, statement) -> ResultFields``: answer
+            the query against an analysis session (or any object with
+            the same ``checker`` / ``parse`` / ``prob_checker`` surface).
+        promote: Optional ``(spec, statement) -> Optional[str]``: name
+            of the kind that should actually serve this statement (the
+            ``check`` kind promotes ``P(...)`` texts to ``probability``
+            and ``SYNTHESIZE(...)`` texts to ``synthesize`` so query
+            files stay kind-free).  ``None`` result means no promotion.
+        cost_factor: Optional ``(spec) -> float`` multiplier on the
+            planner's cost estimate (the ``synthesize`` kind scales with
+            its candidate-sweep width).
+        cli: Where the kind surfaces on the command line (metadata for
+            ``--list-kinds`` and the docs).
+    """
+
+    name: str
+    summary: str
+    weight: float = 1.0
+    requires: Tuple[Tuple[str, str], ...] = ()
+    accepts: Tuple[str, ...] = ()
+    validate: Optional[Callable[[Any], None]] = None
+    statements: Optional[Callable[[Any, Any], List[Any]]] = None
+    execute: Optional[Callable[[Any, Any, Any], ResultFields]] = None
+    promote: Optional[Callable[[Any, Any], Optional[str]]] = None
+    cost_factor: Optional[Callable[[Any], float]] = None
+    cli: str = ""
+
+    def required_fields(self) -> Tuple[str, ...]:
+        return tuple(field_name for field_name, _ in self.requires)
+
+
+class QueryKindRegistry:
+    """Ordered name -> :class:`QueryKind` table.
+
+    Registration order is public API: ``names()`` feeds the service
+    layer's ``KINDS`` tuple, error messages and ``--list-kinds`` output,
+    all of which are pinned by tests.
+    """
+
+    def __init__(self) -> None:
+        self._kinds: Dict[str, QueryKind] = {}
+
+    def register(self, kind: QueryKind) -> QueryKind:
+        if kind.name in self._kinds:
+            raise ValueError(f"query kind {kind.name!r} is already registered")
+        if kind.execute is None:
+            raise ValueError(f"query kind {kind.name!r} has no execute hook")
+        self._kinds[kind.name] = kind
+        return kind
+
+    def get(self, name: str) -> QueryKind:
+        try:
+            return self._kinds[name]
+        except KeyError:
+            raise QuerySpecError(
+                f"unknown query kind {name!r} "
+                f"(expected one of {', '.join(self._kinds)})"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._kinds)
+
+    def weight(self, name: str, default: float = 1.0) -> float:
+        kind = self._kinds.get(name)
+        return kind.weight if kind is not None else default
+
+    def owners_of(self, field_name: str) -> Tuple[str, ...]:
+        """Kinds that accept an optional owned spec field."""
+        return tuple(
+            kind.name
+            for kind in self._kinds.values()
+            if field_name in kind.accepts
+        )
+
+    def owned_fields(self) -> Tuple[str, ...]:
+        """Every kind-owned optional spec field, registration order."""
+        seen: Dict[str, None] = {}
+        for kind in self._kinds.values():
+            for field_name in kind.accepts:
+                seen.setdefault(field_name, None)
+        return tuple(seen)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._kinds
+
+    def __iter__(self) -> Iterator[QueryKind]:
+        return iter(self._kinds.values())
+
+    def __len__(self) -> int:
+        return len(self._kinds)

@@ -92,6 +92,17 @@ def error_kind(exc: BaseException) -> str:
     return type(exc).__name__
 
 
+class QuerySpecError(ReproError):
+    """A query specification is malformed.
+
+    Raised by the service layer (``QuerySpec`` validation, battery
+    normalisation, governance-knob checks) and by the query-kind
+    registry's per-kind validators.  Lives here so the registry — which
+    the service layer imports — can raise it without a circular import;
+    :mod:`repro.service.queries` re-exports it for compatibility.
+    """
+
+
 class FaultTreeError(ReproError):
     """Base class for errors in fault-tree construction or analysis."""
 

@@ -600,20 +600,36 @@ def splice_site(
         name for name in record_changed if name in old and name in new
     )
     for site in candidates:
-        old_desc = old.descendants(site)
-        new_desc = new.descendants(site)
-        ok = True
-        for name in record_changed:
-            if name == site:
-                continue
-            # Redefined elements must be private to the site's subtree:
-            # inside it in the new tree, or removed old-subtree members.
-            ok = name in new_desc if name in new else name in old_desc
-            if not ok:
-                break
-        if not ok:
+        # Redefined elements must be private to the site's subtree.
+        # Descendant membership is NOT privacy on a sharing DAG: a gate
+        # can sit under the site *and* be referenced from outside it, in
+        # which case substituting Psi(site) leaves stale occurrences.
+        # The exact condition is that no redefined element is reachable
+        # from the top without passing through the site, in either tree.
+        old_outside = _reachable_avoiding(old, site)
+        new_outside = _reachable_avoiding(new, site)
+        if any(
+            name in old_outside or name in new_outside
+            for name in record_changed
+            if name != site
+        ):
             continue
         ancestors = _ancestors(new, site)
         if all(name in ancestors for name in dirty - record_changed):
             return site
     return None
+
+
+def _reachable_avoiding(tree: FaultTree, site: str) -> Set[str]:
+    """Elements reachable from the top without expanding ``site`` (the
+    part of the tree a ``splice(site, ...)`` leaves untouched)."""
+    seen: Set[str] = set()
+    stack = [tree.top]
+    while stack:
+        name = stack.pop()
+        if name in seen or name == site:
+            continue
+        seen.add(name)
+        if not tree.is_basic(name):
+            stack.extend(tree.gate(name).children)
+    return seen

@@ -340,6 +340,38 @@ class SUP(Query):
 
 
 @dataclass(frozen=True)
+class Synthesize(Query):
+    """``SYNTHESIZE(phi; e1, ..., ek)``: repair-region query.
+
+    For a target property ``phi`` and a candidate event set ``C``
+    (default: every basic event), project ``[[phi]]`` onto ``C`` by
+    existentially quantifying the other events, and classify each
+    candidate as **must-1** (failed in every satisfying completion),
+    **must-0** (operational in every satisfying completion) or
+    **don't-care**.  This is the BDD-quantification face of the paper's
+    Sec. V-E synthesis discussion: instead of enumerating assignments,
+    the satisfying region over ``C`` is computed with one quantification
+    sweep plus two restrictions per candidate.
+
+    An empty ``candidates`` tuple means "all basic events of the tree"
+    (resolved at evaluation time, since the AST does not know the tree).
+    """
+
+    formula: Formula
+    candidates: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        require_layer1(self.formula)
+        for name in self.candidates:
+            if not name:
+                raise ValueError(
+                    "SYNTHESIZE candidate names must be non-empty"
+                )
+        if len(set(self.candidates)) != len(self.candidates):
+            raise ValueError("SYNTHESIZE candidates must be distinct")
+
+
+@dataclass(frozen=True)
 class ProbabilityQuery(Query):
     """PFL-style probabilistic query over a layer-1 formula.
 

@@ -63,6 +63,7 @@ from .ast_nodes import (
     Or,
     ProbabilityQuery,
     Statement,
+    Synthesize,
     Vot,
 )
 
@@ -74,6 +75,7 @@ _KEYWORDS = {
     "vot",
     "exists",
     "forall",
+    "synthesize",
     "true",
     "false",
 }
@@ -222,6 +224,22 @@ class _Parser:
             name = self._element_name()
             self._expect("RPAREN", "')' closing SUP")
             return SUP(name)
+        if keyword == "synthesize":
+            opening = self._advance()
+            self._expect("LPAREN", "'(' after SYNTHESIZE")
+            formula = self._inner_formula()
+            candidates: List[str] = []
+            if self._accept("SEMI"):
+                candidates.append(self._element_name())
+                while self._accept("COMMA"):
+                    candidates.append(self._element_name())
+            self._expect("RPAREN", "')' closing SYNTHESIZE")
+            try:
+                return Synthesize(formula, tuple(candidates))
+            except ValueError as error:
+                raise BFLSyntaxError(
+                    str(error), opening.line, opening.column
+                ) from None
         return self._formula()
 
     def _formula(self) -> Formula:
@@ -325,7 +343,7 @@ class _Parser:
         if keyword == "false":
             self._advance()
             return Constant(False)
-        if keyword in ("exists", "forall", "idp", "sup"):
+        if keyword in ("exists", "forall", "idp", "sup", "synthesize"):
             token = self._current
             raise BFLSyntaxError(
                 f"layer-2 operator {keyword!r} cannot appear inside a formula",
@@ -577,6 +595,13 @@ def format_statement(statement: Statement) -> str:
         )
     if isinstance(statement, SUP):
         return f"SUP({_format_name(statement.element)})"
+    if isinstance(statement, Synthesize):
+        text = f"SYNTHESIZE({format_formula(statement.formula)}"
+        if statement.candidates:
+            text += "; " + ", ".join(
+                _format_name(name) for name in statement.candidates
+            )
+        return text + ")"
     if isinstance(statement, Formula):
         return format_formula(statement)
     raise TypeError(f"cannot format {statement!r}")

@@ -42,9 +42,8 @@ from ..errors import (
 from ..runtime.limits import Governor
 from ..ft.galileo import dumps as galileo_dumps
 from ..ft.tree import FaultTree
+from ..engine import execute_kind, statements_for
 from ..logic.ast_nodes import (
-    MCS,
-    MPS,
     SUP,
     Atom,
     Exists,
@@ -54,6 +53,7 @@ from ..logic.ast_nodes import (
     ProbabilityQuery,
     Query,
     Statement,
+    Synthesize,
 )
 from ..logic.parser import format_statement, parse_request
 from ..logic.scope import MinimalityScope
@@ -63,7 +63,6 @@ from .queries import (
     QueryResult,
     QuerySpec,
     QuerySpecError,
-    sets_view,
     specs_from_any,
 )
 
@@ -212,6 +211,10 @@ class AnalysisSession:
             translator.bdd(statement.formula)
             if statement.condition is not None:
                 translator.bdd(statement.condition)
+        elif isinstance(statement, Synthesize):
+            # Region computation projects the target formula's BDD; the
+            # candidate bookkeeping itself is cheap.
+            translator.bdd(statement.formula)
         self.warmed.add(statement)
 
     def fork_variant(
@@ -1160,49 +1163,11 @@ class BatchAnalyzer:
     def _statements_for(
         self, spec: QuerySpec, session: AnalysisSession
     ) -> List[Statement]:
-        """The statement(s) a spec needs translated (element names are
-        resolved here so MCS/MPS specs share the same cache entries as
-        textual ``MCS(...)`` queries)."""
-        if spec.kind == "mcs":
-            target = spec.element if spec.element is not None else session.tree.top
-            return [MCS(Atom(target))]
-        if spec.kind == "mps":
-            target = spec.element if spec.element is not None else session.tree.top
-            return [MPS(Atom(target))]
-        statements = [session.parse(spec.formula)]
-        if spec.kind == "probability":
-            statement = statements[0]
-            if isinstance(statement, Formula):
-                # A bare layer-1 formula means "compute P(formula)"; the
-                # wrapper is a frozen dataclass, so structural dedup with
-                # explicit P(...) texts still applies.
-                statements = [ProbabilityQuery(formula=statement)]
-            elif not isinstance(statement, ProbabilityQuery):
-                raise QuerySpecError(
-                    f"query {spec.id!r}: kind 'probability' needs a "
-                    "layer-1 formula or a P(...) query"
-                )
-        if spec.kind == "probability-sweep":
-            statement = statements[0]
-            if (
-                isinstance(statement, ProbabilityQuery)
-                and statement.condition is None
-                and statement.comparator is None
-                and not statement.settings
-            ):
-                # Accept a bare `P(phi)` spelling; the sweep measures phi
-                # under each profile, so only the inner formula matters.
-                statement = statement.formula
-            if not isinstance(statement, Formula):
-                raise QuerySpecError(
-                    f"query {spec.id!r}: kind 'probability-sweep' needs "
-                    "a layer-1 formula (per-profile settings come from "
-                    "'profiles', not the query text)"
-                )
-            statements = [statement]
-        if spec.kind == "independence":
-            statements.append(session.parse(spec.other))
-        return statements
+        """The statement(s) a spec needs translated, from the query-kind
+        registry (element names resolve inside the kind hooks, so
+        MCS/MPS specs share the same cache entries as textual
+        ``MCS(...)`` queries)."""
+        return statements_for(spec, session)
 
     def _evaluate(
         self, spec: QuerySpec, statement: Optional[Statement]
@@ -1210,8 +1175,7 @@ class BatchAnalyzer:
         session = self._sessions[spec.tree]
         checker = session.checker
         start = time.perf_counter()
-        holds = sets = vector_count = counterexample = independence = None
-        probability = condition_probability = probabilities = None
+        fields: Dict[str, Any] = {}
         formula_text = (
             format_statement(statement) if statement is not None else None
         )
@@ -1240,87 +1204,11 @@ class BatchAnalyzer:
             # whose evaluation is served entirely from caches).
             if manager.governor is not None:
                 manager._governed_point(manager.node_count())
-            if isinstance(statement, ProbabilityQuery) and spec.kind in (
-                "check", "probability"
-            ):
-                # A `check` whose formula parsed to P(...) is served as a
-                # probabilistic query, so query files stay kind-free.
-                if spec.failed is not None or spec.bits is not None:
-                    raise QuerySpecError(
-                        f"query {spec.id!r}: probabilistic queries "
-                        "measure over all vectors; do not pass "
-                        "failed=/bits= (use evidence or conditioning "
-                        "inside P(...) instead)"
-                    )
-                outcome = session.prob_checker().evaluate(statement)
-                probability = outcome.value
-                holds = outcome.holds
-                condition_probability = outcome.condition_probability
-            elif spec.kind == "probability-sweep":
-                if spec.failed is not None or spec.bits is not None:
-                    raise QuerySpecError(
-                        f"query {spec.id!r}: probabilistic queries "
-                        "measure over all vectors; do not pass "
-                        "failed=/bits="
-                    )
-                values = session.prob_checker().sweep(
-                    statement, spec.profiles or ()
-                )
-                probabilities = tuple(values)
-            elif spec.kind == "check":
-                # ModelChecker.check rejects a vector on a layer-2 query
-                # and a missing vector on a layer-1 formula; pass the
-                # spec's vector through so those diagnostics surface.
-                holds = checker.check(
-                    statement,
-                    failed=(
-                        list(spec.failed) if spec.failed is not None else None
-                    ),
-                    bits=list(spec.bits) if spec.bits is not None else None,
-                )
-            elif spec.kind == "satisfaction-set":
-                satset = checker.satisfaction_set(statement)
-                vector_count = len(satset)
-                holds = bool(satset)
-                sets = sets_view(
-                    satset.operational_sets()
-                    if spec.view == "operational"
-                    else satset.failed_sets()
-                )
-            elif spec.kind == "mcs":
-                sets = sets_view(
-                    checker.minimal_cut_sets(spec.element)
-                )
-            elif spec.kind == "mps":
-                sets = sets_view(
-                    checker.minimal_path_sets(spec.element)
-                )
-            elif spec.kind == "counterexample":
-                cex = checker.counterexample(
-                    statement,
-                    failed=(
-                        list(spec.failed) if spec.failed is not None else None
-                    ),
-                    bits=list(spec.bits) if spec.bits is not None else None,
-                    method=spec.method,
-                )
-                counterexample = {
-                    "original": dict(cex.original),
-                    "vector": dict(cex.vector),
-                    "changed": list(cex.changed),
-                    "def7_compliant": cex.def7_compliant,
-                }
-            elif spec.kind == "independence":
-                result = checker.independence(
-                    statement, session.parse(spec.other)
-                )
-                holds = result.independent
-                independence = {
-                    "independent": result.independent,
-                    "shared": sorted(result.shared),
-                    "left_influencers": sorted(result.left_influencers),
-                    "right_influencers": sorted(result.right_influencers),
-                }
+            # One registry dispatch for every kind: promotion first (a
+            # `check` whose formula parsed to P(...) / SYNTHESIZE(...)
+            # is served by the specialised kind, so query files stay
+            # kind-free), then the kind's execute hook.
+            fields = execute_kind(session, spec, statement)
         except ReproError as exc:
             error = str(exc)
             kind = error_kind(exc)
@@ -1334,16 +1222,9 @@ class BatchAnalyzer:
             formula=formula_text,
             ok=error is None,
             elapsed_ms=elapsed_ms,
-            holds=holds,
-            sets=sets,
-            vector_count=vector_count,
-            counterexample=counterexample,
-            independence=independence,
-            probability=probability,
-            condition_probability=condition_probability,
-            probabilities=probabilities,
             error=error,
             error_kind=kind,
+            **fields,
         )
 
     def _scenario_stats(

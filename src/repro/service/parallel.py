@@ -60,6 +60,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..engine import REGISTRY
 from ..errors import SnapshotError, WorkerCrashError, error_kind
 from ..ft.tree import FaultTree
 from ..logic.parser import format_statement
@@ -73,20 +74,6 @@ _MAX_BACKOFF_MS = 5000.0
 #: paired with a tree fingerprint so a stale file fails loudly).
 SNAPSHOT_SET_FORMAT = "repro-service-snapshots"
 SNAPSHOT_SET_VERSION = 1
-
-#: Relative evaluation weight per query kind.  MCS/MPS (and the
-#: satisfaction sets built on them) run the primed-relation minimisation
-#: machinery; checks and probability queries mostly walk existing BDDs.
-_KIND_WEIGHT = {
-    "check": 1.0,
-    "probability": 1.0,
-    "independence": 1.5,
-    "counterexample": 2.0,
-    "satisfaction-set": 3.0,
-    "mcs": 4.0,
-    "mps": 4.0,
-}
-
 
 # ----------------------------------------------------------------------
 # Cost model and shard planning
@@ -109,13 +96,18 @@ def estimate_cost(
     Seeded from the two observables that dominate real batteries: the
     *tree size* (every BDD the query touches is built over the tree's
     events and gates) and the *formula size* (longer formulae mean more
-    Algorithm 1 recursion and more BDD products), scaled by a per-kind
-    weight.  ``warm_variant`` marks queries against a copy-on-write
-    variant of a warm base tree, whose translation is nearly free — the
-    tree term is discounted so the packer does not scatter cheap variant
-    sweeps across workers that then each rebuild the base.  Only
-    relative magnitudes matter — the planner packs shards, it does not
-    predict milliseconds.
+    Algorithm 1 recursion and more BDD products), scaled by the query
+    kind's registry weight (MCS/MPS and the satisfaction sets built on
+    them run the primed-relation minimisation machinery; checks and
+    probability queries mostly walk existing BDDs).  A kind may further
+    scale its estimate with a ``cost_factor`` hook — a ``synthesize``
+    candidate sweep grows linearly with its set count, so the planner
+    spreads wide sweeps across workers.  ``warm_variant`` marks queries
+    against a copy-on-write variant of a warm base tree, whose
+    translation is nearly free — the tree term is discounted so the
+    packer does not scatter cheap variant sweeps across workers that
+    then each rebuild the base.  Only relative magnitudes matter — the
+    planner packs shards, it does not predict milliseconds.
     """
     if tree is None:  # unknown scenario: errors out cheaply at parse time
         return 1.0
@@ -134,7 +126,12 @@ def estimate_cost(
         # Textual minimisation operators run the same machinery the
         # mcs/mps kinds do, whatever the spec's kind says.
         formula_weight *= 2.0
-    return _KIND_WEIGHT.get(spec.kind, 1.0) * tree_weight * formula_weight
+    cost = REGISTRY.weight(spec.kind, 1.0) * tree_weight * formula_weight
+    if spec.kind in REGISTRY:
+        factor = REGISTRY.get(spec.kind).cost_factor
+        if factor is not None:
+            cost *= factor(spec)
+    return cost
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,204 @@
+"""Repair-region synthesis: BDD quantification vs the enumeration oracle.
+
+``synthesis_regions`` answers SYNTHESIZE queries by projecting the
+property's BDD onto the candidate events (existential quantification +
+per-candidate restricts — no vector enumeration).
+``synthesis_regions_enumeration`` recomputes the same decomposition from
+the reference semantics over all ``2^n`` vectors.  The hypothesis suite
+here cross-validates the two on random trees, random layer-1 formulae
+and random candidate subsets; the deterministic tests pin the covid-tree
+behaviour, the ``SYNTHESIZE(...)`` statement form, and the error paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from bfl_strategies import formulas_for, small_trees
+from repro.casestudy import build_covid_tree
+from repro.checker import ModelChecker
+from repro.checker.synthesis import (
+    SynthesisRegions,
+    synthesis_regions,
+    synthesis_regions_enumeration,
+)
+from repro.errors import LogicError, SynthesisError
+from repro.logic.ast_nodes import Atom, Synthesize
+from repro.logic.parser import (
+    BFLSyntaxError,
+    format_statement,
+    parse_request,
+)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: quantification == enumeration
+# ----------------------------------------------------------------------
+
+
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(tree=small_trees(max_basic_events=5), data=st.data())
+def test_regions_match_enumeration(tree, data):
+    formula = data.draw(formulas_for(tree), label="formula")
+    names = sorted(tree.basic_events)
+    candidates = data.draw(
+        st.one_of(
+            st.none(),
+            st.lists(st.sampled_from(names), unique=True, max_size=len(names)),
+        ),
+        label="candidates",
+    )
+    checker = ModelChecker(tree)
+    fast = synthesis_regions(checker.translator, formula, candidates)
+    oracle = synthesis_regions_enumeration(tree, formula, candidates)
+    assert fast == oracle
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(tree=small_trees(max_basic_events=5), data=st.data())
+def test_region_partition_invariants(tree, data):
+    """must-1, must-0 and don't-care partition the candidates, and the
+    choice count is consistent with the partition."""
+    formula = data.draw(formulas_for(tree), label="formula")
+    checker = ModelChecker(tree)
+    regions = synthesis_regions(checker.translator, formula)
+    parts = (
+        set(regions.must_1) | set(regions.must_0) | set(regions.dont_care)
+    )
+    if regions.satisfiable:
+        assert parts == set(regions.candidates)
+        assert not set(regions.must_1) & set(regions.must_0)
+        assert 1 <= regions.choices <= 2 ** len(regions.candidates)
+        # every forced candidate halves the reachable assignment space
+        forced = len(regions.must_1) + len(regions.must_0)
+        assert regions.choices <= 2 ** (len(regions.candidates) - forced)
+    else:
+        assert parts == set()
+        assert regions.choices == 0
+
+
+# ----------------------------------------------------------------------
+# Deterministic pins on the paper's covid tree
+# ----------------------------------------------------------------------
+
+
+class TestCovidRegions:
+    def test_restricted_candidates(self):
+        checker = ModelChecker(build_covid_tree())
+        regions = checker.synthesize(
+            "IWoS /\\ !IS", candidates=["H1", "H2", "IS"]
+        )
+        assert regions.satisfiable
+        assert regions.must_1 == ("H1",)
+        assert regions.must_0 == ("IS",)
+        assert regions.dont_care == ("H2",)
+        assert regions.choices == 2
+
+    def test_default_candidates_are_all_basic_events(self):
+        tree = build_covid_tree()
+        regions = ModelChecker(tree).synthesize("IWoS")
+        assert set(regions.candidates) == set(tree.basic_events)
+        # every way the hospital fails has both H1 and VW failed
+        assert set(regions.must_1) == {"H1", "VW"}
+        assert regions.must_0 == ()
+
+    def test_statement_form_equals_candidates_argument(self):
+        checker = ModelChecker(build_covid_tree())
+        via_text = checker.synthesize("SYNTHESIZE(IWoS /\\ !IS; H1, H2, IS)")
+        via_arg = checker.synthesize(
+            "IWoS /\\ !IS", candidates=["H1", "H2", "IS"]
+        )
+        assert via_text == via_arg
+
+    def test_unsatisfiable_property(self):
+        regions = ModelChecker(build_covid_tree()).synthesize("IWoS & !IWoS")
+        assert regions == SynthesisRegions(
+            candidates=regions.candidates,
+            satisfiable=False,
+            must_1=(),
+            must_0=(),
+            dont_care=(),
+            choices=0,
+        )
+
+    def test_to_dict_shape(self):
+        regions = ModelChecker(build_covid_tree()).synthesize(
+            "IWoS", candidates=["H1", "VW"]
+        )
+        payload = regions.to_dict()
+        assert payload == {
+            "candidates": ["H1", "VW"],
+            "satisfiable": True,
+            "must_1": ["H1", "VW"],
+            "must_0": [],
+            "dont_care": [],
+            "choices": 1,
+        }
+
+
+# ----------------------------------------------------------------------
+# The SYNTHESIZE statement form
+# ----------------------------------------------------------------------
+
+
+class TestSynthesizeParsing:
+    def test_round_trip_without_candidates(self):
+        statement, _ = parse_request("SYNTHESIZE(IWoS & !IS)")
+        assert isinstance(statement, Synthesize)
+        assert statement.candidates == ()
+        assert parse_request(format_statement(statement))[0] == statement
+
+    def test_round_trip_with_candidates(self):
+        statement, _ = parse_request("synthesize(MCS(IWoS); H1, H2)")
+        assert isinstance(statement, Synthesize)
+        assert statement.candidates == ("H1", "H2")
+        assert parse_request(format_statement(statement))[0] == statement
+
+    def test_duplicate_candidates_rejected(self):
+        with pytest.raises(BFLSyntaxError, match="distinct"):
+            parse_request("SYNTHESIZE(IWoS; H1, H1)")
+
+    def test_layer2_body_rejected(self):
+        with pytest.raises(BFLSyntaxError):
+            parse_request("SYNTHESIZE(forall IWoS)")
+
+    def test_nested_statement_rejected(self):
+        with pytest.raises(BFLSyntaxError):
+            parse_request("exists SYNTHESIZE(IWoS)")
+
+
+# ----------------------------------------------------------------------
+# Error paths
+# ----------------------------------------------------------------------
+
+
+class TestSynthesisErrors:
+    def test_unknown_candidate(self):
+        checker = ModelChecker(build_covid_tree())
+        with pytest.raises(SynthesisError, match="unknown"):
+            checker.synthesize("IWoS", candidates=["NOPE"])
+
+    def test_gate_as_candidate(self):
+        checker = ModelChecker(build_covid_tree())
+        with pytest.raises(SynthesisError, match="basic events"):
+            checker.synthesize("IWoS", candidates=["MoT"])
+
+    def test_duplicate_candidate_argument(self):
+        checker = ModelChecker(build_covid_tree())
+        with pytest.raises(SynthesisError, match="distinct"):
+            synthesis_regions(checker.translator, Atom("IWoS"), ["H1", "H1"])
+
+    def test_text_and_argument_candidates_clash(self):
+        checker = ModelChecker(build_covid_tree())
+        with pytest.raises(LogicError, match="not both"):
+            checker.synthesize("SYNTHESIZE(IWoS; H1)", candidates=["H2"])
