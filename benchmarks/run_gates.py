@@ -217,6 +217,21 @@ GATES: Tuple[GateSpec, ...] = (
         },
     ),
     GateSpec(
+        name="server",
+        script="bench_server.py",
+        title="bfl serve: snapshot-store rewarm >= 10x over cold build "
+        "across the real HTTP surface (agreement always enforced)",
+        override="BENCH_MIN_WARM_SPEEDUP",
+        defaults={"BENCH_MIN_WARM_SPEEDUP": "10"},
+    ),
+    GateSpec(
+        name="docs",
+        script="docs_gate.py",
+        title="docs drift: dsl.md kinds vs registry, server.md endpoints "
+        "vs ROUTES, error_kind taxonomy, README subcommand inventory",
+        override="PYTHONPATH",
+    ),
+    GateSpec(
         name="coverage",
         script="coverage_gate.py",
         title="tier-1 suite line coverage >= 70% of repro "

@@ -12,6 +12,7 @@ Sub-commands::
     bfl dot     --tree T.dft [--failed IW,H3]           Graphviz export
     bfl batch   queries.json [--output report.json]     batch service run
     bfl batch   --list-kinds                            query-kind registry
+    bfl serve   --port 8346 --store kernels/            analysis daemon
     bfl covid-report                                    Sec. VII analysis
 
 ``--tree covid`` (the default) loads the built-in COVID-19 tree of Fig. 2;
@@ -447,6 +448,68 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived analysis daemon (see docs/server.md).
+
+    Scenarios are fixed at startup: ``--tree`` registers the
+    ``default`` scenario and each ``--scenario NAME=TREE`` adds a named
+    one.  Batteries arrive as JSON over HTTP (``POST /battery``, the
+    ``bfl batch`` query-file format), sessions stay hot in an LRU pool,
+    and ``--store DIR`` persists kernel snapshots so evicted or cold
+    scenarios — and the next server process — warm-start instead of
+    rebuilding.  SIGTERM/SIGINT drain gracefully.
+    """
+    from .service import AnalysisServer, ServerConfig
+    from .service.queries import QuerySpecError
+
+    trees = {"default": _load_tree(args.tree)}
+    for item in args.scenario or []:
+        name, sep, spec = item.partition("=")
+        name = name.strip()
+        if not sep or not name or not spec.strip():
+            raise QuerySpecError(
+                f"--scenario expects NAME=TREE, got {item!r}"
+            )
+        trees[name] = _load_tree(spec.strip())
+    for label, value in (
+        ("--deadline", args.deadline),
+        ("--query-timeout", args.query_timeout),
+        ("--rate-limit", args.rate_limit),
+    ):
+        if value is not None and not value > 0:
+            raise QuerySpecError(f"{label} must be > 0, got {value!r}")
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        pool_size=args.pool_size,
+        store_path=args.store,
+        max_concurrency=args.max_concurrency,
+        queue_limit=args.queue_limit,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        deadline_ms=args.deadline,
+        query_timeout_ms=args.query_timeout,
+        scope=MinimalityScope(args.scope),
+        auto_gc=not args.no_gc,
+        auto_reorder=args.auto_reorder,
+        probabilities=_parse_probability(args.probabilities),
+        uniform=args.uniform,
+    )
+    server = AnalysisServer(trees, config)
+
+    def _ready(bound: "AnalysisServer") -> None:
+        print(
+            f"bfl serve: listening on http://{config.host}:{bound.port} "
+            f"({len(trees)} scenario(s), pool={config.pool_size}, "
+            f"store={args.store or 'off'})",
+            flush=True,
+        )
+
+    server.run(ready=_ready)
+    print("bfl serve: drained, exiting", flush=True)
+    return 0
+
+
 def _print_kinds() -> None:
     """``bfl batch --list-kinds``: the query-kind registry, one row per
     kind with its required spec fields (the single source of truth the
@@ -715,6 +778,106 @@ def build_parser() -> argparse.ArgumentParser:
         "(off by default; overrides the file's 'watchdog_ms')",
     )
     p_batch.set_defaults(handler=_cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived analysis daemon (JSON battery API "
+        "over HTTP, warm session pool + snapshot store)",
+    )
+    _add_tree_option(p_serve)
+    p_serve.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME=TREE",
+        help="register an extra named scenario (Galileo file or "
+        "'covid'); repeatable.  --tree provides the 'default' scenario",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8346,
+        help="bind port (0 picks an ephemeral port, printed at startup)",
+    )
+    p_serve.add_argument(
+        "--store",
+        metavar="DIR",
+        help="content-addressed kernel-snapshot directory (the warm "
+        "cache tier): evicted and cold scenarios warm-start from it, "
+        "and a drain persists every pooled session into it",
+    )
+    p_serve.add_argument(
+        "--pool-size",
+        type=int,
+        default=8,
+        help="live-session LRU capacity (default 8)",
+    )
+    p_serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="batteries evaluating at once (default 4)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="batteries allowed to wait for a slot before requests "
+        "are rejected 503 server-busy (default 16)",
+    )
+    p_serve.add_argument(
+        "--rate-limit",
+        type=float,
+        metavar="RPS",
+        help="token-bucket rate limit in requests/sec (off by "
+        "default; /healthz is exempt)",
+    )
+    p_serve.add_argument(
+        "--rate-burst",
+        type=float,
+        metavar="N",
+        help="token-bucket burst capacity (default: the rate)",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        metavar="MS",
+        help="default whole-battery deadline applied to requests "
+        "without their own deadline_ms",
+    )
+    p_serve.add_argument(
+        "--query-timeout",
+        type=float,
+        metavar="MS",
+        help="default per-query budget applied to requests without "
+        "their own query_timeout_ms",
+    )
+    p_serve.add_argument(
+        "--uniform",
+        type=float,
+        help="server-default uniform failure probability for PFL "
+        "queries (a request's own uniform wins)",
+    )
+    p_serve.add_argument(
+        "--probabilities",
+        help="server-default overrides, e.g. 'IW=0.1,H1=0.02' (a "
+        "request's own probabilities win)",
+    )
+    p_serve.add_argument(
+        "--no-gc",
+        action="store_true",
+        help="disable automatic BDD garbage collection (on by default "
+        "for the daemon: long-lived sessions accumulate dead nodes)",
+    )
+    p_serve.add_argument(
+        "--auto-reorder",
+        action="store_true",
+        help="arm automatic in-place variable reordering (Rudell "
+        "sifting) on every scenario's kernel",
+    )
+    p_serve.set_defaults(handler=_cmd_serve)
 
     p_report = sub.add_parser(
         "covid-report", help="regenerate the Sec. VII case-study analysis"

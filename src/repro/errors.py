@@ -75,6 +75,27 @@ class WorkerCrashError(ExecutionError):
         self.traceback_text = traceback_text
 
 
+class RateLimitError(ExecutionError):
+    """The analysis server's token bucket rejected a request.
+
+    Attributes:
+        retry_after_ms: Suggested wait before retrying (time until the
+            bucket refills one token).
+    """
+
+    kind = "rate-limited"
+
+    def __init__(self, message: str, retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class ServerBusyError(ExecutionError):
+    """The analysis server's admission queue is full (or draining)."""
+
+    kind = "server-busy"
+
+
 class SnapshotIntegrityError(ExecutionError, SnapshotError):
     """A snapshot payload failed its sha256 content checksum (corrupt
     or truncated bytes).  Also a :class:`SnapshotError`, so existing

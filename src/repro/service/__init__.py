@@ -42,18 +42,28 @@ from .parallel import (
     read_snapshot_file,
     write_snapshot_file,
 )
+from .pool import SessionPool, build_session, resolve_overrides
 from .queries import BatchReport, QueryResult, QuerySpec, specs_from_any
+from .server import AnalysisServer, ServerConfig, TokenBucket
+from .store import SnapshotStore
 
 __all__ = [
+    "AnalysisServer",
     "AnalysisSession",
     "BatchAnalyzer",
     "BatchReport",
     "QueryResult",
     "QuerySpec",
+    "ServerConfig",
+    "SessionPool",
     "Shard",
+    "SnapshotStore",
+    "TokenBucket",
+    "build_session",
     "estimate_cost",
     "plan_shards",
     "read_snapshot_file",
+    "resolve_overrides",
     "specs_from_any",
     "tree_fingerprint",
     "write_snapshot_file",

@@ -36,7 +36,6 @@ from ..errors import (
     QueryDeadlineError,
     ReproError,
     SnapshotError,
-    SnapshotIntegrityError,
     error_kind,
 )
 from ..runtime.limits import Governor
@@ -694,6 +693,11 @@ class BatchAnalyzer:
         return snapshot["kernel"]
 
     def _build_session(self, name: str) -> AnalysisSession:
+        # The warm-start / degrade-to-cold protocol lives in
+        # repro.service.pool.build_session so the analysis server's
+        # session pool and one-shot batteries share it by construction.
+        from .pool import build_session
+
         tree = self._trees[name]
         kwargs: Dict[str, Any] = dict(
             scope=self._scope,
@@ -705,72 +709,76 @@ class BatchAnalyzer:
             probabilities=self._overrides_for(name, tree),
         )
         snapshot = self._validated_kernel(name, tree)
-        if snapshot is not None:
-            try:
-                session = AnalysisSession(
-                    name, tree, snapshot=snapshot, **kwargs
-                )
-                self._sessions[name] = session
-                return session
-            except SnapshotIntegrityError as exc:
-                # A corrupt cache file must not kill the battery: the
-                # snapshot is only an accelerator, so degrade to a cold
-                # build (prewarm from the tree) and say so — both in the
-                # log and structurally in the report stats.
-                message = (
-                    f"scenario {name!r}: kernel snapshot failed its "
-                    f"integrity check ({exc}); rebuilding from the tree"
-                )
-                logger.warning("%s", message)
-                self._warnings.append(
-                    {
-                        "scenario": name,
-                        "kind": exc.kind,
-                        "message": message,
-                    }
-                )
-                self._snapshots.pop(name, None)
-        session = AnalysisSession(name, tree, **kwargs)
+        session, warm = build_session(
+            name,
+            tree,
+            snapshot=snapshot,
+            warnings=self._warnings,
+            **kwargs,
+        )
+        if snapshot is not None and not warm:
+            # A corrupt cache entry must not be retried on the next
+            # (lazy) build of this scenario.
+            self._snapshots.pop(name, None)
         self._sessions[name] = session
         return session
 
     def _overrides_for(
         self, name: str, tree: FaultTree
     ) -> Dict[str, float]:
-        """Resolve the probability overrides for one scenario: uniform
-        floor, then flat entries, then the scenario's own map.
+        """Resolve the probability overrides for one scenario (uniform
+        floor, then flat entries, then the scenario-scoped map) — see
+        :func:`repro.service.pool.resolve_overrides`, the shared rule."""
+        from .pool import resolve_overrides
 
-        The ``probabilities`` mapping may mix the two shapes: a
-        Mapping-valued entry scopes its contents to that scenario (and
-        wins), a scalar-valued entry is a flat per-event probability
-        "applied to every scenario" — so events a particular tree does
-        not have are simply not for it, while scenario-scoped maps stay
-        strict (unknown event names surface as per-query
-        ``MissingProbabilityError`` diagnostics).
-        """
-        overrides: Dict[str, float] = {}
-        if self._uniform is not None:
-            overrides = {
-                event: float(self._uniform) for event in tree.basic_events
-            }
-        probs = self._probabilities
-        overrides.update(
-            {
-                event: value
-                for event, value in probs.items()
-                if not isinstance(value, Mapping)
-                and event in tree.basic_events
-            }
+        return resolve_overrides(
+            name, tree, self._probabilities, self._uniform
         )
-        scoped = probs.get(name)
-        if isinstance(scoped, Mapping):
-            overrides.update(scoped)
-        return overrides
 
     @property
     def scenarios(self) -> Tuple[str, ...]:
         """Registered scenario names."""
         return tuple(self._trees)
+
+    @property
+    def sessions(self) -> Dict[str, AnalysisSession]:
+        """Scenario name -> *built* session (lazily-registered
+        scenarios whose sessions were never needed are absent)."""
+        return dict(self._sessions)
+
+    def adopt_session(
+        self, name: str, session: AnalysisSession
+    ) -> AnalysisSession:
+        """Install an externally held live session for scenario ``name``.
+
+        This is the server's hot path: a pooled
+        :class:`AnalysisSession` (warm kernel, warm caches) is adopted
+        into a per-request analyzer so the battery runs against it
+        instead of building a fresh session — and therefore answers
+        exactly as a long-running sequential analyzer would.  The
+        session's tree must match the registered scenario tree
+        (fingerprint check), and variants cannot be adopted (they are
+        always re-forked from their base's kernel).
+        """
+        if name in self._variants:
+            raise QuerySpecError(
+                f"scenario {name!r} is a variant — variant sessions are "
+                "forked from their base, not adopted"
+            )
+        if name not in self._trees:
+            raise QuerySpecError(
+                f"unknown scenario {name!r} "
+                f"(registered: {', '.join(sorted(self._trees)) or 'none'})"
+            )
+        if tree_fingerprint(session.tree) != tree_fingerprint(
+            self._trees[name]
+        ):
+            raise SnapshotError(
+                f"scenario {name!r}: adopted session was built from a "
+                "different tree (fingerprint mismatch)"
+            )
+        self._sessions[name] = session
+        return session
 
     @property
     def trees(self) -> Dict[str, FaultTree]:

@@ -52,6 +52,7 @@ __all__ = [
     "on_shard_start",
     "governor_for",
     "corrupt_snapshot",
+    "corrupt_store_entry",
 ]
 
 #: Environment variable carrying the JSON chaos configuration.
@@ -176,3 +177,32 @@ def corrupt_snapshot(
             corrupted[key] = mutated
             return corrupted
     raise ValueError("snapshot has no column payload to corrupt")
+
+
+def corrupt_store_entry(
+    store: Any, fingerprint: str, seed: int = 0, flips: int = 8
+) -> None:
+    """Bit-rot one :class:`~repro.service.store.SnapshotStore` entry
+    in place.
+
+    The rewritten file stays valid JSON with a valid format stamp — only
+    the kernel's column bytes are flipped (via :func:`corrupt_snapshot`)
+    — so the corruption is *not* caught by the store's shape checks and
+    must instead surface as the kernel's sha256 integrity failure when a
+    server (or analyzer) tries to warm-start from it.  That is the
+    production path this hook exists to exercise: a long-lived daemon
+    whose warm tier rotted underneath it has to degrade to a cold build
+    and keep answering.
+    """
+    from ..service.store import _decode, _encode
+
+    entry_path = store.path / f"{fingerprint}.json"
+    with open(entry_path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    kernel = _decode(data["kernel"])
+    data["kernel"] = _encode(
+        corrupt_snapshot(kernel, seed=seed, flips=flips)
+    )
+    with open(entry_path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle)
+        handle.write("\n")
